@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through
+:mod:`repro.bench.experiments` and asserts its *shape* against the paper
+(who wins, rough factors, crossovers). Simulations are deterministic, so
+a single round is meaningful; the measured wall time is the cost of
+regenerating the artefact.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,26 @@
+"""Ablation benches for the design decisions called out in DESIGN.md."""
+
+from repro.bench import experiments as E
+
+
+def test_ablation_coalescing(once):
+    table = once(E.ablation_coalescing, writes=64)
+    table.show()
+    rows = {row[0]: row for row in table.rows}
+    with_coalescing = rows[True]
+    without = rows[False]
+    # Coalescing collapses the replay set (paper: near-instantaneous
+    # runtime recovery, 4 s -> ~0).
+    assert with_coalescing[2] < without[2] / 10
+    assert with_coalescing[3] <= without[3]
+
+
+def test_ablation_distributors(once):
+    table = once(E.ablation_distributors, nfiles=112)
+    table.show()
+    covs = {row[0]: row[1] for row in table.rows}
+    # Round-robin (NVMe-CR's balancer) is perfectly balanced; both
+    # hashing schemes are not.
+    assert covs["round-robin (NVMe-CR)"] < 1e-9
+    assert covs["jump hash (GlusterFS)"] > 0.1
+    assert covs["vnode ring (64 vnodes)"] > 0.1

@@ -1,0 +1,19 @@
+"""Figure 1: weak-scaling checkpoint bandwidth of OrangeFS/GlusterFS."""
+
+from repro.bench import experiments as E
+
+
+def test_fig1_motivation(once):
+    table = once(E.fig1_motivation, procs=(28, 56, 112, 224, 448))
+    table.show()
+    ofs = table.column("orangefs_frac")
+    gfs = table.column("glusterfs_frac")
+    # OrangeFS plateaus well below hardware peak (~41% in the paper).
+    assert max(ofs) < 0.55
+    assert 0.30 < ofs[-1] < 0.55
+    # GlusterFS reaches much higher at scale (~84% in the paper)...
+    assert 0.70 < gfs[-1] < 0.95
+    # ...but underperforms at low concurrency (consistent hashing).
+    assert gfs[0] < 0.55
+    # GlusterFS overtakes OrangeFS as concurrency grows.
+    assert gfs[-1] > ofs[-1]

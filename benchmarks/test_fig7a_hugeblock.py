@@ -1,0 +1,24 @@
+"""Figure 7(a): optimal hugeblock size sweep."""
+
+from repro.bench import experiments as E
+from repro.units import KiB, MiB
+
+
+def test_fig7a_hugeblock_sweep(once):
+    table = once(
+        E.fig7a_hugeblock_sweep,
+        block_sizes=(KiB(4), KiB(8), KiB(16), KiB(32), KiB(64), KiB(128),
+                     KiB(512), MiB(2)),
+        nprocs=28,
+        file_bytes=MiB(512),
+    )
+    table.show()
+    blocks = table.column("block")
+    times = dict(zip(blocks, table.column("time_s")))
+    # 4K pays a small-block penalty of roughly the paper's 7%.
+    assert 1.03 < times["4K"] / times["32K"] < 1.20
+    # 32K is within a hair of the optimum across the sweep.
+    assert times["32K"] <= 1.01 * min(times.values())
+    # Pool footprint shrinks 8x from 4K to 32K (the paper's 8x claim).
+    pools = dict(zip(blocks, table.column("pool_bytes")))
+    assert 7.5 < pools["4K"] / pools["32K"] < 8.5

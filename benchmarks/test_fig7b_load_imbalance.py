@@ -1,0 +1,21 @@
+"""Figure 7(b): load-imbalance coefficient of variation."""
+
+from repro.bench import experiments as E
+
+
+def test_fig7b_load_imbalance(once):
+    table = once(E.fig7b_load_imbalance, procs=(28, 56, 112, 224, 448))
+    table.show()
+    nvmecr = table.column("nvmecr")
+    ofs = table.column("orangefs")
+    gfs = table.column("glusterfs")
+    # NVMe-CR: perfect balance at every scale.
+    assert all(cov < 1e-6 for cov in nvmecr)
+    # OrangeFS striping: near-balanced, far better than hashing.
+    assert all(cov < 0.05 for cov in ofs)
+    # GlusterFS: high CoV at low concurrency, improving with scale.
+    assert gfs[0] > 0.4
+    assert gfs[-1] < gfs[0]
+    # Ordering at every point: GlusterFS worst, NVMe-CR best.
+    for n, o, g in zip(nvmecr, ofs, gfs):
+        assert n <= o < g

@@ -1,0 +1,30 @@
+"""Figure 7(c): direct userspace access vs kernel filesystems."""
+
+from repro.bench import experiments as E
+from repro.units import MiB
+
+
+def test_fig7c_direct_access(once):
+    table = once(
+        E.fig7c_direct_access,
+        sizes=(MiB(64), MiB(128), MiB(256), MiB(512)),
+        nprocs=28,
+    )
+    table.show()
+    xfs_gap = table.column("xfs_vs_nvmecr")
+    ext4_gap = table.column("ext4_vs_nvmecr")
+    # At 512 MB: XFS ~19% slower, ext4 ~83% slower (paper's anchors).
+    assert 0.10 < xfs_gap[-1] < 0.30
+    assert 0.60 < ext4_gap[-1] < 1.10
+    # The gap grows with data size ("metadata overhead has a linear
+    # correlation with file size").
+    assert ext4_gap[-1] > ext4_gap[0]
+    # NVMe-CR ~= raw SPDK (no noticeable overhead).
+    nvmecr = table.column("nvmecr")
+    spdk = table.column("spdk")
+    for a, b in zip(nvmecr, spdk):
+        assert abs(a / b - 1.0) < 0.02
+    # Kernel-time share: NVMe-CR small, kernel filesystems dominant.
+    assert table.column("kern%_nvmecr")[-1] < 0.15
+    assert table.column("kern%_xfs")[-1] > 0.6
+    assert table.column("kern%_ext4")[-1] > 0.3

@@ -1,0 +1,26 @@
+"""Figure 7(d): drilldown — optimisations stacked one by one."""
+
+from repro.bench import experiments as E
+
+
+def test_fig7d_drilldown(once):
+    table = once(E.fig7d_drilldown, procs=(28, 112, 448))
+    table.show()
+    stages = table.columns[1:]
+    for row in table.rows:
+        base, userspace, provenance, hugeblocks = row[1:]
+        # Every optimisation stage helps (monotone improvement).
+        assert base > userspace > provenance > hugeblocks
+    # Userspace + private namespace helps more at scale (global-ns
+    # serialisation grows with process count).
+    gain_small = 1 - table.rows[0][2] / table.rows[0][1]
+    gain_large = 1 - table.rows[-1][2] / table.rows[-1][1]
+    assert gain_large > gain_small
+    # Hugeblocks help most at low concurrency.
+    hb_small = 1 - table.rows[0][4] / table.rows[0][3]
+    hb_large = 1 - table.rows[-1][4] / table.rows[-1][3]
+    assert hb_small > hb_large
+    assert hb_small > 0.2  # paper: up to 62%
+    # Metadata provenance contributes meaningfully everywhere.
+    for row in table.rows:
+        assert 1 - row[3] / row[2] > 0.02  # paper: up to 17%

@@ -1,0 +1,19 @@
+"""Figure 8(a): NVMf overhead — local vs remote vs Crail."""
+
+from repro.bench import experiments as E
+from repro.units import MiB
+
+
+def test_fig8a_nvmf_overhead(once):
+    table = once(
+        E.fig8a_nvmf_overhead,
+        sizes=(MiB(64), MiB(128), MiB(256), MiB(512)),
+        nprocs=28,
+    )
+    table.show()
+    overhead = table.column("remote_overhead")
+    crail_gap = table.column("crail_vs_nvmecr")
+    # Remote access adds < 3.5% at every size (paper's bound).
+    assert all(0.0 <= o < 0.035 for o in overhead)
+    # Crail runs 5-10% behind NVMe-CR despite the same SPDK data plane.
+    assert all(0.02 < c < 0.15 for c in crail_gap)

@@ -1,0 +1,19 @@
+"""Figure 8(b): file-create throughput under the N-N pattern."""
+
+from repro.bench import experiments as E
+
+
+def test_fig8b_create_rate(once):
+    table = once(E.fig8b_create_rate, procs=(28, 56, 112, 224, 448))
+    table.show()
+    vs_ofs = table.column("nvmecr_vs_ofs")
+    vs_gfs = table.column("nvmecr_vs_gfs")
+    # Paper @448: 7x over OrangeFS and 18x over GlusterFS.
+    assert 4.0 < vs_ofs[-1] < 12.0
+    assert 10.0 < vs_gfs[-1] < 30.0
+    # NVMe-CR's create rate scales with process count (no serialisation);
+    # the baselines saturate.
+    nvmecr = table.column("nvmecr")
+    gfs = table.column("glusterfs")
+    assert nvmecr[-1] > 1.2 * nvmecr[0]
+    assert gfs[-1] < 1.2 * gfs[0]

@@ -1,0 +1,22 @@
+"""Table I: metadata storage overhead with CoMD."""
+
+from repro.bench import experiments as E
+
+
+def test_tab1_metadata_overhead(once):
+    table = once(E.tab1_metadata_overhead, nprocs=448, checkpoints=10)
+    table.show()
+    rows = {row[0]: row[2] for row in table.rows}
+    nvmecr = rows["NVMe-CR"]
+    dram = rows["NVMe-CR (DRAM)"]
+    ofs = rows["orangefs"]
+    gfs = rows["glusterfs"]
+    # Paper ordering: OrangeFS per-node >> NVMe-CR per-runtime >>
+    # GlusterFS per-node (2686 / 445 / 3.5 MB).
+    assert ofs > nvmecr > gfs
+    # Magnitudes in the paper's ballpark.
+    assert 1000 < ofs < 5000  # ~2686 MB
+    assert 200 < nvmecr < 800  # ~445 MB
+    assert gfs < 10  # 3.5 MB
+    # DRAM footprint below the paper's 512 MB-per-instance bound.
+    assert dram < 512

@@ -1,0 +1,20 @@
+"""Table II: multi-level checkpointing with a Lustre second tier."""
+
+from repro.bench import experiments as E
+
+
+def test_tab2_multilevel(once):
+    table = once(E.tab2_multilevel, nprocs=448, checkpoints=10)
+    table.show()
+    rows = {row[0]: (row[1], row[2], row[3]) for row in table.rows}
+    ofs, gfs, nvmecr = rows["OrangeFS"], rows["GlusterFS"], rows["NVMe-CR"]
+    # Checkpoint time ordering (paper: 85.9 / 44.5 / 39.5 s).
+    assert nvmecr[0] < gfs[0] < ofs[0]
+    # NVMe-CR's recovery is at least as fast as everyone's (paper:
+    # 3.6 / 4.5 / 3.6 s — NVMe-CR ties OrangeFS, beats GlusterFS).
+    assert nvmecr[1] <= gfs[1]
+    # Progress-rate ordering (paper: 0.252 / 0.402 / 0.423).
+    assert nvmecr[2] > gfs[2] > ofs[2]
+    # Progress rates in the paper's band.
+    assert 0.15 < ofs[2] < 0.45
+    assert 0.25 < nvmecr[2] < 0.60

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""CoMD weak-scaling campaign: NVMe-CR vs OrangeFS vs GlusterFS.
+
+Reproduces the flavour of §IV-H: the CoMD proxy app checkpoints
+periodically under weak scaling (fixed atoms per process); we report
+checkpoint efficiency (application-visible bandwidth over aggregate
+hardware peak) for each storage system at each scale.
+
+Run:  python examples/comd_weak_scaling.py [--full]
+  --full uses the paper's scales (up to 448 procs; takes minutes).
+"""
+
+import sys
+
+from repro.apps import CoMDConfig, CoMDProxy, Deployment
+from repro.baselines import GlusterFSCluster, OrangeFSCluster
+from repro.bench.experiments import _run_comd_baseline, _run_comd_nvmecr
+from repro.metrics import efficiency
+from repro.units import GiB
+
+
+def main(full: bool = False):
+    procs_list = (56, 112, 224, 448) if full else (28, 56, 112)
+    checkpoints = 3
+    comd = CoMDProxy(CoMDConfig.weak_scaling(atoms_per_rank=32_000, checkpoints=checkpoints))
+    nbytes = comd.config.checkpoint_bytes_per_rank
+
+    print("== CoMD weak scaling: checkpoint efficiency ==")
+    print(f"{'procs':>6}  {'nvme-cr':>8}  {'orangefs':>8}  {'glusterfs':>9}")
+    for procs in procs_list:
+        effs = {}
+        dep, stats = _run_comd_nvmecr(procs, comd, seed=7)
+        total = procs * nbytes * checkpoints
+        effs["nvmecr"] = efficiency(
+            total, max(s.checkpoint_time for s in stats), dep.aggregate_write_bandwidth()
+        )
+        for kind in ("orangefs", "glusterfs"):
+            dep_b, stats_b = _run_comd_baseline(kind, procs, comd, seed=7)
+            effs[kind] = efficiency(
+                total, max(s.checkpoint_time for s in stats_b),
+                dep_b.aggregate_write_bandwidth(),
+            )
+        print(f"{procs:>6}  {effs['nvmecr']:>8.3f}  {effs['orangefs']:>8.3f}  "
+              f"{effs['glusterfs']:>9.3f}")
+    print("\npaper anchor: NVMe-CR reaches 0.96 checkpoint efficiency at 448 procs;")
+    print("OrangeFS/GlusterFS are capped by layered servers and namespace contention.")
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Exascale failure campaign: why checkpoint speed sets progress rate.
+
+The paper opens with exascale MTBF below 30 minutes (§I). This example
+runs the same failure-driven campaign over NVMe-CR and over a
+GlusterFS-class baseline — identical failure times via common random
+numbers — and shows how the runtime's faster dumps translate into
+effective application progress, plus the Young/Daly view of the optimal
+checkpoint interval.
+
+Run:  python examples/exascale_mtbf.py
+"""
+
+from repro.apps import Deployment
+from repro.apps.mtbf import CampaignConfig, FailureCampaign, daly_interval, young_interval
+from repro.baselines import GlusterFSCluster
+from repro.bench.fleet import MicroFSFleet
+from repro.units import GiB, MiB
+
+
+def run_campaign(shim, mtbf, interval, seed=17):
+    config = CampaignConfig(
+        total_compute=300.0, checkpoint_interval=interval,
+        checkpoint_bytes=MiB(512), mtbf=mtbf, restart_cost=1.0,
+    )
+    campaign = FailureCampaign(shim, config, seed=seed)
+    return shim.env.run_until_complete(shim.env.process(campaign.run()))
+
+
+def main():
+    print("== exascale MTBF campaign ==")
+    mtbf = 90.0  # seconds, scaled-down stand-in for 'under 30 minutes'
+    interval = 10.0
+
+    # NVMe-CR: one rank on its own partition (others are symmetric).
+    fleet = MicroFSFleet(1, partition_bytes=GiB(8), seed=17)
+    nvmecr = run_campaign(fleet.clients[0], mtbf, interval)
+
+    # GlusterFS-class baseline, same failure sequence.
+    dep = Deployment(seed=17)
+    cluster = GlusterFSCluster(dep, GiB(32))
+    gfs = run_campaign(cluster.client("r0"), mtbf, interval)
+
+    print(f"{'':>22} {'NVMe-CR':>10} {'GlusterFS':>10}")
+    print(f"{'effective progress':>22} {nvmecr.effective_progress:>10.3f} "
+          f"{gfs.effective_progress:>10.3f}")
+    print(f"{'checkpoint time (s)':>22} {nvmecr.checkpoint_time:>10.2f} "
+          f"{gfs.checkpoint_time:>10.2f}")
+    print(f"{'failures':>22} {nvmecr.failures:>10} {gfs.failures:>10}")
+    print(f"{'lost work (s)':>22} {nvmecr.lost_work:>10.2f} {gfs.lost_work:>10.2f}")
+
+    cost = nvmecr.checkpoint_time / max(1, nvmecr.checkpoints_written)
+    print(f"\nmeasured NVMe-CR checkpoint cost: {cost:.3f}s")
+    print(f"Young-optimal interval: {young_interval(mtbf, cost):.1f}s; "
+          f"Daly: {daly_interval(mtbf, cost):.1f}s")
+    print("faster dumps shift the optimum left and raise the whole curve —")
+    print("the paper's progress-rate argument, closed-loop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Failure injection and recovery: the microfs durability story.
+
+Demonstrates §III-E end to end on one runtime instance:
+
+1. write checkpoints (operation log journals every metadata op, data is
+   unbuffered — no fsync games),
+2. the background thread checkpoints internal DRAM state when the log
+   fills and all files are closed,
+3. power fails mid-write — the in-flight checkpoint vanishes, committed
+   ones survive (device capacitance),
+4. the runtime recovers by loading the state checkpoint and replaying
+   the log — near-instantaneously thanks to log record coalescing —
+   and the completed checkpoint files read back intact.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro.bench.fleet import MicroFSFleet
+from repro.core.config import RuntimeConfig
+from repro.core.data_plane import DataPlane
+from repro.core.microfs.recovery import recover
+from repro.errors import DevicePoweredOff
+from repro.units import KiB, MiB, fmt_time
+
+
+def main():
+    print("== microfs failure/recovery demo ==")
+    config = RuntimeConfig(
+        log_region_bytes=KiB(8), state_region_bytes=MiB(8), log_free_threshold=0.5
+    )
+    fleet = MicroFSFleet(1, config=config, partition_bytes=MiB(512), seed=3)
+    env, fs, shim = fleet.env, fleet.instances[0], fleet.clients[0]
+
+    stop = env.event()
+    env.process(fs.background_checkpointer(poll_interval=0.01, stop_event=stop))
+    outcome = {}
+
+    def workload():
+        yield from shim.mkdir("/ckpt")
+        # Several complete checkpoints. Sequential appends coalesce in
+        # the log; the strided tail writes do not — filling the log so
+        # the background thread has something to do.
+        for step in range(5):
+            fd = yield from shim.open(f"/ckpt/step{step}.dat", "w")
+            for chunk in range(8):
+                yield from shim.write(fd, KiB(256))
+            for hole in range(24):
+                yield from shim.pwrite(fd, KiB(32), KiB(2048 + 64 * (2 * hole)))
+            yield from shim.fsync(fd)
+            yield from shim.close(fd)
+            yield env.timeout(0.02)  # compute phase
+        print(f"  wrote 5 checkpoints; log holds {fs.oplog.record_count} records "
+              f"({fs.oplog.total_appends} appends, "
+              f"{fs.oplog.total_coalesced} coalesced)")
+        print(f"  background state checkpoints so far: {fs.state_checkpoints}")
+        # A sixth checkpoint that will die mid-write.
+        fd = yield from shim.open("/ckpt/doomed.dat", "w")
+        try:
+            yield from shim.write(fd, MiB(384))
+            outcome["doomed"] = "survived?!"
+        except DevicePoweredOff:
+            outcome["doomed"] = "lost in flight (expected)"
+
+    def power_cut():
+        yield env.timeout(0.22)
+        print(f"  !! power failure at t={env.now:.3f}s")
+        fleet.ssd.power_fail()
+        stop.succeed()
+
+    env.process(workload())
+    env.process(power_cut())
+    env.run()
+    print(f"  in-flight checkpoint: {outcome['doomed']}")
+
+    # --- recovery on the replacement process -----------------------------
+    fleet.ssd.power_restore()
+    data_plane = DataPlane(env, fleet.instances[0].data_plane.transport,
+                           fleet.namespace.nsid, config)
+
+    def do_recover():
+        return (yield from recover(env, config, data_plane, fs.partition))
+
+    recovered, report = env.run_until_complete(env.process(do_recover()))
+    print(f"  recovery: state checkpoint {'loaded' if report.state_loaded else 'absent'}, "
+          f"{report.records_replayed} log records replayed "
+          f"in {fmt_time(report.duration)}")
+    files = recovered.readdir("/ckpt")
+    print(f"  recovered files: {files}")
+    expected = max(KiB(2048 + 64 * 46) + KiB(32), 8 * KiB(256))
+    for step in range(5):
+        size = recovered.stat(f"/ckpt/step{step}.dat").size
+        assert size == expected, (size, expected)
+    print("  all 5 completed checkpoints intact — "
+          "'a completely written checkpoint file will never hold corrupted data'")
+
+
+if __name__ == "__main__":
+    main()

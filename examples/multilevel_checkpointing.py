@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Multi-level checkpointing with cascading-failure survival (§III-F).
+
+56 CoMD-like ranks checkpoint through NVMe-CR, sending every 5th
+checkpoint to a Lustre second tier. Then a *cascading* failure takes out
+the NVMe tier entirely — and the job still restarts, from the newest
+Lustre checkpoint, losing only the work since.
+
+Run:  python examples/multilevel_checkpointing.py
+"""
+
+from repro.apps import Deployment
+from repro.baselines import LustreCluster
+from repro.core.multilevel import MultiLevelCheckpointer
+from repro.units import GiB, MiB, fmt_time
+
+
+def main():
+    print("== multi-level checkpointing demo ==")
+    dep = Deployment(seed=11)
+    lustre = LustreCluster(dep.env)
+    job, plan = dep.submit("ml-demo", nprocs=56, bytes_per_device=GiB(40))
+    checkpoint_bytes = MiB(32)
+    checkpoints = 10
+    pfs_interval = 5
+
+    def rank_main(shim, comm):
+        mlc = MultiLevelCheckpointer(shim, lustre, pfs_interval=pfs_interval)
+        for step in range(checkpoints):
+            yield shim.env.timeout(0.02)  # compute
+            yield from comm.barrier()
+            record = yield from mlc.write_checkpoint(step, checkpoint_bytes)
+            yield from comm.barrier()
+            if comm.rank == 0:
+                tier = "Lustre (slow, reliable)" if record.level == 2 else "NVMe-CR"
+                print(f"  checkpoint {step}: -> {tier}")
+        # Cascading failure: the NVMe tier's data is gone.
+        yield from comm.barrier()
+        if comm.rank == 0:
+            print("  !! cascading failure: NVMe-CR tier lost")
+        t0 = shim.env.now
+        record = yield from mlc.recover_latest(level1_alive=False)
+        yield from comm.barrier()
+        if comm.rank == 0:
+            print(f"  recovered from step {record.step} (level {record.level}) "
+                  f"in {fmt_time(shim.env.now - t0)}")
+        lost = checkpoints - 1 - record.step
+        return lost
+
+    mpi_job = dep.run_job(job, plan, rank_main)
+    lost = mpi_job.results()[0]
+    print(f"  work lost: {lost} checkpoint interval(s) — bounded by the "
+          f"1-in-{pfs_interval} Lustre policy")
+    print(f"  Lustre absorbed {lustre.counters.get('bytes_written') / 1e9:.2f} GB, "
+          f"NVMe tier absorbed the rest at full speed")
+
+
+if __name__ == "__main__":
+    main()

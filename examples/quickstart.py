@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: run an unmodified MPI application over NVMe-CR.
+
+Builds the paper's testbed (8 NVMf storage nodes + 16 compute nodes on
+EDR InfiniBand), submits a 56-process job, lets the storage balancer
+pick SSDs on partner failure domains, and runs a toy application that
+checkpoints through intercepted POSIX calls — then prints what happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import Deployment
+from repro.units import GiB, MiB, fmt_bytes, fmt_rate, fmt_time
+
+
+def application(shim, comm):
+    """A tiny 'application': compute, checkpoint, verify, like CoMD.
+
+    The shim is a drop-in for libc: `open`/`write`/`fsync`/`close` with
+    integer fds. `MPI_Init`/`MPI_Finalize` have already been intercepted
+    by the launcher.
+    """
+    env = shim.env
+    checkpoint_bytes = MiB(64)
+
+    yield from shim.mkdir("/ckpt")
+    for step in range(3):
+        # Compute phase.
+        yield env.timeout(0.05)
+        # N-N checkpoint: each rank writes its own private file.
+        yield from comm.barrier()
+        t0 = env.now
+        fd = yield from shim.open(f"/ckpt/step{step}.dat", "w")
+        yield from shim.write(fd, checkpoint_bytes)
+        yield from shim.fsync(fd)
+        yield from shim.close(fd)
+        yield from comm.barrier()
+        if comm.rank == 0:
+            bandwidth = comm.size * checkpoint_bytes / (env.now - t0)
+            print(
+                f"  checkpoint {step}: {fmt_bytes(comm.size * checkpoint_bytes)}"
+                f" in {fmt_time(env.now - t0)}  ({fmt_rate(bandwidth)})"
+            )
+    # Read the last checkpoint back (restart path).
+    fd = yield from shim.open("/ckpt/step2.dat", "r")
+    pieces = yield from shim.read(fd, checkpoint_bytes)
+    yield from shim.close(fd)
+    assert sum(p.nbytes for p in pieces) == checkpoint_bytes
+    return shim.runtime.counters.get("app_bytes_written")
+
+
+def main():
+    print("== NVMe-CR quickstart ==")
+    dep = Deployment(seed=42)
+    print(f"cluster: {len(dep.cluster.compute_nodes())} compute nodes, "
+          f"{len(dep.cluster.storage_nodes())} storage nodes, "
+          f"{fmt_rate(dep.aggregate_write_bandwidth())} aggregate SSD write bw")
+
+    job, plan = dep.submit("quickstart", nprocs=56, bytes_per_device=GiB(24))
+    grants = {g.node_name for g in plan.grants}
+    print(f"job: {job.spec.nprocs} procs on {job.compute_nodes}")
+    print(f"storage balancer chose SSDs on: {sorted(grants)} "
+          f"(partner failure domain of the compute rack)")
+
+    print("running application...")
+    mpi_job = dep.run_job(job, plan, application)
+    total = sum(mpi_job.results())
+    print(f"done at t={dep.env.now:.3f}s simulated; "
+          f"application wrote {fmt_bytes(total)} of checkpoints")
+
+    loads = [load for load in dep.bytes_per_server() if load > 0]
+    print(f"per-SSD load: {[fmt_bytes(b) for b in loads]} (perfectly balanced)")
+    dep.scheduler.complete(job)
+    print("job completed; ephemeral namespaces released")
+
+
+if __name__ == "__main__":
+    main()

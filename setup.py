@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so PEP 660 editable installs fail; `pip install -e . --no-use-pep517`
+uses this file instead. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""NVMe-CR reproduction: a scalable ephemeral storage runtime for
+checkpoint/restart with NVMe-over-Fabrics, rebuilt in Python over a
+calibrated discrete-event simulation substrate.
+
+Public entry points:
+
+* :class:`repro.apps.Deployment` — the paper's testbed, powered on.
+* :class:`repro.core.RuntimeConfig` / :class:`repro.core.NVMeCRRuntime`
+  — the runtime and its ablation flags.
+* :mod:`repro.bench.experiments` — one function per paper table/figure.
+* ``python -m repro`` — CLI to regenerate any artefact.
+"""
+
+from repro.core import NVMeCRRuntime, PosixShim, RuntimeConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["NVMeCRRuntime", "PosixShim", "RuntimeConfig", "__version__"]

@@ -1,0 +1,15 @@
+"""Application-level drivers: cluster deployment, the CoMD proxy app,
+and checkpoint/restart workload generators."""
+
+from repro.apps.comd import CoMDConfig, CoMDProxy
+from repro.apps.deployment import Deployment
+from repro.apps.checkpoint import CheckpointStats, nn_checkpoint, nn_restart
+
+__all__ = [
+    "CheckpointStats",
+    "CoMDConfig",
+    "CoMDProxy",
+    "Deployment",
+    "nn_checkpoint",
+    "nn_restart",
+]

@@ -1,0 +1,114 @@
+"""N-N checkpoint/restart drivers (§III-E, "Per-process Private Namespace").
+
+"Two patterns are prevalent — N-1 and N-N. [...] Recent work has
+estimated that 90% of application runs use the N-N pattern" — each
+process writes one unique file per checkpoint. These drivers issue that
+pattern through an intercepted-POSIX shim, with barriers delimiting each
+dump so efficiency can be computed from the slowest rank.
+
+An N-1 driver is included for completeness: all ranks write disjoint
+strided segments of one shared file name (each private namespace holds
+its own segment — NVMe-CR turns N-1 into N-N internally, which is the
+honest consequence of private namespaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List
+
+from repro.sim.engine import Event
+
+__all__ = ["CheckpointStats", "nn_checkpoint", "nn_restart", "n1_checkpoint"]
+
+
+@dataclass
+class CheckpointStats:
+    """Per-rank accumulated C/R timing."""
+
+    checkpoint_times: List[float] = field(default_factory=list)
+    restart_times: List[float] = field(default_factory=list)
+    compute_time: float = 0.0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    @property
+    def checkpoint_time(self) -> float:
+        return sum(self.checkpoint_times)
+
+    @property
+    def restart_time(self) -> float:
+        return sum(self.restart_times)
+
+    def progress_rate(self) -> float:
+        """Compute-time fraction of total application time (§I footnote)."""
+        total = self.compute_time + self.checkpoint_time + self.restart_time
+        return self.compute_time / total if total > 0 else 0.0
+
+
+def ckpt_path(rank: int, step: int, directory: str = "/ckpt") -> str:
+    return f"{directory}/rank{rank:05d}_step{step:04d}.dat"
+
+
+def nn_checkpoint(
+    shim, comm, step: int, nbytes: int, stats: CheckpointStats,
+    directory: str = "/ckpt", barrier: bool = True,
+) -> Generator[Event, Any, float]:
+    """One N-N checkpoint dump; returns this rank's wall time for the
+    barrier-to-barrier dump (identical across ranks when ``barrier``)."""
+    env = shim.env
+    if barrier:
+        yield from comm.barrier()
+    t0 = env.now
+    fd = yield from shim.open(ckpt_path(comm.rank, step, directory), "w")
+    yield from shim.write(fd, nbytes)
+    yield from shim.fsync(fd)
+    yield from shim.close(fd)
+    if barrier:
+        yield from comm.barrier()
+    elapsed = env.now - t0
+    stats.checkpoint_times.append(elapsed)
+    stats.bytes_written += nbytes
+    return elapsed
+
+
+def nn_restart(
+    shim, comm, step: int, nbytes: int, stats: CheckpointStats,
+    directory: str = "/ckpt", barrier: bool = True,
+) -> Generator[Event, Any, float]:
+    """Read back one N-N checkpoint (recovery of application state)."""
+    env = shim.env
+    if barrier:
+        yield from comm.barrier()
+    t0 = env.now
+    fd = yield from shim.open(ckpt_path(comm.rank, step, directory), "r")
+    yield from shim.read(fd, nbytes)
+    yield from shim.close(fd)
+    if barrier:
+        yield from comm.barrier()
+    elapsed = env.now - t0
+    stats.restart_times.append(elapsed)
+    stats.bytes_read += nbytes
+    return elapsed
+
+
+def n1_checkpoint(
+    shim, comm, step: int, nbytes_per_rank: int, stats: CheckpointStats,
+    directory: str = "/ckpt",
+) -> Generator[Event, Any, float]:
+    """N-1 pattern: one shared file name, rank-strided segments."""
+    env = shim.env
+    yield from comm.barrier()
+    t0 = env.now
+    path = f"{directory}/shared_step{step:04d}.dat"
+    fd = yield from shim.open(path, "a")
+    # In a private namespace the rank's segment of the shared file maps
+    # to the start of the rank's own view — N-1 becomes N-N internally.
+    yield from shim.pwrite(fd, nbytes_per_rank, 0)
+    yield from shim.fsync(fd)
+    yield from shim.close(fd)
+    yield from comm.barrier()
+    elapsed = env.now - t0
+    stats.checkpoint_times.append(elapsed)
+    stats.bytes_written += nbytes_per_rank
+    return elapsed

@@ -1,0 +1,119 @@
+"""CoMD proxy application (§IV-A).
+
+The ECP CoMD molecular-dynamics proxy, reduced to what its checkpoint
+behaviour depends on: per-rank atom count (which sets checkpoint size
+and compute time per phase), a number of periodic checkpoints, and the
+N-N dump between compute phases. Both of the paper's configurations are
+builders here:
+
+* **weak scaling** (§IV-H): 32K atoms *per process*, 10 checkpoints —
+  700 GB total at 448 processes;
+* **strong scaling**: 16,384K atoms *total*, 86 GB across 10 checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.apps.checkpoint import CheckpointStats, nn_checkpoint, nn_restart
+from repro.bench import calibration as cal
+from repro.sim.engine import Event
+
+__all__ = ["CoMDConfig", "CoMDProxy"]
+
+
+@dataclass(frozen=True)
+class CoMDConfig:
+    """One CoMD run's shape."""
+
+    atoms_per_rank: int
+    checkpoints: int = 10
+    compute_jitter: float = 0.02  # relative sd of per-phase compute time
+    directory: str = "/ckpt"
+
+    @classmethod
+    def weak_scaling(cls, atoms_per_rank: int = 32_000, checkpoints: int = 10) -> "CoMDConfig":
+        return cls(atoms_per_rank=atoms_per_rank, checkpoints=checkpoints)
+
+    @classmethod
+    def strong_scaling(
+        cls,
+        nprocs: int,
+        total_checkpoint_bytes: int = 86 * 10**9,
+        checkpoints: int = 10,
+    ) -> "CoMDConfig":
+        """§IV-H strong scaling: "the problem size is fixed to 16,384K
+        atoms for a total fixed checkpoint size of 86GB (for 10
+        checkpoints)".
+
+        Note the paper's own numbers imply ~525 B/atom here vs ~4.9 KiB
+        per atom in the weak-scaling setup; we honour the *checkpoint
+        volume* (what the IO study depends on) and derive an effective
+        per-rank atom count from it.
+        """
+        per_rank_bytes = max(1, total_checkpoint_bytes // (checkpoints * nprocs))
+        atoms = max(1, per_rank_bytes // cal.COMD_BYTES_PER_ATOM)
+        return cls(atoms_per_rank=atoms, checkpoints=checkpoints)
+
+    @property
+    def checkpoint_bytes_per_rank(self) -> int:
+        return self.atoms_per_rank * cal.COMD_BYTES_PER_ATOM
+
+    @property
+    def compute_seconds_per_phase(self) -> float:
+        return self.atoms_per_rank * cal.COMD_COMPUTE_SECONDS_PER_ATOM
+
+    def total_checkpoint_bytes(self, nprocs: int) -> int:
+        return self.checkpoint_bytes_per_rank * nprocs * self.checkpoints
+
+
+class CoMDProxy:
+    """Runs the compute/checkpoint loop of CoMD on one rank."""
+
+    def __init__(self, config: CoMDConfig, seed: int = 0):
+        self.config = config
+        self.seed = seed
+
+    def _compute_time(self, rng: np.random.Generator) -> float:
+        base = self.config.compute_seconds_per_phase
+        if self.config.compute_jitter == 0:
+            return base
+        return float(max(0.0, rng.normal(base, self.config.compute_jitter * base)))
+
+    def rank_main(self, shim, comm) -> Generator[Event, Any, CheckpointStats]:
+        """Compute -> checkpoint, ``checkpoints`` times. Returns stats."""
+        env = shim.env
+        rng = np.random.default_rng((self.seed, comm.rank))
+        stats = CheckpointStats()
+        config = self.config
+        # mkdir -p semantics: on shared-namespace systems another rank
+        # may have created the directory first.
+        from repro.errors import FileExists
+
+        try:
+            yield from shim.mkdir(config.directory)
+        except FileExists:
+            pass
+        nbytes = config.checkpoint_bytes_per_rank
+        for step in range(config.checkpoints):
+            compute = self._compute_time(rng)
+            yield env.timeout(compute)
+            stats.compute_time += compute
+            yield from nn_checkpoint(
+                shim, comm, step, nbytes, stats, directory=config.directory
+            )
+        return stats
+
+    def restart_main(self, shim, comm, steps: int = None) -> Generator[Event, Any, CheckpointStats]:
+        """Recovery phase: read checkpoints back (§IV-H 'recovery')."""
+        stats = CheckpointStats()
+        nbytes = self.config.checkpoint_bytes_per_rank
+        count = self.config.checkpoints if steps is None else steps
+        for step in range(count):
+            yield from nn_restart(
+                shim, comm, step, nbytes, stats, directory=self.config.directory
+            )
+        return stats

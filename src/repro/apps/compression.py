@@ -1,0 +1,71 @@
+"""Checkpoint compression (§II-B, Ibtisham et al. [34]) — complementary
+to NVMe-CR; this module lets the benches quantify when it pays off.
+
+Model: a compressor with a throughput and a ratio (lz4-class defaults).
+Compressing costs rank-local CPU time; the write then moves ``ratio``
+times fewer bytes. Whether that's a win depends on whether the run is
+IO-bound (many ranks per SSD — compression helps) or CPU-bound (few
+ranks — the compressor is slower than the unshared device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.sim.engine import Event
+
+__all__ = ["CompressionSpec", "compressed_checkpoint"]
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """One compressor's characteristics."""
+
+    name: str
+    ratio: float  # output_bytes = input_bytes / ratio
+    compress_bandwidth: float  # bytes/s of input, single core
+    decompress_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.ratio < 1.0:
+            raise ValueError("ratio must be >= 1 (1 = incompressible)")
+        if self.compress_bandwidth <= 0 or self.decompress_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @classmethod
+    def lz4(cls) -> "CompressionSpec":
+        """lz4-class: fast, modest ratio (HPC doubles compress poorly)."""
+        return cls("lz4", ratio=1.45, compress_bandwidth=2.8e9,
+                   decompress_bandwidth=6.0e9)
+
+    @classmethod
+    def zstd(cls) -> "CompressionSpec":
+        """zstd-3-class: better ratio, slower."""
+        return cls("zstd", ratio=2.0, compress_bandwidth=0.7e9,
+                   decompress_bandwidth=1.8e9)
+
+
+def compressed_checkpoint(
+    shim, path: str, nbytes: int, spec: CompressionSpec
+) -> Generator[Event, Any, int]:
+    """Compress + write one checkpoint; returns bytes actually written."""
+    env = shim.env
+    yield env.timeout(nbytes / spec.compress_bandwidth)
+    out_bytes = max(1, int(nbytes / spec.ratio))
+    fd = yield from shim.open(path, "w")
+    yield from shim.write(fd, out_bytes)
+    yield from shim.fsync(fd)
+    yield from shim.close(fd)
+    return out_bytes
+
+
+def compressed_restore(
+    shim, path: str, stored_bytes: int, spec: CompressionSpec
+) -> Generator[Event, Any, None]:
+    """Read + decompress one checkpoint."""
+    env = shim.env
+    fd = yield from shim.open(path, "r")
+    yield from shim.read(fd, stored_bytes)
+    yield from shim.close(fd)
+    yield env.timeout(stored_bytes * spec.ratio / spec.decompress_bandwidth)

@@ -1,0 +1,180 @@
+"""One-call wiring of the paper's testbed into a live simulation.
+
+A :class:`Deployment` owns the environment, cluster spec, network,
+fabric, SSDs, NVMf targets, scheduler, and balancer — everything an
+experiment needs before application code runs. Experiments and examples
+compose against this instead of re-wiring substrates by hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.balancer import BalancerPlan, StorageBalancer
+from repro.core.config import RuntimeConfig
+from repro.core.control_plane import GlobalNamespaceService
+from repro.core.interception import PosixShim
+from repro.core.runtime import NVMeCRRuntime
+from repro.fabric.nvmf import NVMfTarget
+from repro.fabric.rdma import RdmaFabric, edr_infiniband
+from repro.mpi.comm import Communicator
+from repro.mpi.runtime import MPIJob, launch
+from repro.nvme.device import SSD, SSDSpec, intel_p4800x
+from repro.scheduler.jobs import JobRecord, JobSpec
+from repro.scheduler.slurm import SlurmScheduler
+from repro.sim.engine import Environment
+from repro.sim.rng import RngHub
+from repro.topology.cluster import ClusterSpec, paper_testbed
+from repro.topology.network import NetworkTopology
+from repro.units import GiB
+
+__all__ = ["Deployment"]
+
+
+class Deployment:
+    """The §IV-A testbed, powered on."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        storage_nodes: int = 8,
+        compute_nodes: int = 16,
+        cores_per_node: int = 28,
+        ssd_spec: Optional[SSDSpec] = None,
+        deterministic_devices: bool = False,
+        cluster: Optional[ClusterSpec] = None,
+    ):
+        self.env = Environment()
+        self.rng = RngHub(seed)
+        self.cluster = cluster or paper_testbed(
+            storage_nodes=storage_nodes,
+            compute_nodes=compute_nodes,
+            cores_per_node=cores_per_node,
+        )
+        self.topo = NetworkTopology(self.cluster)
+        self.fabric = RdmaFabric(self.topo, edr_infiniband())
+        self.scheduler = SlurmScheduler(self.env, self.cluster, self.topo)
+        spec = ssd_spec or intel_p4800x()
+        if deterministic_devices:
+            spec = dataclasses.replace(spec, arbitration_beta=0.0)
+        self.ssd_spec = spec
+        self.ssds: Dict[str, SSD] = {}
+        self.all_ssds: Dict[str, List[SSD]] = {}
+        self.targets: Dict[str, NVMfTarget] = {}
+        for node in self.cluster.storage_nodes():
+            devices = []
+            for index in range(node.ssd_count):
+                ssd = SSD(
+                    self.env, spec, f"nvme-{node.name}-{index}",
+                    rng=self.rng.stream(f"ssd.{node.name}.{index}"),
+                )
+                devices.append(ssd)
+                self.scheduler.register_ssd(node.name, ssd)
+            self.all_ssds[node.name] = devices
+            # Primary device per node (the common single-SSD testbed).
+            self.ssds[node.name] = devices[0]
+            # One SPDK target daemon per device; the per-node entry keeps
+            # the list (the runtime picks the target exporting its grant).
+            self.targets[node.name] = [
+                NVMfTarget(self.env, node.name, ssd) for ssd in devices
+            ]
+        self.balancer = StorageBalancer(self.scheduler)
+
+    # -- job setup -------------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        nprocs: int,
+        procs_per_node: int = 28,
+        devices: Optional[int] = None,
+        bytes_per_device: int = GiB(40),
+    ) -> Tuple[JobRecord, BalancerPlan]:
+        """Submit a job and run the storage balancer for it."""
+        spec = JobSpec(
+            name=name, user="repro", nprocs=nprocs,
+            procs_per_node=procs_per_node, storage_devices=devices,
+            storage_bytes_per_device=bytes_per_device,
+        )
+        job = self.scheduler.submit(spec)
+        plan = self.balancer.allocate(job, devices=devices, bytes_per_device=bytes_per_device)
+        return job, plan
+
+    def build_runtime(
+        self,
+        comm: Communicator,
+        job: JobRecord,
+        plan: BalancerPlan,
+        config: Optional[RuntimeConfig] = None,
+        global_namespace: Optional[GlobalNamespaceService] = None,
+    ) -> NVMeCRRuntime:
+        """One rank's NVMe-CR runtime, placed on its scheduled node."""
+        return NVMeCRRuntime(
+            env=self.env,
+            config=config or RuntimeConfig(),
+            comm=comm,
+            plan=plan,
+            node_name=job.rank_to_node(comm.rank),
+            fabric=self.fabric,
+            targets=self.targets,
+            global_namespace=global_namespace,
+        )
+
+    def run_job(
+        self,
+        job: JobRecord,
+        plan: BalancerPlan,
+        rank_main: Callable,
+        config: Optional[RuntimeConfig] = None,
+        global_namespace: Optional[GlobalNamespaceService] = None,
+    ) -> MPIJob:
+        """Launch ``rank_main(shim, comm)`` on every rank with an
+        initialised runtime; runs the simulation to completion.
+
+        ``rank_main`` is a generator taking ``(shim, comm)``; MPI_Init
+        and MPI_Finalize are called around it (the interception shim's
+        wrappers), like a real ``LD_PRELOAD``-ed binary.
+        """
+
+        def main(comm):
+            runtime = self.build_runtime(comm, job, plan, config, global_namespace)
+            shim = PosixShim(runtime)
+            yield from shim.MPI_Init()
+            result = yield from rank_main(shim, comm)
+            yield from shim.MPI_Finalize()
+            return result
+
+        mpi_job = launch(
+            self.env, job.spec.nprocs, main, node_of_rank=job.rank_to_node
+        )
+        # Run until every rank returns (or one fails): running to queue
+        # exhaustion instead would spin forever on background-thread
+        # timers if a rank dies without reaching MPI_Finalize.
+        self.env.run_until_complete(mpi_job.done)
+        mpi_job.done.value  # re-raises if any rank failed
+        self.env.run()  # drain residual background events
+        return mpi_job
+
+    # -- measurement helpers ---------------------------------------------------------------
+
+    def aggregate_write_bandwidth(self) -> float:
+        """Peak hardware write bandwidth across all SSDs (the paper's
+        efficiency denominator)."""
+        return sum(
+            ssd.spec.write_bandwidth
+            for devices in self.all_ssds.values() for ssd in devices
+        )
+
+    def aggregate_read_bandwidth(self) -> float:
+        return sum(
+            ssd.spec.read_bandwidth
+            for devices in self.all_ssds.values() for ssd in devices
+        )
+
+    def bytes_per_server(self) -> List[int]:
+        """Stored-byte load per storage node (Figure 7(b)'s input)."""
+        return [
+            int(sum(s.counters.get("bytes_written") for s in self.all_ssds[node.name]))
+            for node in self.cluster.storage_nodes()
+        ]

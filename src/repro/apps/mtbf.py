@@ -1,0 +1,214 @@
+"""Failure-driven application campaigns (the paper's §I motivation).
+
+"Prior work estimates that their [exascale systems'] mean time between
+failure (MTBF) will be less than 30 minutes. Exascale applications must
+protect themselves from unavoidable failures by checkpointing internal
+state to persistent storage."
+
+This module closes the loop the paper motivates but does not simulate:
+given an MTBF, a storage system, and a checkpoint interval, run a long
+application campaign with random (exponential) failures — every failure
+rolls the application back to its last completed checkpoint and replays
+the lost work after a restart read. The output is *effective progress*
+(useful compute over wall time), which is what faster checkpointing
+actually buys at exascale.
+
+:func:`young_interval` / :func:`daly_interval` give the classic optimal
+checkpoint periods, so the campaign can also validate that the measured
+optimum lands near Daly's prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Event
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FailureCampaign",
+    "daly_interval",
+    "young_interval",
+]
+
+
+def young_interval(mtbf: float, checkpoint_cost: float) -> float:
+    """Young's first-order optimal checkpoint period: sqrt(2 * C * M)."""
+    if mtbf <= 0 or checkpoint_cost <= 0:
+        raise ValueError("mtbf and checkpoint_cost must be positive")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def daly_interval(mtbf: float, checkpoint_cost: float) -> float:
+    """Daly's higher-order refinement of Young's period."""
+    if mtbf <= 0 or checkpoint_cost <= 0:
+        raise ValueError("mtbf and checkpoint_cost must be positive")
+    if checkpoint_cost < mtbf / 2.0:
+        ratio = checkpoint_cost / (2.0 * mtbf)
+        return math.sqrt(2.0 * checkpoint_cost * mtbf) * (
+            1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0
+        ) - checkpoint_cost
+    return mtbf  # degenerate regime: checkpoint as often as you can
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign's parameters (all in simulated seconds/bytes)."""
+
+    total_compute: float  # useful work the app must accumulate
+    checkpoint_interval: float  # compute time between checkpoints
+    checkpoint_bytes: int  # per-rank checkpoint size
+    mtbf: float  # cluster-level mean time between failures
+    restart_cost: float = 5.0  # scheduler requeue + relaunch overhead
+    max_failures: int = 10_000
+
+    def __post_init__(self) -> None:
+        if min(self.total_compute, self.checkpoint_interval, self.mtbf) <= 0:
+            raise ValueError("times must be positive")
+        if self.checkpoint_bytes <= 0:
+            raise ValueError("checkpoint_bytes must be positive")
+
+
+@dataclass
+class CampaignResult:
+    """What happened over the campaign."""
+
+    wall_time: float = 0.0
+    compute_done: float = 0.0
+    failures: int = 0
+    checkpoints_written: int = 0
+    restarts: int = 0
+    lost_work: float = 0.0
+    checkpoint_time: float = 0.0
+    restart_time: float = 0.0
+
+    @property
+    def effective_progress(self) -> float:
+        return self.compute_done / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class FailureCampaign:
+    """Drives one rank's compute/checkpoint/fail/restart loop.
+
+    The storage system is any intercepted-POSIX ``shim``; failures are
+    exponential with the configured MTBF, drawn from a seeded stream so
+    campaigns are reproducible and comparable across storage systems
+    (common random numbers: the same failure times hit every system).
+    """
+
+    def __init__(self, shim, config: CampaignConfig, seed: int = 0, rank: int = 0):
+        self.shim = shim
+        self.config = config
+        self.rank = rank
+        self.rng = np.random.default_rng((seed, rank, 0xFA11))
+        self.result = CampaignResult()
+        self._dir_made = False
+        self._kept: List[int] = []
+
+    def _path(self, index: int) -> str:
+        return f"/ckpt/rank{self.rank:05d}_c{index:06d}.dat"
+
+    def _next_failure(self) -> float:
+        return float(self.rng.exponential(self.config.mtbf))
+
+    def run(self) -> Generator[Event, Any, CampaignResult]:
+        """Run to completion (or the failure cap); returns the result."""
+        env = self.shim.env
+        config = self.config
+        result = self.result
+        start = env.now
+        if not self._dir_made:
+            from repro.errors import FileExists
+
+            try:
+                yield from self.shim.mkdir("/ckpt")
+            except FileExists:
+                pass
+            self._dir_made = True
+
+        next_failure_at = env.now + self._next_failure()
+        saved_progress = 0.0  # compute captured by the last durable ckpt
+        segment_done = 0.0  # compute since that checkpoint
+        last_ckpt_index: Optional[int] = None
+
+        while saved_progress + segment_done < config.total_compute:
+            if result.failures >= config.max_failures:
+                break
+            # Work until the next checkpoint boundary or failure.
+            remaining = config.total_compute - saved_progress - segment_done
+            until_ckpt = min(config.checkpoint_interval - segment_done, remaining)
+            if env.now + until_ckpt >= next_failure_at:
+                # Fail mid-segment: lose the segment, restart.
+                worked = max(0.0, next_failure_at - env.now)
+                yield env.timeout(worked)
+                result.failures += 1
+                result.lost_work += segment_done + worked
+                segment_done = 0.0
+                yield env.timeout(config.restart_cost)
+                if last_ckpt_index is not None:
+                    t0 = env.now
+                    yield from self._restore(last_ckpt_index)
+                    result.restart_time += env.now - t0
+                    result.restarts += 1
+                next_failure_at = env.now + self._next_failure()
+                continue
+            yield env.timeout(until_ckpt)
+            segment_done += until_ckpt
+            result.compute_done = saved_progress + segment_done
+            if saved_progress + segment_done >= config.total_compute:
+                break  # done; no final checkpoint needed
+            if segment_done >= config.checkpoint_interval:
+                # Checkpoint; a failure during the dump loses the segment.
+                index = result.checkpoints_written
+                t0 = env.now
+                try_failed = False
+                yield from self._checkpoint(index)
+                if env.now >= next_failure_at:
+                    # The failure hit during the dump: checkpoint invalid.
+                    try_failed = True
+                result.checkpoint_time += env.now - t0
+                if try_failed:
+                    result.failures += 1
+                    result.lost_work += segment_done
+                    segment_done = 0.0
+                    yield env.timeout(config.restart_cost)
+                    if last_ckpt_index is not None:
+                        t0 = env.now
+                        yield from self._restore(last_ckpt_index)
+                        result.restart_time += env.now - t0
+                        result.restarts += 1
+                    next_failure_at = env.now + self._next_failure()
+                    continue
+                result.checkpoints_written += 1
+                last_ckpt_index = index
+                saved_progress += segment_done
+                segment_done = 0.0
+                # Garbage-collect: keep the newest two checkpoints (the
+                # live one plus a fallback), unlink everything older.
+                self._kept.append(index)
+                while len(self._kept) > 2:
+                    victim = self._kept.pop(0)
+                    yield from self.shim.unlink(self._path(victim))
+        result.compute_done = min(
+            config.total_compute, saved_progress + segment_done
+        )
+        result.wall_time = env.now - start
+        return result
+
+    # -- storage operations ---------------------------------------------------------
+
+    def _checkpoint(self, index: int) -> Generator[Event, Any, None]:
+        fd = yield from self.shim.open(self._path(index), "w")
+        yield from self.shim.write(fd, self.config.checkpoint_bytes)
+        yield from self.shim.fsync(fd)
+        yield from self.shim.close(fd)
+
+    def _restore(self, index: int) -> Generator[Event, Any, None]:
+        fd = yield from self.shim.open(self._path(index), "r")
+        yield from self.shim.read(fd, self.config.checkpoint_bytes)
+        yield from self.shim.close(fd)

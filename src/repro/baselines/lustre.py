@@ -1,0 +1,85 @@
+"""Lustre model: the slow-but-reliable second checkpoint tier.
+
+§IV-A: "Lustre is used as the PFS and is configured with 4 separate
+storage servers, each using one 12 Gbps RAID controller." Each OSS is a
+serial pipe at RAID bandwidth; files stripe across all four. Redundancy
+(the property multi-level checkpointing buys) is modelled as the tier
+simply *surviving* failures injected into the NVMe tier — its clients
+expose ``write_file``/``read_file`` for
+:class:`~repro.core.multilevel.MultiLevelCheckpointer`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.bench import calibration as cal
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+from repro.sim.trace import Counter
+from repro.errors import FileNotFound
+
+__all__ = ["LustreCluster"]
+
+
+class LustreCluster:
+    """Four OSSes behind RAID controllers + one MDS. Durable by design."""
+
+    def __init__(self, env: Environment, servers: int = cal.LUSTRE_SERVERS):
+        self.env = env
+        self.servers = [Resource(env, capacity=1) for _ in range(servers)]
+        self.mds = Resource(env, capacity=1)
+        self.files: Dict[str, int] = {}
+        self.counters = Counter()
+
+    # -- MultiLevelCheckpointer client surface -----------------------------------------
+
+    def write_file(self, path: str, nbytes: int) -> Generator[Event, Any, None]:
+        """Striped write: RAID bandwidth is the bottleneck per OSS."""
+        yield from self.mds.serve(cal.LUSTRE_PER_REQUEST_COST)  # open+layout
+        stripe = cal.LUSTRE_STRIPE_SIZE
+        per_server = [0] * len(self.servers)
+        at = 0
+        while at < nbytes:
+            take = min(stripe, nbytes - at)
+            per_server[(at // stripe) % len(self.servers)] += take
+            at += take
+        events = []
+        for server, load in zip(self.servers, per_server):
+            if load > 0:
+                events.append(self.env.process(self._oss_write(server, load)))
+        if events:
+            yield self.env.all_of(events)
+        self.files[path] = nbytes
+        self.counters.add("bytes_written", nbytes)
+
+    def _oss_write(self, server: Resource, nbytes: int):
+        # The RAID controller is a serial pipe: hold the OSS for the
+        # transfer duration (this is what makes Lustre the slow tier).
+        yield from server.serve(
+            nbytes / cal.LUSTRE_SERVER_BANDWIDTH + cal.LUSTRE_PER_REQUEST_COST
+        )
+
+    def read_file(self, path: str) -> Generator[Event, Any, int]:
+        nbytes = self.files.get(path)
+        if nbytes is None:
+            raise FileNotFound(path)
+        yield from self.mds.serve(cal.LUSTRE_PER_REQUEST_COST)
+        stripe = cal.LUSTRE_STRIPE_SIZE
+        per_server = [0] * len(self.servers)
+        at = 0
+        while at < nbytes:
+            take = min(stripe, nbytes - at)
+            per_server[(at // stripe) % len(self.servers)] += take
+            at += take
+        events = []
+        for server, load in zip(self.servers, per_server):
+            if load > 0:
+                events.append(self.env.process(self._oss_write(server, load)))
+        if events:
+            yield self.env.all_of(events)
+        self.counters.add("bytes_read", nbytes)
+        return nbytes
+
+    def aggregate_bandwidth(self) -> float:
+        return len(self.servers) * cal.LUSTRE_SERVER_BANDWIDTH

@@ -1,0 +1,165 @@
+"""Raw SPDK: the userspace data path with no filesystem at all.
+
+Figure 7(c)'s lower bound — "Compared to SPDK, NVMe-CR has no
+noticeable overhead", but "SPDK alone cannot handle all the IO
+challenges (POSIX compliance, metadata management, and private
+namespace)". The client mimics the shim surface while keeping only an
+in-memory name table: creates cost nothing durable, writes go straight
+to the device through a bump allocator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List
+
+from repro.bench import calibration as cal
+from repro.errors import BadFileDescriptor, FileNotFound, OutOfSpace
+from repro.fabric.transport import Transport
+from repro.nvme.commands import Payload
+from repro.sim.engine import Environment, Event
+from repro.sim.trace import Counter
+from repro.units import KiB
+
+__all__ = ["RawSPDKClient"]
+
+
+@dataclass
+class _SFile:
+    path: str
+    size: int = 0
+    offset: int = -1  # device offset of the (single-extent) file
+
+
+@dataclass
+class _SFD:
+    fd: int
+    file: _SFile
+    pos: int = 0
+    open_: bool = True
+
+
+class RawSPDKClient:
+    """Direct bdev access with a volatile name table (shim-compatible)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        transport: Transport,
+        nsid: int,
+        region_offset: int,
+        region_bytes: int,
+        name: str = "spdk",
+        io_size: int = KiB(128),
+    ):
+        self.env = env
+        self.transport = transport
+        self.nsid = nsid
+        self.region_offset = region_offset
+        self.region_bytes = region_bytes
+        self.name = name
+        self.io_size = io_size
+        self.counters = Counter()
+        self.files: Dict[str, _SFile] = {}
+        self._fds: Dict[int, _SFD] = {}
+        self._fd_counter = itertools.count(3)
+        self._cursor = 0
+
+    def _allocate(self, nbytes: int) -> int:
+        aligned = -(-nbytes // 4096) * 4096
+        if self._cursor + aligned > self.region_bytes:
+            raise OutOfSpace("SPDK bdev region full")
+        offset = self.region_offset + self._cursor
+        self._cursor += aligned
+        return offset
+
+    # -- shim surface -------------------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> Generator[Event, Any, int]:
+        yield self.env.timeout(0)  # no kernel, no metadata IO
+        file = self.files.get(path)
+        if file is None:
+            if mode == "r":
+                raise FileNotFound(path)
+            file = _SFile(path=path)
+            self.files[path] = file
+            self.counters.add("creates")
+        fd = _SFD(next(self._fd_counter), file)
+        if mode == "a":
+            fd.pos = file.size
+        self._fds[fd.fd] = fd
+        return fd.fd
+
+    def _fd(self, fd: int) -> _SFD:
+        entry = self._fds.get(fd)
+        if entry is None or not entry.open_:
+            raise BadFileDescriptor(f"fd {fd}")
+        return entry
+
+    def write(self, fd: int, data) -> Generator[Event, Any, int]:
+        entry = self._fd(fd)
+        nbytes = data if isinstance(data, int) else (
+            data.nbytes if isinstance(data, Payload) else len(data)
+        )
+        payload = data if isinstance(data, Payload) else Payload.synthetic(
+            f"{self.name}:{entry.file.path}:{entry.pos}", nbytes
+        ) if isinstance(data, int) else Payload.of_bytes(data)
+        n_cmds = max(1, math.ceil(nbytes / self.io_size))
+        yield self.env.timeout(n_cmds * cal.SPDK_SUBMIT_COST)
+        # Each write is its own extent from the bump allocator; the name
+        # table remembers only the first (reads are timing-faithful, and
+        # durability of content is not SPDK's job — that's the point).
+        offset = self._allocate(max(nbytes, 1))
+        if entry.file.offset < 0:
+            entry.file.offset = offset
+        yield self.transport.write(self.nsid, offset, payload, self.io_size)
+        entry.pos += nbytes
+        entry.file.size = max(entry.file.size, entry.pos)
+        self.counters.add("app_bytes_written", nbytes)
+        return nbytes
+
+    def pwrite(self, fd: int, data, offset: int) -> Generator[Event, Any, int]:
+        entry = self._fd(fd)
+        entry.pos = offset
+        return (yield from self.write(fd, data))
+
+    def read(self, fd: int, nbytes: int) -> Generator[Event, Any, List[Payload]]:
+        entry = self._fd(fd)
+        nbytes = max(0, min(nbytes, entry.file.size - entry.pos))
+        if nbytes:
+            n_cmds = max(1, math.ceil(nbytes / self.io_size))
+            yield self.env.timeout(n_cmds * cal.SPDK_SUBMIT_COST)
+            yield self.transport.read(self.nsid, max(entry.file.offset, 0), nbytes, self.io_size)
+        entry.pos += nbytes
+        self.counters.add("app_bytes_read", nbytes)
+        return [Payload.synthetic(entry.file.path, nbytes)] if nbytes else []
+
+    def pread(self, fd: int, nbytes: int, offset: int) -> Generator[Event, Any, List[Payload]]:
+        entry = self._fd(fd)
+        entry.pos = offset
+        return (yield from self.read(fd, nbytes))
+
+    def fsync(self, fd: int) -> Generator[Event, Any, None]:
+        self._fd(fd)
+        yield self.transport.flush(self.nsid)
+
+    def close(self, fd: int) -> Generator[Event, Any, None]:
+        entry = self._fd(fd)
+        yield self.env.timeout(0)
+        entry.open_ = False
+        del self._fds[fd]
+
+    def mkdir(self, path: str, mode: int = 0o755) -> Generator[Event, Any, None]:
+        yield self.env.timeout(0)
+
+    def unlink(self, path: str) -> Generator[Event, Any, None]:
+        yield self.env.timeout(0)
+        self.files.pop(path, None)
+
+    def stat(self, path: str) -> _SFile:
+        file = self.files.get(path)
+        if file is None:
+            raise FileNotFound(path)
+        return file

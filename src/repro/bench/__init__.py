@@ -1,0 +1,2 @@
+"""Experiment harness: calibration constants, runners, and one entry
+point per paper table/figure."""

@@ -1,0 +1,100 @@
+"""Standalone MicroFS fleets for single-node experiments.
+
+Figures 7(a), 7(c), and the local half of 8(a) run full-subscription on
+*one node with one SSD* — no scheduler, no MPI. :class:`MicroFSFleet`
+wires ``nprocs`` MicroFS instances over one device's partitions and
+exposes shim-compatible clients for the generic drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+import numpy as np
+
+from repro.core.config import RuntimeConfig
+from repro.core.control_plane import GlobalNamespaceService
+from repro.core.data_plane import DataPlane
+from repro.core.interception import PosixShim
+from repro.core.microfs.fs import MicroFS
+from repro.fabric.nvmf import NVMfInitiator, NVMfTarget
+from repro.fabric.rdma import RdmaFabric, edr_infiniband
+from repro.fabric.transport import FabricTransport, LocalPCIeTransport
+from repro.nvme.device import SSD, SSDSpec, intel_p4800x
+from repro.sim.engine import Environment, Event
+from repro.topology.cluster import paper_testbed
+from repro.topology.network import NetworkTopology
+from repro.units import GiB
+
+__all__ = ["MicroFSFleet", "StandaloneRuntime"]
+
+
+class StandaloneRuntime:
+    """The minimal runtime surface PosixShim needs, without MPI."""
+
+    def __init__(self, env: Environment, fs: MicroFS):
+        self.env = env
+        self.fs = fs
+
+    @property
+    def microfs(self) -> MicroFS:
+        return self.fs
+
+    def init(self) -> Generator[Event, Any, None]:
+        yield self.env.timeout(0)
+
+    def finalize(self) -> Generator[Event, Any, None]:
+        yield self.env.timeout(0)
+
+
+class MicroFSFleet:
+    """``nprocs`` MicroFS instances sharing one SSD."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        config: Optional[RuntimeConfig] = None,
+        partition_bytes: int = GiB(1),
+        remote: bool = False,
+        seed: int = 0,
+        ssd_spec: Optional[SSDSpec] = None,
+        global_namespace: bool = False,
+    ):
+        self.env = Environment()
+        self.nprocs = nprocs
+        self.config = config or RuntimeConfig()
+        spec = ssd_spec or intel_p4800x()
+        self.ssd = SSD(self.env, spec, "nvme0", rng=np.random.default_rng(seed))
+        self.namespace = self.ssd.create_namespace(
+            partition_bytes * nprocs, owner_job="fleet"
+        )
+        self.global_ns = (
+            GlobalNamespaceService(self.env) if global_namespace else None
+        )
+        if remote:
+            topo = NetworkTopology(paper_testbed())
+            fabric = RdmaFabric(topo, edr_infiniband())
+            target = NVMfTarget(self.env, "stor00", self.ssd)
+
+            def make_transport(i):
+                initiator = NVMfInitiator(self.env, "comp00", fabric)
+                return FabricTransport(initiator.connect(target))
+        else:
+            def make_transport(i):
+                return LocalPCIeTransport(self.env, self.ssd)
+
+        self.instances: List[MicroFS] = []
+        self.clients: List[PosixShim] = []
+        block = self.config.effective_block_bytes
+        for rank in range(nprocs):
+            partition = self.namespace.partition(rank, nprocs, block)
+            data_plane = DataPlane(
+                self.env, make_transport(rank), self.namespace.nsid, self.config
+            )
+            fs = MicroFS(
+                self.env, self.config, data_plane, partition,
+                instance_name=f"fleet.r{rank}",
+                global_namespace=self.global_ns,
+            )
+            self.instances.append(fs)
+            self.clients.append(PosixShim(StandaloneRuntime(self.env, fs)))

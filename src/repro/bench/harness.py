@@ -1,0 +1,126 @@
+"""Experiment running and paper-style table rendering.
+
+Each figure/table function in :mod:`repro.bench.experiments` produces a
+:class:`ResultTable` — rows printed the way the paper reports them, so a
+bench run reads side-by-side against the original evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence
+
+from repro.sim.engine import Environment
+
+__all__ = ["ResultTable", "parallel_clients", "dump_files", "read_files"]
+
+
+@dataclass
+class ResultTable:
+    """A named grid of results, one paper artefact each."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.title}: row has {len(values)} cells, "
+                f"table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> List[Any]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 1000 or abs(value) < 0.01:
+                    return f"{value:.3g}"
+                return f"{value:.3f}".rstrip("0").rstrip(".")
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+        print()
+
+
+# ---------------------------------------------------------------------------
+# Generic parallel-client drivers for baseline clusters
+# ---------------------------------------------------------------------------
+
+
+def parallel_clients(
+    env: Environment,
+    clients: Sequence[Any],
+    work: Callable[[int, Any], Any],
+) -> float:
+    """Run ``work(i, client)`` (a generator factory) on every client
+    concurrently; returns the makespan (max finish time - common start)."""
+    start = env.now
+    finishes: List[float] = []
+
+    def proc(i, client):
+        yield from work(i, client)
+        finishes.append(env.now)
+
+    for i, client in enumerate(clients):
+        env.process(proc(i, client))
+    env.run()
+    if not finishes:
+        raise RuntimeError("no client finished")
+    return max(finishes) - start
+
+
+def dump_files(nbytes: int, directory: str = "/ckpt", step: int = 0, fsync: bool = True):
+    """Work factory: each client writes one N-N checkpoint file."""
+    from repro.errors import FileExists
+
+    def work(i, client):
+        try:
+            yield from client.mkdir(directory)
+        except FileExists:
+            pass
+        path = f"{directory}/rank{i:05d}_step{step:04d}.dat"
+        fd = yield from client.open(path, "w")
+        yield from client.write(fd, nbytes)
+        if fsync:
+            yield from client.fsync(fd)
+        yield from client.close(fd)
+
+    return work
+
+
+def read_files(nbytes: int, directory: str = "/ckpt", step: int = 0):
+    """Work factory: each client reads its checkpoint back."""
+
+    def work(i, client):
+        path = f"{directory}/rank{i:05d}_step{step:04d}.dat"
+        fd = yield from client.open(path, "r")
+        yield from client.read(fd, nbytes)
+        yield from client.close(fd)
+
+    return work

@@ -1,0 +1,70 @@
+"""Result export: tables to CSV / JSON for downstream analysis.
+
+``python -m repro run fig9weak --export out/`` drops both formats next
+to the printed table, so plots can be regenerated outside the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.bench.harness import ResultTable
+
+__all__ = ["to_csv", "to_json", "export"]
+
+
+def to_csv(table: ResultTable) -> str:
+    """Render a table as CSV (header row + data rows)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def to_json(table: ResultTable) -> str:
+    """Render a table as a JSON document with metadata."""
+    return json.dumps(
+        {
+            "title": table.title,
+            "columns": table.columns,
+            "rows": table.rows,
+            "notes": table.notes,
+        },
+        indent=2,
+        default=str,
+    )
+
+
+def _slug(title: str) -> str:
+    keep = [c if c.isalnum() else "-" for c in title.lower()]
+    slug = "".join(keep)
+    while "--" in slug:
+        slug = slug.replace("--", "-")
+    return slug.strip("-")[:64]
+
+
+def export(
+    tables: Union[ResultTable, List[ResultTable]],
+    directory: Union[str, Path],
+) -> List[Path]:
+    """Write each table as ``<slug>.csv`` and ``<slug>.json``; returns
+    the written paths."""
+    if isinstance(tables, ResultTable):
+        tables = [tables]
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for table in tables:
+        base = directory / _slug(table.title)
+        csv_path = base.with_suffix(".csv")
+        csv_path.write_text(to_csv(table))
+        json_path = base.with_suffix(".json")
+        json_path.write_text(to_json(table))
+        written.extend([csv_path, json_path])
+    return written

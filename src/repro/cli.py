@@ -1,0 +1,126 @@
+"""Command-line interface: regenerate paper artefacts from a shell.
+
+    python -m repro list                  # what can be regenerated
+    python -m repro run fig7a             # one figure/table
+    python -m repro run all --fast        # everything, reduced scale
+    python -m repro run tab2 --procs 448  # paper scale where supported
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.bench import experiments as E
+from repro.bench import extensions as X
+
+_EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": E.fig1_motivation,
+    "fig7a": E.fig7a_hugeblock_sweep,
+    "fig7b": E.fig7b_load_imbalance,
+    "fig7c": E.fig7c_direct_access,
+    "fig7d": E.fig7d_drilldown,
+    "fig8a": E.fig8a_nvmf_overhead,
+    "fig8b": E.fig8b_create_rate,
+    "fig9weak": lambda **kw: E.fig9_scaling("weak", **kw),
+    "fig9strong": lambda **kw: E.fig9_scaling("strong", **kw),
+    "tab1": E.tab1_metadata_overhead,
+    "tab2": E.tab2_multilevel,
+    "ablation-coalescing": E.ablation_coalescing,
+    "ablation-distributors": E.ablation_distributors,
+    "ext-cache": X.ext_cache_layer,
+    "ext-incremental": X.ext_incremental,
+    "ext-compression": X.ext_compression,
+    "ext-burstbuffer": X.ext_burst_buffer,
+    "ext-mtbf": X.ext_mtbf_campaign,
+    "ext-n1": X.ext_n1_pattern,
+    "ext-skew": X.ext_skewed_balance,
+}
+
+_DESCRIPTIONS: Dict[str, str] = {
+    "fig1": "weak-scaling bandwidth of OrangeFS/GlusterFS vs hw peak",
+    "fig7a": "checkpoint time vs hugeblock size",
+    "fig7b": "per-server load imbalance (CoV)",
+    "fig7c": "direct access vs ext4/XFS/SPDK + kernel-time share",
+    "fig7d": "drilldown: optimisations one by one",
+    "fig8a": "NVMf overhead: local vs remote vs Crail",
+    "fig8b": "file-create throughput",
+    "fig9weak": "weak-scaling checkpoint/recovery efficiency",
+    "fig9strong": "strong-scaling checkpoint/recovery efficiency",
+    "tab1": "metadata storage overhead",
+    "tab2": "multi-level checkpointing with Lustre tier",
+    "ablation-coalescing": "log record coalescing on/off",
+    "ablation-distributors": "round-robin vs jump hash vs vnode ring",
+    "ext-cache": "DRAM cache layer (the paper's future work)",
+    "ext-incremental": "incremental checkpointing on NVMe-CR",
+    "ext-compression": "checkpoint compression crossover",
+    "ext-burstbuffer": "node-local burst buffer vs disaggregation",
+    "ext-mtbf": "failure campaign: checkpoint interval vs effective progress",
+    "ext-n1": "N-1 shared-file pattern vs N-N",
+    "ext-skew": "load balance under AMR-skewed checkpoint sizes",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NVMe-CR reproduction: regenerate paper artefacts"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run experiment(s)")
+    runp.add_argument("name", help="experiment id (or 'all')")
+    runp.add_argument("--fast", action="store_true",
+                      help="reduced scale for 'all'")
+    runp.add_argument("--procs", type=int, nargs="+", default=None,
+                      help="process counts (where supported)")
+    runp.add_argument("--export", metavar="DIR", default=None,
+                      help="also write the table(s) as CSV + JSON to DIR")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in _EXPERIMENTS:
+            print(f"  {name:<22} {_DESCRIPTIONS[name]}")
+        return 0
+
+    if args.name == "all":
+        tables = E.run_all(fast=args.fast)
+        for ext in (X.ext_cache_layer, X.ext_incremental, X.ext_compression,
+                    X.ext_burst_buffer, X.ext_mtbf_campaign, X.ext_n1_pattern):
+            table = ext()
+            table.show()
+            tables.append(table)
+        if args.export:
+            from repro.bench.report import export
+
+            for path in export(tables, args.export):
+                print(f"wrote {path}")
+        return 0
+
+    fn = _EXPERIMENTS.get(args.name)
+    if fn is None:
+        print(f"unknown experiment {args.name!r}; try 'repro list'", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.procs:
+        if args.name in ("tab1", "tab2"):
+            kwargs["nprocs"] = args.procs[0]
+        elif args.name in ("fig7a", "fig7c", "fig8a"):
+            kwargs["nprocs"] = args.procs[0]
+        elif args.name.startswith("fig") and args.name not in ("fig7a",):
+            kwargs["procs"] = tuple(args.procs)
+    started = time.time()
+    table = fn(**kwargs)
+    table.show()
+    if args.export:
+        from repro.bench.report import export
+
+        for path in export(table, args.export):
+            print(f"wrote {path}")
+    print(f"[{args.name} regenerated in {time.time() - started:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""NVMe-CR: the paper's contribution.
+
+The public surface re-exported here is what the examples and benchmarks
+program against:
+
+* :class:`~repro.core.config.RuntimeConfig` — feature flags + sizes,
+* :mod:`repro.core.microfs` — the per-process micro filesystem,
+* :class:`~repro.core.runtime.NVMeCRRuntime` — one rank's runtime,
+* :class:`~repro.core.balancer.StorageBalancer` — load/fault-aware SSD
+  allocation and partitioning,
+* :class:`~repro.core.interception.PosixShim` — the LD_PRELOAD-style
+  POSIX interception layer,
+* :class:`~repro.core.multilevel.MultiLevelCheckpointer` — NVMe-CR +
+  PFS second tier.
+"""
+
+from repro.core.config import RuntimeConfig
+from repro.core.balancer import BalancerPlan, StorageBalancer
+from repro.core.interception import PosixShim
+from repro.core.multilevel import MultiLevelCheckpointer
+from repro.core.runtime import NVMeCRRuntime
+
+__all__ = [
+    "BalancerPlan",
+    "MultiLevelCheckpointer",
+    "NVMeCRRuntime",
+    "PosixShim",
+    "RuntimeConfig",
+    "StorageBalancer",
+]

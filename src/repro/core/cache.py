@@ -1,0 +1,202 @@
+"""DRAM cache layer over microfs — the paper's stated future work (§V:
+"we plan to study the impact of a cache layer over NVMe-CR").
+
+:class:`CachedMicroFS` wraps a :class:`MicroFS` with a block-granular
+LRU cache in compute-node DRAM, under two policies:
+
+* **write-through** — writes hit DRAM *and* the device before
+  completing; durability semantics unchanged, reads of recent data are
+  served from DRAM at memcpy speed.
+* **write-back** — writes complete after the DRAM copy; dirty blocks
+  drain on ``fsync``/``close``. Faster perceived writes, but the §III-D
+  argument applies: buffered data is *not* power-loss safe until
+  flushed, and the deferred IO lands inside the measured checkpoint
+  window anyway when fsync is called (the ablation bench quantifies
+  this).
+
+The cache indexes ``(ino, block_index)`` and never caches partial
+blocks (checkpoint IO is block-aligned by construction).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Generator, List, Tuple
+
+from repro.bench import calibration as cal
+from repro.core.microfs.fs import FileHandle, MicroFS
+from repro.errors import InvalidArgument
+from repro.nvme.commands import Payload
+from repro.sim.engine import Event
+from repro.sim.trace import Counter
+
+__all__ = ["CachedMicroFS"]
+
+_POLICIES = ("write-through", "write-back")
+
+
+class CachedMicroFS:
+    """A caching decorator over one MicroFS instance.
+
+    Exposes the subset of the MicroFS surface the interception shim
+    uses, so it can slot between :class:`PosixShim` and the fs.
+    """
+
+    def __init__(self, fs: MicroFS, capacity_bytes: int, policy: str = "write-through"):
+        if policy not in _POLICIES:
+            raise InvalidArgument(f"policy must be one of {_POLICIES}, got {policy!r}")
+        if capacity_bytes < fs.config.effective_block_bytes:
+            raise InvalidArgument("cache smaller than one block")
+        self.fs = fs
+        self.env = fs.env
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.block = fs.config.effective_block_bytes
+        self.capacity_blocks = capacity_bytes // self.block
+        # key -> payload slice for that block (LRU order = insertion).
+        self._cache: OrderedDict[Tuple[int, int], Payload] = OrderedDict()
+        self._dirty: Dict[Tuple[int, int], Payload] = {}
+        self._dirty_ranges: Dict[int, List[Tuple[int, Payload]]] = {}
+        self.counters = Counter()
+
+    # -- cache mechanics -------------------------------------------------------------
+
+    def _touch(self, key: Tuple[int, int], payload: Payload) -> None:
+        if key in self._cache:
+            self._cache.move_to_end(key)
+        self._cache[key] = payload
+        while len(self._cache) > self.capacity_blocks:
+            victim, _ = self._cache.popitem(last=False)
+            self.counters.add("evictions")
+            # Write-back never evicts dirty blocks silently; they were
+            # captured in _dirty_ranges at write time.
+
+    def _copy_cost(self, nbytes: int) -> Event:
+        return self.env.timeout(nbytes / cal.PAGE_CACHE_COPY_BW)
+
+    # -- decorated operations ----------------------------------------------------------
+
+    def open(self, *args, **kwargs):
+        return self.fs.open(*args, **kwargs)
+
+    def close(self, handle: FileHandle) -> Generator[Event, Any, None]:
+        if self.policy == "write-back":
+            yield from self._drain(handle.ino)
+        yield from self.fs.close(handle)
+
+    def mkdir(self, *args, **kwargs):
+        return self.fs.mkdir(*args, **kwargs)
+
+    def unlink(self, path: str, **kwargs) -> Generator[Event, Any, None]:
+        inode = self.fs.stat(path)
+        self._invalidate(inode.ino)
+        yield from self.fs.unlink(path, **kwargs)
+
+    def stat(self, path: str):
+        return self.fs.stat(path)
+
+    def readdir(self, path: str):
+        return self.fs.readdir(path)
+
+    def write(self, handle: FileHandle, data) -> Generator[Event, Any, int]:
+        written = yield from self.pwrite(handle, data, handle.pos)
+        handle.pos += written
+        return written
+
+    def pwrite(self, handle: FileHandle, data, offset: int) -> Generator[Event, Any, int]:
+        payload = self.fs._as_payload(data, handle.ino, offset)
+        yield self._copy_cost(payload.nbytes)
+        self._insert_blocks(handle.ino, offset, payload)
+        if self.policy == "write-through":
+            return (yield from self.fs.pwrite(handle, payload, offset))
+        # Write-back: remember the range; device IO deferred to fsync.
+        self._dirty_ranges.setdefault(handle.ino, []).append((offset, payload))
+        self.counters.add("writeback_bytes_buffered", payload.nbytes)
+        # Metadata must still be durable (size is journaled at drain).
+        return payload.nbytes
+
+    def read(self, handle: FileHandle, nbytes: int) -> Generator[Event, Any, List[Payload]]:
+        pieces = yield from self.pread(handle, nbytes, handle.pos)
+        handle.pos += sum(p.nbytes for p in pieces)
+        return pieces
+
+    def pread(self, handle: FileHandle, nbytes: int, offset: int) -> Generator[Event, Any, List[Payload]]:
+        inode = self.fs.inodes.get(handle.ino)
+        if inode is None:
+            return (yield from self.fs.pread(handle, nbytes, offset))
+        nbytes = max(0, min(nbytes, self._cached_size(handle.ino, inode.size) - offset))
+        if nbytes == 0:
+            return []
+        # Fully cached? Serve from DRAM.
+        first = offset // self.block
+        last = (offset + nbytes - 1) // self.block
+        keys = [(handle.ino, i) for i in range(first, last + 1)]
+        if all(key in self._cache for key in keys):
+            self.counters.add("hits", len(keys))
+            yield self._copy_cost(nbytes)
+            for key in keys:
+                self._cache.move_to_end(key)
+            return [self._cache[key] for key in keys]
+        self.counters.add("misses", len(keys))
+        if self.policy == "write-back":
+            yield from self._drain(handle.ino)
+        pieces = yield from self.fs.pread(handle, nbytes, offset)
+        # Populate the cache with what came back.
+        at = offset
+        for piece in pieces:
+            if at % self.block == 0 and piece.nbytes >= self.block:
+                self._insert_blocks(handle.ino, at, piece)
+            at += piece.nbytes
+        return pieces
+
+    def fsync(self, handle: FileHandle) -> Generator[Event, Any, None]:
+        if self.policy == "write-back":
+            yield from self._drain(handle.ino)
+        yield from self.fs.fsync(handle)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _cached_size(self, ino: int, device_size: int) -> int:
+        """File size including not-yet-drained write-back data."""
+        size = device_size
+        for offset, payload in self._dirty_ranges.get(ino, []):
+            size = max(size, offset + payload.nbytes)
+        return size
+
+    def _insert_blocks(self, ino: int, offset: int, payload: Payload) -> None:
+        if offset % self.block != 0:
+            return  # partial-block writes bypass the cache
+        at = 0
+        index = offset // self.block
+        while at + self.block <= payload.nbytes:
+            self._touch((ino, index), payload.slice(at, self.block))
+            at += self.block
+            index += 1
+
+    def _invalidate(self, ino: int) -> None:
+        for key in [k for k in self._cache if k[0] == ino]:
+            del self._cache[key]
+        self._dirty_ranges.pop(ino, None)
+
+    def _drain(self, ino: int) -> Generator[Event, Any, None]:
+        """Flush buffered write-back ranges to the device in order."""
+        pending = self._dirty_ranges.pop(ino, [])
+        if not pending:
+            return
+        handle = None
+        for fd_handle in self.fs._handles.values():
+            if fd_handle.ino == ino:
+                handle = fd_handle
+                break
+        if handle is None:
+            raise InvalidArgument(f"drain of inode {ino} with no open handle")
+        for offset, payload in pending:
+            self.counters.add("writeback_bytes_drained", payload.nbytes)
+            yield from self.fs.pwrite(handle, payload, offset)
+
+    # -- stats ---------------------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        hits = self.counters.get("hits")
+        total = hits + self.counters.get("misses")
+        return hits / total if total else 0.0

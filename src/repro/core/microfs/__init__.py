@@ -1,0 +1,35 @@
+"""The microfs abstraction (§III-A): a coordination-free, per-process
+user-level filesystem.
+
+Components:
+
+* :mod:`~repro.core.microfs.btree`     — DRAM-resident B+Tree indexing
+  the private namespace (path -> inode number),
+* :mod:`~repro.core.microfs.blockpool` — circular O(1) hugeblock pool,
+* :mod:`~repro.core.microfs.inode`     — inodes and directory files,
+* :mod:`~repro.core.microfs.oplog`     — write-ahead operation log with
+  metadata provenance and log record coalescing,
+* :mod:`~repro.core.microfs.fs`        — the POSIX-shaped filesystem
+  instance tying them together over a transport,
+* :mod:`~repro.core.microfs.recovery`  — internal-state checkpoints and
+  log replay.
+"""
+
+from repro.core.microfs.btree import BPlusTree
+from repro.core.microfs.blockpool import BlockPool
+from repro.core.microfs.fs import FileHandle, MicroFS
+from repro.core.microfs.inode import DirEntry, FileType, Inode
+from repro.core.microfs.oplog import LogOp, LogRecord, OperationLog
+
+__all__ = [
+    "BPlusTree",
+    "BlockPool",
+    "DirEntry",
+    "FileHandle",
+    "FileType",
+    "Inode",
+    "LogOp",
+    "LogRecord",
+    "MicroFS",
+    "OperationLog",
+]

@@ -1,0 +1,111 @@
+"""Circular hugeblock pool: O(1) allocation over a partition region.
+
+§III-E, "Hugeblocks": "We use a circular block pool for O(1) hugeblock
+allocation. The use of hugeblocks significantly lowers the amount of
+information that must be kept to track file blocks."
+
+The pool covers the data region of a rank's partition, divided into
+fixed-size blocks. Allocation pops from the head of a circular free
+ring; free pushes at the tail — both O(1). ``footprint_bytes`` reports
+the pool's DRAM cost (one 4-byte index per block), which is the 8x
+reduction the paper credits to 32 KiB blocks vs 4 KiB.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Set
+
+from repro.errors import InvalidArgument, NoSpace
+
+__all__ = ["BlockPool"]
+
+
+class BlockPool:
+    """Fixed-size block allocator over ``[0, capacity_blocks)``."""
+
+    def __init__(self, region_bytes: int, block_bytes: int):
+        if block_bytes <= 0:
+            raise InvalidArgument(f"block size must be positive, got {block_bytes}")
+        if region_bytes < block_bytes:
+            raise InvalidArgument(
+                f"region of {region_bytes} bytes holds no {block_bytes}-byte block"
+            )
+        self.block_bytes = block_bytes
+        self.capacity_blocks = region_bytes // block_bytes
+        self._free: Deque[int] = deque(range(self.capacity_blocks))
+        self._allocated: Set[int] = set()
+
+    # -- allocation ---------------------------------------------------------------
+
+    def alloc(self) -> int:
+        """Pop one free block index; O(1)."""
+        if not self._free:
+            raise NoSpace(
+                f"block pool exhausted ({self.capacity_blocks} blocks of "
+                f"{self.block_bytes} bytes)"
+            )
+        block = self._free.popleft()
+        self._allocated.add(block)
+        return block
+
+    def alloc_many(self, count: int) -> List[int]:
+        """Pop ``count`` blocks; all-or-nothing."""
+        if count < 0:
+            raise InvalidArgument(f"negative block count: {count}")
+        if count > len(self._free):
+            raise NoSpace(
+                f"need {count} blocks, only {len(self._free)} free of "
+                f"{self.capacity_blocks}"
+            )
+        return [self.alloc() for _ in range(count)]
+
+    def free(self, block: int) -> None:
+        """Return a block to the tail of the ring; O(1)."""
+        if block not in self._allocated:
+            raise InvalidArgument(f"double free or foreign block {block}")
+        self._allocated.remove(block)
+        self._free.append(block)
+
+    def free_many(self, blocks: List[int]) -> None:
+        for block in blocks:
+            self.free(block)
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return len(self._allocated)
+
+    def offset_of(self, block: int) -> int:
+        """Byte offset of a block within the data region."""
+        if not 0 <= block < self.capacity_blocks:
+            raise InvalidArgument(f"block {block} outside pool")
+        return block * self.block_bytes
+
+    def footprint_bytes(self) -> int:
+        """DRAM cost of tracking the pool: 4 bytes per block index."""
+        return 4 * self.capacity_blocks
+
+    # -- persistence (for internal-state checkpoints) --------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "block_bytes": self.block_bytes,
+            "capacity_blocks": self.capacity_blocks,
+            "free": list(self._free),
+            "allocated": sorted(self._allocated),
+        }
+
+    @classmethod
+    def restore(cls, snap: dict) -> "BlockPool":
+        pool = cls.__new__(cls)
+        pool.block_bytes = snap["block_bytes"]
+        pool.capacity_blocks = snap["capacity_blocks"]
+        pool._free = deque(snap["free"])
+        pool._allocated = set(snap["allocated"])
+        return pool

@@ -1,0 +1,270 @@
+"""DRAM-resident B+Tree indexing the private namespace.
+
+§III-E: "The directory hierarchy is constructed using a set of directory
+files indexed by a DRAM resident B+Tree. The B+Tree contains mappings of
+directory and file names to their root inode."
+
+A real order-``m`` B+Tree: sorted keys in leaves with sibling links,
+routing keys in internal nodes, split on overflow, borrow/merge on
+underflow. Node count is exposed because Table I's DRAM-footprint
+accounting charges ``nodes x NVMECR_BTREE_NODE_BYTES``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "children", "values", "next")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: List[Any] = []
+        self.children: List["_Node"] = []  # internal only
+        self.values: List[Any] = []  # leaf only
+        self.next: Optional["_Node"] = None  # leaf sibling link
+
+
+class BPlusTree:
+    """Map with ordered iteration, built for path -> ino lookups."""
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise ValueError(f"B+Tree order must be >= 4, got {order}")
+        self.order = order  # max children of an internal node
+        self._max_keys = order - 1
+        self._min_keys = order // 2 - 1 if order % 2 == 0 else order // 2
+        # Leaf capacity mirrors internal key capacity; min fill is half.
+        self._leaf_max = order - 1
+        self._leaf_min = (order - 1) // 2
+        self._root: _Node = _Node(leaf=True)
+        self._size = 0
+        self._nodes = 1
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        return self._nodes
+
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, value) pairs in key order via the leaf chain."""
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    def keys_with_prefix(self, prefix: str) -> Iterator[Tuple[str, Any]]:
+        """Ordered scan of keys starting with ``prefix`` (readdir support)."""
+        leaf = self._find_leaf(prefix)
+        index = bisect.bisect_left(leaf.keys, prefix)
+        node: Optional[_Node] = leaf
+        while node is not None:
+            while index < len(node.keys):
+                key = node.keys[index]
+                if not key.startswith(prefix):
+                    return
+                yield key, node.values[index]
+                index += 1
+            node = node.next
+            index = 0
+
+    def height(self) -> int:
+        h, node = 1, self._root
+        while not node.leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    # -- insert --------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or overwrite."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._nodes += 1
+
+    def _insert(self, node: _Node, key: Any, value: Any) -> Optional[Tuple[Any, _Node]]:
+        if node.leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._size += 1
+            if len(node.keys) > self._leaf_max:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(index, sep)
+        node.children.insert(index + 1, right)
+        if len(node.keys) > self._max_keys:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        self._nodes += 1
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self._nodes += 1
+        return sep, right
+
+    # -- delete --------------------------------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns False if absent."""
+        removed = self._delete(self._root, key)
+        if not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._nodes -= 1
+        return removed
+
+    def _delete(self, node: _Node, key: Any) -> bool:
+        if node.leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            node.keys.pop(index)
+            node.values.pop(index)
+            self._size -= 1
+            return True
+        index = bisect.bisect_right(node.keys, key)
+        child = node.children[index]
+        removed = self._delete(child, key)
+        if removed:
+            self._rebalance(node, index)
+        return removed
+
+    def _min_fill(self, node: _Node) -> int:
+        return self._leaf_min if node.leaf else self._min_keys
+
+    def _rebalance(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        if len(child.keys) >= self._min_fill(child):
+            return
+        left = parent.children[index - 1] if index > 0 else None
+        right = parent.children[index + 1] if index + 1 < len(parent.children) else None
+        # Borrow from a richer sibling.
+        if left is not None and len(left.keys) > self._min_fill(left):
+            self._borrow_from_left(parent, index, left, child)
+            return
+        if right is not None and len(right.keys) > self._min_fill(right):
+            self._borrow_from_right(parent, index, child, right)
+            return
+        # Merge with a sibling.
+        if left is not None:
+            self._merge(parent, index - 1, left, child)
+        elif right is not None:
+            self._merge(parent, index, child, right)
+
+    def _borrow_from_left(self, parent: _Node, index: int, left: _Node, child: _Node) -> None:
+        if child.leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[index - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent: _Node, index: int, child: _Node, right: _Node) -> None:
+        if child.leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[index] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent: _Node, left_index: int, left: _Node, right: _Node) -> None:
+        if left.leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_index)
+        parent.children.pop(left_index + 1)
+        self._nodes -= 1
+
+    # -- validation (used by property tests) -----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation."""
+        size = sum(1 for _ in self.items())
+        assert size == self._size, f"size mismatch: {size} != {self._size}"
+        keys = [k for k, _v in self.items()]
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(set(keys)) == len(keys), "duplicate keys"
+        self._check_node(self._root, is_root=True)
+
+    def _check_node(self, node: _Node, is_root: bool) -> int:
+        if node.leaf:
+            if not is_root:
+                assert len(node.keys) >= self._leaf_min, "leaf underfull"
+            assert len(node.keys) <= self._leaf_max, "leaf overfull"
+            assert len(node.keys) == len(node.values)
+            return 1
+        assert len(node.children) == len(node.keys) + 1
+        if not is_root:
+            assert len(node.keys) >= self._min_keys, "internal underfull"
+        assert len(node.keys) <= self._max_keys, "internal overfull"
+        depths = {self._check_node(c, is_root=False) for c in node.children}
+        assert len(depths) == 1, "unbalanced depth"
+        return depths.pop() + 1

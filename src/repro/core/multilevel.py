@@ -1,0 +1,134 @@
+"""Multi-level checkpointing (§III-F, "Handling Cascading Failures").
+
+"Most checkpoints are still handled by NVMe-CR, but every so often, one
+checkpoint is put on a slower but more reliable parallel filesystem,
+such as Lustre."
+
+The checkpointer drives two tiers through duck-typed clients:
+
+* level 1 — a :class:`PosixShim` (NVMe-CR) or any baseline filesystem
+  client exposing the same intercepted-POSIX surface,
+* level 2 — a PFS client exposing ``write_file``/``read_file``
+  (implemented by :class:`repro.baselines.lustre.LustreClient`).
+
+Recovery walks checkpoints newest-first and restores from the newest
+one that survived — if the level-1 tier was lost to a cascading failure,
+the most recent level-2 checkpoint bounds the lost work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.errors import RecoveryError
+from repro.sim.engine import Event
+
+__all__ = ["CheckpointRecord", "MultiLevelCheckpointer"]
+
+
+@dataclass
+class CheckpointRecord:
+    """Bookkeeping for one checkpoint instance of one rank."""
+
+    step: int
+    level: int
+    path: str
+    nbytes: int
+    written_at: float
+
+
+class MultiLevelCheckpointer:
+    """Two-tier checkpoint policy for one rank."""
+
+    def __init__(
+        self,
+        level1,
+        level2,
+        pfs_interval: int = 10,
+        directory: str = "/ckpt",
+        rank: int = 0,
+    ):
+        """``pfs_interval`` = k: every k-th checkpoint goes to level 2
+        (the paper's Table II uses one-in-ten). ``rank`` qualifies file
+        names so the N-N pattern holds on shared-namespace systems too.
+        """
+        if pfs_interval < 1:
+            raise ValueError(f"pfs_interval must be >= 1, got {pfs_interval}")
+        self.level1 = level1
+        self.level2 = level2
+        self.pfs_interval = pfs_interval
+        self.directory = directory
+        self.rank = rank
+        self.records: List[CheckpointRecord] = []
+        self._dir_made = False
+
+    def level_for(self, step: int) -> int:
+        """1-based checkpoint levels; step counts from 0."""
+        return 2 if (step + 1) % self.pfs_interval == 0 else 1
+
+    def _path(self, step: int) -> str:
+        return f"{self.directory}/rank{self.rank:05d}_ckpt_{step:06d}.dat"
+
+    # -- write path -------------------------------------------------------------------
+
+    def write_checkpoint(self, step: int, nbytes: int) -> Generator[Event, Any, CheckpointRecord]:
+        """Write one checkpoint to the tier the policy selects."""
+        level = self.level_for(step)
+        path = self._path(step)
+        if level == 1:
+            if not self._dir_made:
+                yield from self.level1.mkdir(self.directory)
+                self._dir_made = True
+            fd = yield from self.level1.open(path, "w")
+            yield from self.level1.write(fd, nbytes)
+            yield from self.level1.fsync(fd)
+            yield from self.level1.close(fd)
+            written_at = self._now()
+        else:
+            yield from self.level2.write_file(path, nbytes)
+            written_at = self._now()
+        record = CheckpointRecord(step, level, path, nbytes, written_at)
+        self.records.append(record)
+        return record
+
+    # -- recovery -----------------------------------------------------------------------
+
+    def recover_latest(
+        self, level1_alive: bool = True, prefer_level: Optional[int] = None
+    ) -> Generator[Event, Any, CheckpointRecord]:
+        """Read back the newest recoverable checkpoint.
+
+        ``level1_alive=False`` models a cascading failure that took the
+        NVMe-CR tier's data with it: only level-2 checkpoints qualify.
+        ``prefer_level`` restricts recovery to one tier (Table II times
+        normal recovery from the fast tier).
+        """
+        for record in reversed(self.records):
+            if record.level == 1 and not level1_alive:
+                continue
+            if prefer_level is not None and record.level != prefer_level:
+                continue
+            if record.level == 1:
+                fd = yield from self.level1.open(record.path, "r")
+                yield from self.level1.read(fd, record.nbytes)
+                yield from self.level1.close(fd)
+            else:
+                yield from self.level2.read_file(record.path)
+            return record
+        raise RecoveryError("no recoverable checkpoint exists")
+
+    # -- accounting ----------------------------------------------------------------------
+
+    def _now(self) -> float:
+        # Both tiers carry an env; prefer level1's runtime clock.
+        runtime = getattr(self.level1, "runtime", None)
+        if runtime is not None:
+            return runtime.env.now
+        return self.level2.env.now
+
+    def tier_bytes(self) -> Dict[int, int]:
+        out: Dict[int, int] = {1: 0, 2: 0}
+        for record in self.records:
+            out[record.level] += record.nbytes
+        return out

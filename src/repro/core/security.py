@@ -1,0 +1,45 @@
+"""The NVMe-CR security model (§III-F, "Security Model").
+
+Two independent mechanisms:
+
+1. **Namespace isolation** — jobs receive whole NVMe namespaces; a
+   runtime may only attach namespaces owned by its own job. "This
+   approach allows SSDs to be shared between applications while relying
+   on the isolation property of namespaces to maintain security."
+2. **POSIX permission checks** — the control plane (a trusted
+   intermediary between application and SSD) checks uid/mode on file
+   operations; implemented in :meth:`MicroFS._permission_check` and
+   exercised by the tests here via the public API.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PermissionDenied
+from repro.nvme.namespace import Namespace
+
+__all__ = ["SecurityManager"]
+
+
+class SecurityManager:
+    """Validates namespace attachment at runtime initialisation."""
+
+    def __init__(self, job_name: str, uid: int):
+        self.job_name = job_name
+        self.uid = uid
+        self.denials = 0
+
+    def check_namespace(self, namespace: Namespace) -> None:
+        """Reject attaching a namespace owned by a different job."""
+        if namespace.owner_job != self.job_name:
+            self.denials += 1
+            raise PermissionDenied(
+                f"job {self.job_name!r} may not attach namespace "
+                f"{namespace.nsid} owned by {namespace.owner_job!r}"
+            )
+
+    def can_access(self, namespace: Namespace) -> bool:
+        try:
+            self.check_namespace(namespace)
+        except PermissionDenied:
+            return False
+        return True

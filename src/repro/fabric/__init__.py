@@ -1,0 +1,25 @@
+"""NVMe-over-Fabrics transport.
+
+Implements the paper's Figure 4 data path: an SPDK-style NVMf *target*
+daemon on each storage node and an NVMf *initiator* embedded in each
+runtime instance, talking over an RDMA model of the 100 Gb EDR
+InfiniBand fabric. The whole stack is "userspace": per-command costs are
+the calibrated SPDK ones, with no syscall traps — the kernel path of
+Figure 2 is modelled separately by :mod:`repro.baselines.kernel`.
+"""
+
+from repro.fabric.rdma import RdmaFabric, RdmaSpec, edr_infiniband
+from repro.fabric.nvmf import NVMfInitiator, NVMfSession, NVMfTarget
+from repro.fabric.transport import FabricTransport, LocalPCIeTransport, Transport
+
+__all__ = [
+    "FabricTransport",
+    "LocalPCIeTransport",
+    "NVMfInitiator",
+    "NVMfSession",
+    "NVMfTarget",
+    "RdmaFabric",
+    "RdmaSpec",
+    "Transport",
+    "edr_infiniband",
+]

@@ -1,0 +1,168 @@
+"""SPDK-style NVMe-over-Fabrics target and initiator.
+
+One :class:`NVMfTarget` daemon runs per storage node and is multi-tenant
+(the reason the paper picks SPDK, §III-D). An :class:`NVMfInitiator` is
+embedded in each NVMe-CR runtime instance; ``connect`` yields an
+:class:`NVMfSession` bound to one target — the paper's "each runtime
+instance directly accesses its own remote SSD partition via NVMf".
+
+Cost model per batched submission: one fabric round trip (submissions
+within a batch are pipelined, completions polled), per-message initiator
+CPU, a per-command target-side SPDK cost folded into the rate cap, and
+the device's own service — with the QP's line rate as an upper bound on
+the data stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.errors import FabricError
+from repro.fabric.rdma import RdmaFabric
+from repro.nvme.commands import CommandResult, Payload
+from repro.nvme.device import SSD
+from repro.sim.engine import Environment, Event
+from repro.sim.trace import Counter
+from repro.units import us
+
+__all__ = ["NVMfTarget", "NVMfInitiator", "NVMfSession"]
+
+# SPDK target-side processing per command: "negligible software
+# overhead" (§III-D) but not zero — one sub-microsecond poll-mode pass.
+_TARGET_PER_COMMAND = us(0.4)
+
+
+class NVMfTarget:
+    """SPDK NVMf target daemon exporting one SSD's namespaces."""
+
+    def __init__(self, env: Environment, node_name: str, ssd: SSD):
+        self.env = env
+        self.node_name = node_name
+        self.ssd = ssd
+        self.sessions = 0
+        self.counters = Counter()
+
+    def subsystem_nqn(self) -> str:
+        """NVMe Qualified Name for discovery."""
+        return f"nqn.2021-01.repro:{self.node_name}:{self.ssd.name}"
+
+
+class NVMfSession:
+    """One initiator's connection (QP) to a target."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: RdmaFabric,
+        initiator_node: str,
+        target: NVMfTarget,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.initiator_node = initiator_node
+        self.target = target
+        self.connected = True
+        self.qid = target.ssd.allocate_queue()
+        target.sessions += 1
+        self.counters = Counter()
+
+    @property
+    def is_local(self) -> bool:
+        return self.initiator_node == self.target.node_name
+
+    def _require_connected(self) -> None:
+        if not self.connected:
+            raise FabricError(
+                f"session to {self.target.subsystem_nqn()} is disconnected"
+            )
+
+    def disconnect(self) -> None:
+        if self.connected:
+            self.connected = False
+            self.target.sessions -= 1
+
+    # -- IO ----------------------------------------------------------------------
+
+    def write(
+        self, nsid: int, offset: int, payload: Payload, command_size: int
+    ) -> Event:
+        """Batched remote write; event value is the device CommandResult."""
+        self._require_connected()
+        return self.env.process(
+            self._io(
+                lambda cap: self.target.ssd.write(
+                    nsid, offset, payload, command_size, rate_cap=cap
+                ),
+                payload.nbytes,
+                command_size,
+            )
+        )
+
+    def read(self, nsid: int, offset: int, nbytes: int, command_size: int) -> Event:
+        self._require_connected()
+        return self.env.process(
+            self._io(
+                lambda cap: self.target.ssd.read(
+                    nsid, offset, nbytes, command_size, rate_cap=cap
+                ),
+                nbytes,
+                command_size,
+            )
+        )
+
+    def flush(self, nsid: int) -> Event:
+        self._require_connected()
+        return self.env.process(self._flush(nsid))
+
+    def _io(
+        self, submit, nbytes: int, command_size: int
+    ) -> Generator[Event, Any, CommandResult]:
+        n_cmds = max(1, -(-nbytes // command_size))
+        rtt = self.fabric.round_trip(self.initiator_node, self.target.node_name)
+        cpu = self.fabric.spec.per_message_cpu + n_cmds * _TARGET_PER_COMMAND
+        if rtt + cpu > 0:
+            yield self.env.timeout(rtt + cpu)
+        if self.is_local:
+            cap = None
+        else:
+            # Run-to-completion over the fabric: each in-flight command
+            # pays the round trip, so a session's stream is capped at
+            # command_size/rtt on top of the line rate.
+            cap = self.fabric.payload_cap()
+            if rtt > 0:
+                cap = min(cap, command_size / rtt)
+        result = yield submit(cap)
+        self.counters.add("bytes", nbytes)
+        self.counters.add("commands", n_cmds)
+        self.target.counters.add("bytes", nbytes)
+        return result
+
+    def _flush(self, nsid: int) -> Generator[Event, Any, None]:
+        rtt = self.fabric.round_trip(self.initiator_node, self.target.node_name)
+        if rtt > 0:
+            yield self.env.timeout(rtt)
+        yield self.target.ssd.flush(nsid)
+
+
+class NVMfInitiator:
+    """Per-runtime-instance NVMf client; connects to target daemons."""
+
+    def __init__(self, env: Environment, node_name: str, fabric: RdmaFabric):
+        self.env = env
+        self.node_name = node_name
+        self.fabric = fabric
+        self._sessions: Dict[str, NVMfSession] = {}
+
+    def connect(self, target: NVMfTarget) -> NVMfSession:
+        """Open (or reuse) a session to a target."""
+        nqn = target.subsystem_nqn()
+        session = self._sessions.get(nqn)
+        if session is None or not session.connected:
+            session = NVMfSession(self.env, self.fabric, self.node_name, target)
+            self._sessions[nqn] = session
+        return session
+
+    def disconnect_all(self) -> None:
+        for session in self._sessions.values():
+            session.disconnect()
+        self._sessions.clear()

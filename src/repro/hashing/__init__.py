@@ -1,0 +1,14 @@
+"""Consistent-hashing data distributors.
+
+GlusterFS distributes files across storage servers by hashing the file
+name (the paper cites the Lamping–Veach jump consistent hash analysis
+[17] for its load-imbalance behaviour at low concurrency). Both the
+jump hash and a classic vnode ring are implemented; Figure 7(b) uses
+:func:`jump_hash` for the GlusterFS model, and the ring is available as
+an alternative distributor for ablations.
+"""
+
+from repro.hashing.jump import jump_hash, place_names
+from repro.hashing.ring import HashRing
+
+__all__ = ["jump_hash", "place_names", "HashRing"]

@@ -1,0 +1,16 @@
+"""Measurement definitions used by the evaluation (§IV)."""
+
+from repro.metrics.efficiency import (
+    coefficient_of_variation,
+    efficiency,
+    progress_rate,
+)
+from repro.metrics.collector import RunResult, summarize_stats
+
+__all__ = [
+    "RunResult",
+    "coefficient_of_variation",
+    "efficiency",
+    "progress_rate",
+    "summarize_stats",
+]

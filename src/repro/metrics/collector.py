@@ -1,0 +1,52 @@
+"""Aggregation of per-rank results into experiment rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.checkpoint import CheckpointStats
+
+__all__ = ["RunResult", "summarize_stats"]
+
+
+@dataclass
+class RunResult:
+    """One experiment configuration's measured outcome (one table row)."""
+
+    system: str
+    nprocs: int
+    checkpoint_time: float = 0.0
+    restart_time: float = 0.0
+    compute_time: float = 0.0
+    total_bytes: int = 0
+    checkpoint_efficiency: Optional[float] = None
+    restart_efficiency: Optional[float] = None
+    progress: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def summarize_stats(
+    system: str, nprocs: int, per_rank: List[CheckpointStats]
+) -> RunResult:
+    """Fold per-rank CheckpointStats into one row.
+
+    Checkpoint/restart times are barrier-delimited, so every rank holds
+    the same phase durations; the max across ranks is used defensively.
+    """
+    if not per_rank:
+        raise ValueError("no per-rank stats")
+    ckpt = max(s.checkpoint_time for s in per_rank)
+    rest = max(s.restart_time for s in per_rank)
+    compute = float(np.mean([s.compute_time for s in per_rank]))
+    total_bytes = sum(s.bytes_written for s in per_rank)
+    return RunResult(
+        system=system,
+        nprocs=nprocs,
+        checkpoint_time=ckpt,
+        restart_time=rest,
+        compute_time=compute,
+        total_bytes=total_bytes,
+    )

@@ -1,0 +1,46 @@
+"""The paper's three evaluation metrics.
+
+* **Efficiency** (Figure 9): "the ratio of the peak IO bandwidth visible
+  to applications to the peak theoretical bandwidth offered by hardware".
+* **Progress rate** (Table II): "the ratio of application time spent in
+  compute to total application time".
+* **Coefficient of variation** of per-server load (Figure 7(b)): the
+  load-imbalance measure, std/mean of bytes stored per storage server.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["efficiency", "progress_rate", "coefficient_of_variation"]
+
+
+def efficiency(
+    total_bytes: float, wall_time: float, hardware_bandwidth: float
+) -> float:
+    """Application-visible bandwidth over hardware peak, clipped to [0, 1]."""
+    if wall_time <= 0 or hardware_bandwidth <= 0:
+        raise ValueError("wall_time and hardware_bandwidth must be positive")
+    return min(1.0, (total_bytes / wall_time) / hardware_bandwidth)
+
+
+def progress_rate(compute_time: float, total_time: float) -> float:
+    """Compute fraction of total application time."""
+    if total_time <= 0:
+        raise ValueError("total_time must be positive")
+    if compute_time < 0 or compute_time > total_time + 1e-9:
+        raise ValueError("compute_time must lie within total_time")
+    return compute_time / total_time
+
+
+def coefficient_of_variation(loads: Sequence[float]) -> float:
+    """std/mean of per-server load; 0 means perfect balance."""
+    arr = np.asarray(loads, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no loads given")
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)

@@ -1,0 +1,16 @@
+"""Simulated MPI runtime.
+
+NVMe-CR uses MPI exactly twice: at ``MPI_Init`` (storage partitioning
+through ``MPI_COMM_CR``, built with a communicator split) and at
+``MPI_Finalize``. This package provides communicators with the
+collectives those paths need — ``barrier``, ``bcast``, ``allgather``,
+``gather``, and ``split`` — where every rank is a simulation process.
+
+Collectives follow mpi4py-style semantics: all ranks of a communicator
+must call the same collectives in the same order.
+"""
+
+from repro.mpi.comm import Communicator
+from repro.mpi.runtime import MPIJob, launch
+
+__all__ = ["Communicator", "MPIJob", "launch"]

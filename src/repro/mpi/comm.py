@@ -1,0 +1,145 @@
+"""Communicators and collectives for the simulated MPI runtime.
+
+A communicator's state is shared across its ranks; each rank keeps a
+per-rank *collective sequence number*, so the k-th collective call on a
+rank matches the k-th call on every other rank — the usual MPI ordering
+contract. Collectives complete when the last rank arrives, plus a
+latency charge of ``ceil(log2(size))`` message hops (binomial-tree
+dissemination, the standard cost model).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+from repro.units import us
+
+__all__ = ["Communicator"]
+
+# One rendezvous message latency inside a collective (EDR-class fabric).
+_MESSAGE_LATENCY = us(1.5)
+
+
+class _Collective:
+    """Rendezvous state for one collective operation instance."""
+
+    __slots__ = ("arrived", "values", "event")
+
+    def __init__(self, env: Environment, size: int):
+        self.arrived = 0
+        self.values: List[Any] = [None] * size
+        self.event = env.event()
+
+
+class _CommState:
+    """State shared by all ranks of one communicator."""
+
+    def __init__(self, env: Environment, size: int):
+        self.env = env
+        self.size = size
+        self.pending: Dict[int, _Collective] = {}
+        self.split_results: Dict[int, Dict[int, "Communicator"]] = {}
+
+
+class Communicator:
+    """One rank's handle on a communicator (mirrors ``MPI_Comm``)."""
+
+    def __init__(self, state: _CommState, rank: int, name: str = "WORLD"):
+        if not 0 <= rank < state.size:
+            raise SimulationError(f"rank {rank} outside communicator of {state.size}")
+        self._state = state
+        self.rank = rank
+        self.name = name
+        self._seq = 0
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def world(cls, env: Environment, size: int) -> List["Communicator"]:
+        """Create COMM_WORLD: one handle per rank."""
+        if size < 1:
+            raise SimulationError(f"communicator size must be >= 1, got {size}")
+        state = _CommState(env, size)
+        return [cls(state, rank) for rank in range(size)]
+
+    @property
+    def size(self) -> int:
+        return self._state.size
+
+    @property
+    def env(self) -> Environment:
+        return self._state.env
+
+    # -- core rendezvous -------------------------------------------------------------
+
+    def _arrive(self, value: Any) -> Tuple[_Collective, int]:
+        seq = self._seq
+        self._seq += 1
+        coll = self._state.pending.get(seq)
+        if coll is None:
+            coll = _Collective(self.env, self.size)
+            self._state.pending[seq] = coll
+        coll.values[self.rank] = value
+        coll.arrived += 1
+        if coll.arrived == self.size:
+            del self._state.pending[seq]
+            coll.event.succeed(list(coll.values))
+        return coll, seq
+
+    def _collective(self, value: Any) -> Generator[Event, Any, List[Any]]:
+        coll, _seq = self._arrive(value)
+        values = yield coll.event
+        latency = _MESSAGE_LATENCY * max(1, math.ceil(math.log2(max(2, self.size))))
+        yield self.env.timeout(latency)
+        return values
+
+    # -- collectives ------------------------------------------------------------------
+
+    def barrier(self) -> Generator[Event, Any, None]:
+        """All ranks wait for the last arrival."""
+        yield from self._collective(None)
+
+    def allgather(self, value: Any) -> Generator[Event, Any, List[Any]]:
+        """Every rank receives the list of all ranks' values."""
+        return (yield from self._collective(value))
+
+    def gather(self, value: Any, root: int = 0) -> Generator[Event, Any, Optional[List[Any]]]:
+        """Root receives all values; other ranks receive None."""
+        values = yield from self._collective(value)
+        return values if self.rank == root else None
+
+    def bcast(self, value: Any, root: int = 0) -> Generator[Event, Any, Any]:
+        """Root's value is delivered to every rank."""
+        values = yield from self._collective(value if self.rank == root else None)
+        return values[root]
+
+    def split(
+        self, color: int, key: Optional[int] = None
+    ) -> Generator[Event, Any, "Communicator"]:
+        """``MPI_Comm_split``: ranks with equal color form a new communicator,
+        ordered by (key, old rank). Used to build ``MPI_COMM_CR`` — the
+        group of processes sharing one SSD (§III-F)."""
+        my_key = self.rank if key is None else key
+        coll, seq = self._arrive((color, my_key, self.rank))
+        values = yield coll.event
+        # Rank 0-arrival builds the sub-communicators exactly once per seq.
+        results = self._state.split_results.get(seq)
+        if results is None:
+            results = {}
+            by_color: Dict[int, List[Tuple[int, int]]] = {}
+            for col, k, old_rank in values:
+                by_color.setdefault(col, []).append((k, old_rank))
+            for col, members in by_color.items():
+                members.sort()
+                sub_state = _CommState(self.env, len(members))
+                for new_rank, (_k, old_rank) in enumerate(members):
+                    results[old_rank] = Communicator(
+                        sub_state, new_rank, name=f"{self.name}.split({col})"
+                    )
+            self._state.split_results[seq] = results
+        latency = _MESSAGE_LATENCY * max(1, math.ceil(math.log2(max(2, self.size))))
+        yield self.env.timeout(latency)
+        return results[self.rank]

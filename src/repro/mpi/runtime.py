@@ -1,0 +1,60 @@
+"""Launching MPI-style jobs inside the simulation.
+
+:func:`launch` plays the role of ``mpiexec``: it spawns one simulation
+process per rank, hands each its :class:`Communicator`, and returns an
+:class:`MPIJob` whose ``done`` event fires when every rank returns (the
+job's exit). Per-rank return values are collected for assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.mpi.comm import Communicator
+from repro.sim.engine import Environment, Event, Process
+
+__all__ = ["MPIJob", "launch"]
+
+RankMain = Callable[[Communicator], Generator[Event, Any, Any]]
+
+
+class MPIJob:
+    """A running (or finished) simulated MPI job."""
+
+    def __init__(self, env: Environment, procs: List[Process]):
+        self.env = env
+        self.procs = procs
+        self.done: Event = env.all_of(procs)
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.procs)
+
+    def results(self) -> List[Any]:
+        """Per-rank return values; only valid once ``done`` has fired."""
+        return [p.value for p in self.procs]
+
+    def result_map(self) -> Dict[int, Any]:
+        return dict(enumerate(self.results()))
+
+
+def launch(
+    env: Environment,
+    nprocs: int,
+    rank_main: RankMain,
+    node_of_rank: Optional[Callable[[int], str]] = None,
+) -> MPIJob:
+    """Start ``nprocs`` ranks running ``rank_main(comm)``.
+
+    ``node_of_rank`` optionally names the host of each rank (round-robin
+    placement is the caller's policy); it is attached to the communicator
+    handle as ``comm.node`` because the runtime needs to know its host
+    for fabric latency.
+    """
+    comms = Communicator.world(env, nprocs)
+    procs: List[Process] = []
+    for rank, comm in enumerate(comms):
+        if node_of_rank is not None:
+            comm.node = node_of_rank(rank)  # type: ignore[attr-defined]
+        procs.append(env.process(rank_main(comm)))
+    return MPIJob(env, procs)

@@ -1,0 +1,421 @@
+"""The simulated NVMe SSD.
+
+Service model (calibration constants live in :mod:`repro.bench.calibration`;
+the spec here just carries them):
+
+* **Sustained bandwidth** — reads and writes each flow through a fluid
+  max-min :class:`~repro.sim.fairshare.FairShareServer`, so concurrent
+  clients share the device fairly, as multi-queue NVMe hardware does.
+* **Per-command controller cost** — a batch of ``n`` commands of size
+  ``s`` is rate-capped at ``s / per_command_cost``: the controller
+  serialises command processing even when flash transfers are parallel.
+  This is the device-side half of the small-hugeblock penalty in
+  Figure 7(a) (the other half is client software, charged by the data
+  plane).
+* **Command-granular arbitration jitter** — with ``k`` concurrent flows,
+  a new batch waits an exponential extra delay with mean
+  ``beta * k * s / bandwidth``: admission behind whole commands of size
+  ``s``. This is the paper's "a large block size will increase the
+  waiting time for each hardware IO queue" (§IV-B) and produces the
+  mild large-block upturn in Figure 7(a).
+* **Device RAM + capacitance** — specs with a RAM write buffer ingest at
+  RAM speed until a token bucket (refilled at flash speed) empties;
+  committed writes always survive power loss (enhanced power-loss data
+  protection, §III-D). The P4800X is 3D-XPoint and needs no RAM buffer,
+  so its spec sets ``ram_buffer_bytes = 0``.
+
+Writes *commit to the extent store only after the transfer completes* —
+a power failure mid-command loses exactly that command, which is what
+the microfs durability argument assumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.errors import DeviceError, DevicePoweredOff, InvalidCommand, OutOfSpace
+from repro.nvme.commands import Command, CommandResult, Opcode, Payload
+from repro.nvme.extents import Extent
+from repro.nvme.namespace import Namespace
+from repro.sim.engine import Environment, Event
+from repro.sim.fairshare import FairShareServer
+from repro.sim.trace import Counter
+from repro.units import GB_per_s, GiB, KiB, us
+
+__all__ = ["SSDSpec", "SSD", "intel_p4800x", "generic_nand_ssd"]
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """Static characteristics of an SSD model."""
+
+    model: str
+    capacity_bytes: int
+    write_bandwidth: float  # sustained, bytes/s
+    read_bandwidth: float
+    per_command_cost: float  # controller serialisation per command, seconds
+    flush_cost: float
+    #: Media access latency per command. With the run-to-completion
+    #: (queue-depth-1) submission style of microfs principle 1, an
+    #: instance's throughput is capped at command_size/access_latency —
+    #: the mechanism that makes tiny hugeblocks slow at low concurrency
+    #: (Figure 7(d)) and large hugeblocks necessary to saturate.
+    access_latency: float = 10e-6
+    lba_size: int = 4096
+    max_hw_queues: int = 32
+    max_namespaces: int = 128
+    ram_buffer_bytes: int = 0
+    ram_write_bandwidth: float = 0.0
+    arbitration_beta: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise DeviceError(f"{self.model}: capacity must be positive")
+        if self.write_bandwidth <= 0 or self.read_bandwidth <= 0:
+            raise DeviceError(f"{self.model}: bandwidths must be positive")
+        if self.ram_buffer_bytes > 0 and self.ram_write_bandwidth <= 0:
+            raise DeviceError(f"{self.model}: RAM buffer needs ram_write_bandwidth")
+
+
+def intel_p4800x() -> SSDSpec:
+    """Intel Optane P4800X (the paper's device, §IV-A).
+
+    Datasheet: ~2.2 GB/s sequential write, ~2.4 GB/s read, 375 GB.
+    3D-XPoint writes in place — no DRAM write buffer. ``per_command_cost``
+    of 2.0 us reproduces the ~500 K IOPS small-write ceiling
+    (4 KiB / 2.0 us ~= 2.05 GB/s, i.e. 4 KiB commands run ~7 % below
+    the 2.2 GB/s sequential ceiling, the datasheet picture and the
+    device-side half of the Figure 7(a) small-block penalty).
+    """
+    return SSDSpec(
+        model="Intel Optane P4800X",
+        capacity_bytes=375 * 10**9,
+        write_bandwidth=GB_per_s(2.2),
+        read_bandwidth=GB_per_s(2.4),
+        per_command_cost=us(2.0),
+        flush_cost=us(5.0),
+        access_latency=us(10.0),  # 3D-XPoint: ~10 us read/write latency
+        max_hw_queues=32,
+    )
+
+
+def generic_nand_ssd() -> SSDSpec:
+    """A NAND TLC datacenter SSD with a capacitor-backed DRAM write buffer.
+
+    Used by tests exercising the RAM-buffer burst/drain and power-loss
+    capacitance paths that the Optane spec (no RAM) never reaches.
+    """
+    return SSDSpec(
+        model="Generic NAND DC SSD",
+        capacity_bytes=2 * 10**12,
+        write_bandwidth=GB_per_s(1.4),
+        read_bandwidth=GB_per_s(3.0),
+        per_command_cost=us(4.0),
+        flush_cost=us(10.0),
+        access_latency=us(25.0),  # NAND program into the DRAM buffer path
+        ram_buffer_bytes=GiB(1),
+        ram_write_bandwidth=GB_per_s(3.2),
+    )
+
+
+class SSD:
+    """A live simulated SSD attached to a simulation environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: SSDSpec,
+        name: str,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._write_server = FairShareServer(
+            env, capacity=self._ingest_bandwidth(), name=f"{name}.write"
+        )
+        self._read_server = FairShareServer(
+            env, capacity=spec.read_bandwidth, name=f"{name}.read"
+        )
+        # The controller serialises command processing: an aggregate
+        # ceiling of 1/per_command_cost commands/second across all
+        # queues. A batch completes when both its data transfer and its
+        # command processing are done — small commands make the command
+        # stream the binding constraint (the Figure 7(a) small-block
+        # penalty), at any concurrency.
+        self._cmd_server = FairShareServer(
+            env, capacity=1.0 / spec.per_command_cost, name=f"{name}.cmds"
+        )
+        self._namespaces: Dict[int, Namespace] = {}
+        self._nsids = itertools.count(1)
+        self._queues_allocated = 0
+        self.powered = True
+        self._power_epoch = 0
+        # RAM write-buffer token bucket (lazy refill at flash rate).
+        self._tokens = float(spec.ram_buffer_bytes)
+        self._tokens_at = env.now
+        self.counters = Counter()
+
+    def _ingest_bandwidth(self) -> float:
+        if self.spec.ram_buffer_bytes > 0:
+            return self.spec.ram_write_bandwidth
+        return self.spec.write_bandwidth
+
+    # -- namespace management ---------------------------------------------------
+
+    def create_namespace(self, nbytes: int, owner_job: Optional[str] = None) -> Namespace:
+        """Carve a new namespace from unused capacity (§III-F security model)."""
+        if len(self._namespaces) >= self.spec.max_namespaces:
+            raise DeviceError(f"{self.name}: namespace limit reached")
+        if nbytes > self.free_bytes():
+            raise OutOfSpace(
+                f"{self.name}: need {nbytes} bytes, only {self.free_bytes()} free"
+            )
+        ns = Namespace(next(self._nsids), nbytes, owner_job=owner_job)
+        self._namespaces[ns.nsid] = ns
+        return ns
+
+    def delete_namespace(self, nsid: int) -> None:
+        if nsid not in self._namespaces:
+            raise DeviceError(f"{self.name}: no namespace {nsid}")
+        del self._namespaces[nsid]
+
+    def namespace(self, nsid: int) -> Namespace:
+        try:
+            return self._namespaces[nsid]
+        except KeyError:
+            raise DeviceError(f"{self.name}: no namespace {nsid}") from None
+
+    def namespaces(self) -> List[Namespace]:
+        return list(self._namespaces.values())
+
+    def free_bytes(self) -> int:
+        used = sum(ns.nbytes for ns in self._namespaces.values())
+        return self.spec.capacity_bytes - used
+
+    # -- hardware queue bookkeeping -----------------------------------------------
+
+    def allocate_queue(self) -> int:
+        """Assign a hardware queue id; beyond ``max_hw_queues`` ids wrap.
+
+        The paper gives each microfs instance its own queue but also
+        recommends 56-112 processes per SSD, exceeding the P4800X's 32
+        queues — so, like real deployments, queue ids are virtualised
+        (shared) past the hardware limit.
+        """
+        qid = self._queues_allocated % self.spec.max_hw_queues
+        self._queues_allocated += 1
+        return qid
+
+    @property
+    def queues_shared(self) -> bool:
+        return self._queues_allocated > self.spec.max_hw_queues
+
+    # -- power ---------------------------------------------------------------------
+
+    def power_fail(self) -> None:
+        """Drop power: in-flight commands are lost, committed data survives.
+
+        Device capacitance flushes the RAM buffer (already modelled as
+        committed-on-completion), matching enhanced power-loss data
+        protection [38].
+        """
+        if not self.powered:
+            return
+        self.powered = False
+        self._power_epoch += 1
+        self.counters.add("power_failures")
+
+    def power_restore(self) -> None:
+        self.powered = True
+
+    # -- token bucket (RAM buffer) ----------------------------------------------------
+
+    def _take_tokens(self, nbytes: float) -> float:
+        """Consume RAM-buffer credit; returns extra delay for the deficit."""
+        if self.spec.ram_buffer_bytes == 0:
+            return 0.0
+        now = self.env.now
+        refill = (now - self._tokens_at) * self.spec.write_bandwidth
+        self._tokens = min(self.spec.ram_buffer_bytes, self._tokens + refill)
+        self._tokens_at = now
+        if self._tokens >= nbytes:
+            self._tokens -= nbytes
+            return 0.0
+        deficit = nbytes - self._tokens
+        self._tokens = 0.0
+        return deficit / self.spec.write_bandwidth
+
+    # -- IO -------------------------------------------------------------------------
+
+    def write(
+        self,
+        nsid: int,
+        offset: int,
+        payload: Payload,
+        command_size: int,
+        rate_cap: Optional[float] = None,
+    ) -> Event:
+        """Batch write: ``payload`` at byte ``offset``, split into
+        ``command_size``-byte commands. Returns a completion event whose
+        value is a :class:`CommandResult`.
+
+        ``rate_cap`` lets the fabric layer impose the network link limit.
+        """
+        self._check_io(nsid, offset, payload.nbytes, command_size)
+        return self.env.process(self._do_write(nsid, offset, payload, command_size, rate_cap))
+
+    def _do_write(
+        self,
+        nsid: int,
+        offset: int,
+        payload: Payload,
+        command_size: int,
+        rate_cap: Optional[float],
+    ) -> Generator[Event, Any, CommandResult]:
+        self._check_io(nsid, offset, payload.nbytes, command_size)
+        ns = self._namespaces[nsid]
+        epoch = self._power_epoch
+        started = self.env.now
+        n_cmds = max(1, math.ceil(payload.nbytes / command_size))
+        jitter = self._arbitration_jitter(command_size, self._write_server)
+        bucket_delay = self._take_tokens(payload.nbytes)
+        delay = jitter + bucket_delay
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self._check_power(epoch)
+        cap = self._qd1_cap(command_size, rate_cap)
+        yield self.env.all_of([
+            self._write_server.transfer(payload.nbytes, cap=cap),
+            self._cmd_server.transfer(n_cmds),
+        ])
+        self._check_power(epoch)
+        ns.store.write(offset, payload)
+        self.counters.add("bytes_written", payload.nbytes)
+        self.counters.add("write_commands", n_cmds)
+        cmd = Command(
+            Opcode.WRITE, nsid, slba=offset // self.spec.lba_size,
+            nblocks=max(1, payload.nbytes // self.spec.lba_size), payload=payload,
+        )
+        return CommandResult(cmd, latency=self.env.now - started)
+
+    def read(
+        self,
+        nsid: int,
+        offset: int,
+        nbytes: int,
+        command_size: int,
+        rate_cap: Optional[float] = None,
+    ) -> Event:
+        """Batch read; the event's value is a :class:`CommandResult` whose
+        ``extra['extents']`` holds the overlapping stored extents."""
+        self._check_io(nsid, offset, nbytes, command_size)
+        return self.env.process(self._do_read(nsid, offset, nbytes, command_size, rate_cap))
+
+    def _do_read(
+        self,
+        nsid: int,
+        offset: int,
+        nbytes: int,
+        command_size: int,
+        rate_cap: Optional[float],
+    ) -> Generator[Event, Any, CommandResult]:
+        self._check_io(nsid, offset, nbytes, command_size)
+        ns = self._namespaces[nsid]
+        epoch = self._power_epoch
+        started = self.env.now
+        n_cmds = max(1, math.ceil(nbytes / command_size))
+        jitter = self._arbitration_jitter(command_size, self._read_server)
+        if jitter > 0:
+            yield self.env.timeout(jitter)
+        self._check_power(epoch)
+        cap = self._qd1_cap(command_size, rate_cap)
+        yield self.env.all_of([
+            self._read_server.transfer(nbytes, cap=cap),
+            self._cmd_server.transfer(n_cmds),
+        ])
+        self._check_power(epoch)
+        extents: List[Extent] = ns.store.read(offset, nbytes)
+        self.counters.add("bytes_read", nbytes)
+        self.counters.add("read_commands", n_cmds)
+        cmd = Command(
+            Opcode.READ, nsid, slba=offset // self.spec.lba_size,
+            nblocks=max(1, nbytes // self.spec.lba_size),
+        )
+        return CommandResult(cmd, latency=self.env.now - started, extra={"extents": extents})
+
+    def flush(self, nsid: int) -> Event:
+        """FLUSH: cheap — committed data is already capacitor-protected."""
+        if not self.powered:
+            raise DevicePoweredOff(f"{self.name} is powered off")
+        self.namespace(nsid)  # validates nsid
+        self.counters.add("flushes")
+        return self.env.process(self._do_flush(nsid))
+
+    def _do_flush(self, nsid: int) -> Generator[Event, Any, CommandResult]:
+        started = self.env.now
+        yield self.env.timeout(self.spec.flush_cost)
+        return CommandResult(
+            Command(Opcode.FLUSH, nsid), latency=self.env.now - started
+        )
+
+    def submit(self, command: Command, rate_cap: Optional[float] = None) -> Event:
+        """Single-command convenience used by the queue-pair layer."""
+        nbytes = command.nblocks * self.spec.lba_size
+        offset = command.slba * self.spec.lba_size
+        if command.opcode is Opcode.WRITE:
+            payload = command.payload
+            if payload.nbytes > nbytes:
+                raise InvalidCommand(
+                    f"payload {payload.nbytes}B exceeds LBA range {nbytes}B"
+                )
+            return self.write(command.nsid, offset, payload, max(nbytes, 1), rate_cap)
+        if command.opcode is Opcode.READ:
+            return self.read(command.nsid, offset, nbytes, max(nbytes, 1), rate_cap)
+        if command.opcode is Opcode.FLUSH:
+            return self.flush(command.nsid)
+        if command.opcode is Opcode.IDENTIFY:
+            event = self.env.event()
+            event.succeed(CommandResult(command, latency=0.0, extra={"spec": self.spec}))
+            return event
+        raise InvalidCommand(f"unsupported opcode {command.opcode}")
+
+    # -- service-model pieces ------------------------------------------------------
+
+    def _arbitration_jitter(self, command_size: int, server: FairShareServer) -> float:
+        """Admission wait behind whole commands from other active queues."""
+        active = server.active_flows
+        if active == 0 or self.spec.arbitration_beta == 0.0:
+            return 0.0
+        mean = self.spec.arbitration_beta * active * command_size / server.capacity
+        return float(self.rng.exponential(mean))
+
+    def _qd1_cap(self, command_size: int, extern_cap: Optional[float]) -> Optional[float]:
+        """Queue-depth-1 ceiling: one command in flight pays the media
+        access latency per command."""
+        if self.spec.access_latency <= 0:
+            return extern_cap
+        cap = command_size / self.spec.access_latency
+        if extern_cap is not None:
+            cap = min(cap, extern_cap)
+        return cap
+
+    def _check_io(self, nsid: int, offset: int, nbytes: int, command_size: int) -> None:
+        if not self.powered:
+            raise DevicePoweredOff(f"{self.name} is powered off")
+        if command_size <= 0:
+            raise InvalidCommand(f"command_size must be positive, got {command_size}")
+        # Byte-granular addressing is allowed: sub-LBA writes model the
+        # controller's internal read-modify-write; costs are still charged
+        # per command_size-sized command.
+        self.namespace(nsid).check_range(offset, nbytes)
+
+    def _check_power(self, epoch: int) -> None:
+        if not self.powered or epoch != self._power_epoch:
+            raise DevicePoweredOff(f"{self.name}: power lost during command")

@@ -1,0 +1,81 @@
+"""NVMe namespaces and per-process partitions.
+
+The paper's security model (§III-F) allocates storage to jobs at NVMe
+*namespace* granularity and then slices each namespace into per-process
+*partitions* ("each process gets a contiguous segment of the SSD based
+on its rank and the communicator size"). A partition is pure arithmetic
+over its namespace — no coordination is needed after creation, which is
+exactly the point of the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import InvalidCommand
+from repro.nvme.extents import ExtentStore
+
+__all__ = ["Namespace", "Partition"]
+
+
+class Namespace:
+    """A contiguous, isolated slice of an SSD's capacity."""
+
+    def __init__(self, nsid: int, nbytes: int, owner_job: Optional[str] = None):
+        if nbytes <= 0:
+            raise InvalidCommand(f"namespace size must be positive, got {nbytes}")
+        self.nsid = nsid
+        self.nbytes = nbytes
+        self.owner_job = owner_job
+        self.store = ExtentStore(nbytes)
+
+    def check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.nbytes:
+            raise InvalidCommand(
+                f"ns{self.nsid}: [{offset}, {offset + length}) outside "
+                f"{self.nbytes}-byte namespace"
+            )
+
+    def partition(self, rank: int, nranks: int, block_size: int) -> "Partition":
+        """Contiguous per-rank segment, aligned down to ``block_size``.
+
+        Mirrors §III-F: the namespace is divided between the ranks of the
+        ``MPI_COMM_CR`` communicator sharing this SSD; segment boundaries
+        align to the hugeblock size so allocators never straddle ranks.
+        """
+        if not 0 <= rank < nranks:
+            raise InvalidCommand(f"rank {rank} outside communicator of {nranks}")
+        if block_size <= 0:
+            raise InvalidCommand(f"block_size must be positive, got {block_size}")
+        usable_blocks = self.nbytes // block_size
+        per_rank = usable_blocks // nranks
+        if per_rank == 0:
+            raise InvalidCommand(
+                f"namespace too small: {usable_blocks} blocks across {nranks} ranks"
+            )
+        start = rank * per_rank * block_size
+        return Partition(self, start, per_rank * block_size)
+
+    def partitions_for(self, nranks: int, block_size: int) -> List["Partition"]:
+        return [self.partition(rank, nranks, block_size) for rank in range(nranks)]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A rank's private contiguous window into a namespace."""
+
+    namespace: Namespace
+    offset: int
+    nbytes: int
+
+    def check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.nbytes:
+            raise InvalidCommand(
+                f"partition: [{offset}, {offset + length}) outside "
+                f"{self.nbytes}-byte partition"
+            )
+
+    def absolute(self, offset: int) -> int:
+        """Translate a partition-relative offset to a namespace offset."""
+        return self.offset + offset

@@ -1,0 +1,12 @@
+"""Cluster job scheduler with namespace-granular storage (Slurm GRES model).
+
+§III-F: "The job scheduler assigns storage to jobs at the granularity of
+an NVMe namespace. If there are no free namespaces, new ones are created
+from unused SSD space. [...] by using Slurm's generic resources plugin,
+we were able to support this design on our cluster easily."
+"""
+
+from repro.scheduler.jobs import JobSpec, JobState, JobRecord
+from repro.scheduler.slurm import SlurmScheduler, StorageGrant
+
+__all__ = ["JobRecord", "JobSpec", "JobState", "SlurmScheduler", "StorageGrant"]

@@ -1,0 +1,408 @@
+"""Event loop, events, and generator-based processes.
+
+The kernel follows the classic event-list design: a binary heap of
+``(time, sequence, event)`` entries. Ties in time break by insertion
+sequence, which makes every simulation run deterministic — an invariant
+the reproduction relies on (all tables must be bit-for-bit repeatable).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries whatever the interrupter supplied (e.g. a power-loss
+    notification from :mod:`repro.nvme.power`).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event is *triggered* when given a value (or an exception), and
+    *processed* once the loop has run its callbacks. Processes wait on
+    events by ``yield``-ing them.
+    """
+
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_exc",
+        "_triggered",
+        "_processed",
+        "_had_callbacks",
+    )
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        self._had_callbacks = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value or exception."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the loop has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- trigger ----------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully; runs callbacks at the current time."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception, raised in waiting processes."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        self.env._schedule(self, 0.0)
+        return self
+
+    # -- loop internals -----------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        self._had_callbacks = bool(callbacks)
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A generator-driven coroutine; completes when the generator returns.
+
+    The process's own completion is an event: other processes may
+    ``yield proc`` to join it. The generator's ``return`` value becomes
+    the event value; an uncaught exception fails the event (and
+    propagates to the loop if nobody is waiting — silent failures would
+    hide model bugs).
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: step the process at the current time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._triggered = True
+        env._schedule(bootstrap, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process generator has not returned."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is not None and not target._triggered:
+            # Detach from the event we were waiting on.
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        kick = Event(self.env)
+        kick.callbacks.append(lambda _ev: self._step_throw(Interrupt(cause)))
+        kick._triggered = True
+        self.env._schedule(kick, 0.0)
+
+    # -- stepping -----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._exc is not None:
+                target = self._generator.throw(event._exc)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must surface model errors
+            self._fail_process(exc)
+            return
+        self._wait_on(target)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        self._waiting_on = None
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self._fail_process(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        if not isinstance(target, Event):
+            self._fail_process(
+                SimulationError(f"process yielded non-event {target!r}")
+            )
+            return
+        self._waiting_on = target
+        if target.callbacks is None:
+            # Already processed: resume immediately (same timestep).
+            kick = Event(self.env)
+            kick.callbacks.append(self._resume)
+            kick._triggered = True
+            kick._value = target._value
+            kick._exc = target._exc
+            self.env._schedule(kick, 0.0)
+        else:
+            target.callbacks.append(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, 0.0)
+
+    def _fail_process(self, exc: BaseException) -> None:
+        self._triggered = True
+        self._exc = exc
+        self.env._schedule(self, 0.0)
+        self.env._note_failure(self, exc)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> List[Any]:
+        return [e._value for e in self.events if e._triggered and e._exc is None]
+
+
+class AnyOf(_Condition):
+    """Triggers when the first child event triggers."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers once every child event has triggered."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._seq = 0
+        self._failures: List[tuple] = []
+        self._active = 0  # events scheduled but not yet processed
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a coroutine process; the return value is also its join event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering when every child has triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering on the first child trigger."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def _note_failure(self, process: Process, exc: BaseException) -> None:
+        self._failures.append((process, exc))
+
+    # -- main loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        time, _seq, event = heapq.heappop(self._queue)
+        if time < self._now - 1e-12:
+            raise SimulationError("time went backwards (scheduler bug)")
+        self._now = max(self._now, time)
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Raises the exception of any process that failed with nobody
+        waiting on it — silent process death would corrupt results.
+        Returns the final simulation time.
+        """
+        while self._queue:
+            time = self._queue[0][0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            self.step()
+            self._raise_orphans()
+        self._raise_orphans()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_complete(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` triggers; convenience for tests and drivers."""
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError("event can never trigger: queue empty")
+            if self._queue[0][0] > limit:
+                raise SimulationError(f"event did not trigger before t={limit}")
+            self.step()
+            self._raise_orphans()
+        # Drain same-time callbacks so the event is fully processed.
+        while self._queue and self._queue[0][0] <= self._now:
+            self.step()
+            self._raise_orphans()
+        return event.value
+
+    def _raise_orphans(self) -> None:
+        """Raise the exception of any failed process nobody was joining.
+
+        A process failure with a registered waiter is delivered into the
+        waiter (who may handle it); a failure with *no* waiter would
+        otherwise vanish, so it aborts the run here.
+        """
+        if not self._failures:
+            return
+        still_pending = []
+        for process, exc in self._failures:
+            if process.processed:
+                if not process._had_callbacks:
+                    self._failures = []
+                    raise exc
+                # A waiter observed the failure; considered handled.
+            else:
+                still_pending.append((process, exc))
+        self._failures = still_pending

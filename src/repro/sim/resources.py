@@ -1,0 +1,136 @@
+"""Shared resources for simulation processes.
+
+:class:`Resource` is a counted FCFS server — the model for metadata
+servers, RAID controllers, and CPU cores. :class:`Store` is a FIFO
+hand-off channel used for message passing (RPC queues, completion
+queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A server pool with ``capacity`` slots and a FIFO wait queue.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+
+    or, for the common serve-for-a-duration pattern::
+
+        yield from resource.serve(service_time)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_service = 0
+        self._waiting: Deque = deque()
+        # Cumulative stats for utilisation reporting.
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self._busy_time = 0.0
+        self._last_change = env.now
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def in_service(self) -> int:
+        return self._in_service
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def busy_time(self) -> float:
+        """Integral of (in_service / capacity) dt up to now."""
+        self._accrue()
+        return self._busy_time
+
+    def _accrue(self) -> None:
+        now = self.env.now
+        self._busy_time += (now - self._last_change) * (
+            self._in_service / self.capacity
+        )
+        self._last_change = now
+
+    # -- core protocol --------------------------------------------------------
+
+    def request(self) -> Event:
+        """Return an event that triggers once a slot is granted."""
+        self.total_requests += 1
+        event = self.env.event()
+        if self._in_service < self.capacity:
+            self._accrue()
+            self._in_service += 1
+            event.succeed()
+        else:
+            self._waiting.append((event, self.env.now))
+        return event
+
+    def release(self, request: Optional[Event] = None) -> None:
+        """Release a slot; hands it to the longest-waiting requester."""
+        if self._in_service <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiting:
+            nxt, queued_at = self._waiting.popleft()
+            self.total_wait_time += self.env.now - queued_at
+            nxt.succeed()
+            # Slot transfers directly; _in_service unchanged.
+        else:
+            self._accrue()
+            self._in_service -= 1
+
+    def serve(self, duration: float) -> Generator[Event, Any, None]:
+        """Acquire a slot, hold it for ``duration``, release. (Sub-generator.)"""
+        req = self.request()
+        yield req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class Store:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that triggers when an
+    item is available (items are matched to getters in FIFO order).
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

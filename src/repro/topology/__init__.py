@@ -1,0 +1,24 @@
+"""Cluster, network, and failure-domain models.
+
+The storage balancer (§III-F of the paper) needs three things from the
+platform: which nodes share hardware (failure domains), how many switch
+hops separate any two domains, and which nodes hold SSDs. This package
+provides exactly that, including a one-call builder for the paper's
+testbed (one 8-node storage rack + one 16-node compute rack on EDR IB).
+"""
+
+from repro.topology.cluster import ClusterSpec, Node, NodeKind, Rack, paper_testbed
+from repro.topology.failure_domains import FailureDomain, derive_failure_domains, partner_domains
+from repro.topology.network import NetworkTopology
+
+__all__ = [
+    "ClusterSpec",
+    "FailureDomain",
+    "NetworkTopology",
+    "Node",
+    "NodeKind",
+    "Rack",
+    "derive_failure_domains",
+    "paper_testbed",
+    "partner_domains",
+]

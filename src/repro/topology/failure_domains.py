@@ -1,0 +1,80 @@
+"""Failure-domain derivation and partner-domain construction (§III-F).
+
+    "First, we identify the failure domains for each node by using the
+    network topology. Nodes which share hardware are placed in the same
+    domain. [...] Next, we create partner failure domains, such that
+    nodes in both partners are in separate failure domains. For each
+    failure domain, we create a list of partner domains sorted by the
+    number of switch hops between them."
+
+A node's domain key is its ``(rack, pdu)`` pair — the two kinds of shared
+hardware the paper names. Partner lists exclude the domain itself and
+sort by minimum inter-domain hop count (ties broken by domain id so the
+greedy mapping stays deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.topology.cluster import ClusterSpec, Node
+from repro.topology.network import NetworkTopology
+
+__all__ = ["FailureDomain", "derive_failure_domains", "partner_domains"]
+
+
+@dataclass
+class FailureDomain:
+    """A set of nodes that share rack/PDU hardware and fail together."""
+
+    domain_id: str
+    nodes: List[Node] = field(default_factory=list)
+
+    def node_names(self) -> List[str]:
+        return [n.name for n in self.nodes]
+
+    def __contains__(self, node_name: str) -> bool:
+        return any(n.name == node_name for n in self.nodes)
+
+
+def derive_failure_domains(cluster: ClusterSpec) -> List[FailureDomain]:
+    """Group nodes into failure domains by shared rack + PDU."""
+    by_key: Dict[tuple, FailureDomain] = {}
+    for node in cluster.nodes:
+        key = (node.rack, node.pdu)
+        domain = by_key.get(key)
+        if domain is None:
+            domain = FailureDomain(domain_id=f"{node.rack}/{node.pdu}")
+            by_key[key] = domain
+        domain.nodes.append(node)
+    return sorted(by_key.values(), key=lambda d: d.domain_id)
+
+
+def _domain_distance(
+    topo: NetworkTopology, a: FailureDomain, b: FailureDomain
+) -> int:
+    """Minimum switch hops between any node pair across two domains."""
+    return min(
+        topo.hop_count(na.name, nb.name) for na in a.nodes for nb in b.nodes
+    )
+
+
+def partner_domains(
+    topo: NetworkTopology,
+    domains: List[FailureDomain],
+) -> Dict[str, List[FailureDomain]]:
+    """For each domain, the other domains sorted by hop distance.
+
+    The balancer walks this list to find the *closest available* partner
+    domain holding free SSDs ("storage devices for a job are allocated
+    on the closest (fewest hops away) available partner domain").
+    """
+    partners: Dict[str, List[FailureDomain]] = {}
+    for domain in domains:
+        others = [d for d in domains if d.domain_id != domain.domain_id]
+        others.sort(
+            key=lambda d: (_domain_distance(topo, domain, d), d.domain_id)
+        )
+        partners[domain.domain_id] = others
+    return partners

@@ -1,0 +1,61 @@
+"""Switch-level network topology.
+
+A two-tier fat-tree-ish model: every rack has a top-of-rack (ToR)
+switch; ToR switches connect to a core switch. Hop counts between nodes
+feed two consumers:
+
+* the storage balancer sorts partner failure domains by hop distance,
+* the fabric model charges per-hop latency on NVMf round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.topology.cluster import ClusterSpec
+
+__all__ = ["NetworkTopology"]
+
+
+class NetworkTopology:
+    """Graph of nodes and switches with cached hop counts."""
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+        self.graph = nx.Graph()
+        core = "switch-core"
+        self.graph.add_node(core, kind="switch")
+        for rack in cluster.racks:
+            tor = f"switch-{rack.name}"
+            self.graph.add_node(tor, kind="switch")
+            self.graph.add_edge(tor, core)
+            for node in rack.nodes:
+                self.graph.add_node(node.name, kind="host")
+                self.graph.add_edge(node.name, tor)
+        self._hops: Dict[tuple, int] = {}
+
+    def hop_count(self, a: str, b: str) -> int:
+        """Number of switch hops between hosts ``a`` and ``b``.
+
+        Same host -> 0. Same rack -> 1 (through the ToR). Cross-rack ->
+        3 (ToR, core, ToR). Computed as shortest-path edges minus one
+        (the last edge descends into the destination host).
+        """
+        if a == b:
+            return 0
+        key = (a, b) if a <= b else (b, a)
+        hops = self._hops.get(key)
+        if hops is None:
+            length = nx.shortest_path_length(self.graph, a, b)
+            hops = length - 1
+            self._hops[key] = hops
+        return hops
+
+    def switches(self) -> List[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d["kind"] == "switch"]
+
+    def latency_hops(self, a: str, b: str) -> int:
+        """Alias used by the fabric model (reads better at call sites)."""
+        return self.hop_count(a, b)

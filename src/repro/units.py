@@ -1,0 +1,123 @@
+"""Readable size, time, and rate units.
+
+Everything in the simulator uses base SI-ish units:
+
+* **bytes** for sizes (plain ``int``),
+* **seconds** for times (plain ``float``),
+* **bytes/second** for rates (plain ``float``).
+
+These helpers exist so call sites read like the paper
+(``MiB(512)``, ``GB_per_s(2.4)``, ``us(3)``) instead of exponent soup.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Sizes (binary units -- block devices and memory are binary-sized)
+# --------------------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+
+def KiB(n: float) -> int:
+    """``n`` kibibytes as an integer byte count."""
+    return int(n * KIB)
+
+
+def MiB(n: float) -> int:
+    """``n`` mebibytes as an integer byte count."""
+    return int(n * MIB)
+
+
+def GiB(n: float) -> int:
+    """``n`` gibibytes as an integer byte count."""
+    return int(n * GIB)
+
+
+def TiB(n: float) -> int:
+    """``n`` tebibytes as an integer byte count."""
+    return int(n * TIB)
+
+
+# --------------------------------------------------------------------------
+# Times
+# --------------------------------------------------------------------------
+
+
+def ns(n: float) -> float:
+    """``n`` nanoseconds in seconds."""
+    return n * 1e-9
+
+
+def us(n: float) -> float:
+    """``n`` microseconds in seconds."""
+    return n * 1e-6
+
+
+def ms(n: float) -> float:
+    """``n`` milliseconds in seconds."""
+    return n * 1e-3
+
+
+def seconds(n: float) -> float:
+    """``n`` seconds (identity; for symmetry at call sites)."""
+    return float(n)
+
+
+# --------------------------------------------------------------------------
+# Rates (decimal units -- vendors quote GB/s decimal)
+# --------------------------------------------------------------------------
+
+
+def MB_per_s(n: float) -> float:
+    """``n`` decimal megabytes per second, in bytes/second."""
+    return n * 1e6
+
+
+def GB_per_s(n: float) -> float:
+    """``n`` decimal gigabytes per second, in bytes/second."""
+    return n * 1e9
+
+
+def Gbit_per_s(n: float) -> float:
+    """``n`` gigabits per second, in bytes/second."""
+    return n * 1e9 / 8.0
+
+
+# --------------------------------------------------------------------------
+# Formatting helpers (used by the bench harness for paper-style tables)
+# --------------------------------------------------------------------------
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``512.0 MiB``."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}" if suffix != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Render a rate in decimal units, e.g. ``2.40 GB/s``."""
+    value = float(bytes_per_s)
+    for suffix in ("B/s", "KB/s", "MB/s", "GB/s"):
+        if abs(value) < 1000.0 or suffix == "GB/s":
+            return f"{value:.2f} {suffix}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(t: float) -> str:
+    """Render a duration with an adaptive unit, e.g. ``39.5 s`` / ``120 us``."""
+    if t >= 1.0:
+        return f"{t:.2f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.2f} ms"
+    if t >= 1e-6:
+        return f"{t * 1e6:.2f} us"
+    return f"{t * 1e9:.1f} ns"

@@ -1,0 +1,72 @@
+"""Tests for the CoMD proxy app and checkpoint drivers."""
+
+import pytest
+
+from repro.apps import CoMDConfig, CoMDProxy, Deployment
+from repro.apps.checkpoint import CheckpointStats, n1_checkpoint
+from repro.bench import calibration as cal
+from repro.core.config import RuntimeConfig
+from repro.units import GiB, MiB
+
+
+def test_weak_scaling_config_matches_paper_totals():
+    """32K atoms/rank, 10 ckpts, 448 procs => ~700 GB total (§IV-H)."""
+    config = CoMDConfig.weak_scaling()
+    total = config.total_checkpoint_bytes(448)
+    assert 650e9 < total < 750e9
+
+
+def test_strong_scaling_config_matches_paper_totals():
+    """Fixed 86 GB across 10 checkpoints regardless of process count."""
+    config = CoMDConfig.strong_scaling(nprocs=448)
+    total = config.total_checkpoint_bytes(448)
+    assert 70e9 < total < 95e9
+    # Strong scaling: per-rank size shrinks with process count.
+    assert (CoMDConfig.strong_scaling(nprocs=56).checkpoint_bytes_per_rank
+            > CoMDConfig.strong_scaling(nprocs=448).checkpoint_bytes_per_rank)
+
+
+def test_compute_time_scales_with_atoms():
+    small = CoMDConfig(atoms_per_rank=1000)
+    large = CoMDConfig(atoms_per_rank=4000)
+    assert large.compute_seconds_per_phase == pytest.approx(
+        4 * small.compute_seconds_per_phase
+    )
+
+
+def test_rank_main_collects_stats():
+    dep = Deployment(seed=21, deterministic_devices=True)
+    job, plan = dep.submit("comd", nprocs=4, devices=2, bytes_per_device=GiB(4))
+    proxy = CoMDProxy(CoMDConfig(atoms_per_rank=1000, checkpoints=4))
+    config = RuntimeConfig(log_region_bytes=MiB(1), state_region_bytes=MiB(8))
+    mpi_job = dep.run_job(job, plan, proxy.rank_main, config=config)
+    for stats in mpi_job.results():
+        assert len(stats.checkpoint_times) == 4
+        assert stats.compute_time > 0
+        assert stats.bytes_written == 4 * 1000 * cal.COMD_BYTES_PER_ATOM
+        assert 0 < stats.progress_rate() < 1
+
+
+def test_compute_jitter_zero_is_deterministic():
+    config = CoMDConfig(atoms_per_rank=1000, compute_jitter=0.0)
+    proxy = CoMDProxy(config)
+    import numpy as np
+    rng = np.random.default_rng(0)
+    assert proxy._compute_time(rng) == config.compute_seconds_per_phase
+
+
+def test_n1_pattern_driver():
+    dep = Deployment(seed=22, deterministic_devices=True)
+    job, plan = dep.submit("n1", nprocs=4, devices=1, bytes_per_device=GiB(4))
+    config = RuntimeConfig(log_region_bytes=MiB(1), state_region_bytes=MiB(8))
+
+    def rank_main(shim, comm):
+        stats = CheckpointStats()
+        yield from shim.mkdir("/ckpt")
+        yield from n1_checkpoint(shim, comm, 0, MiB(4), stats)
+        return stats
+
+    mpi_job = dep.run_job(job, plan, rank_main, config=config)
+    for stats in mpi_job.results():
+        assert stats.bytes_written == MiB(4)
+        assert len(stats.checkpoint_times) == 1

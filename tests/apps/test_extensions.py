@@ -1,0 +1,156 @@
+"""Tests for incremental checkpointing and compression (§II-B extras)."""
+
+import pytest
+
+from repro.apps.compression import CompressionSpec, compressed_checkpoint, compressed_restore
+from repro.apps.incremental import IncrementalCheckpointer, IncrementalConfig
+from repro.bench.fleet import MicroFSFleet
+from repro.errors import RecoveryError
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def shim():
+    return MicroFSFleet(1, partition_bytes=GiB(1)).clients[0]
+
+
+def run(shim, gen):
+    return shim.env.run_until_complete(shim.env.process(gen))
+
+
+# -- incremental -------------------------------------------------------------
+
+
+def test_incremental_config_validation():
+    with pytest.raises(ValueError):
+        IncrementalConfig(state_bytes=MiB(1), dirty_fraction=1.5)
+    with pytest.raises(ValueError):
+        IncrementalConfig(state_bytes=0)
+    assert IncrementalConfig(state_bytes=MiB(10)).regions == 10
+
+
+def test_full_then_incremental_schedule(shim):
+    config = IncrementalConfig(state_bytes=MiB(64), dirty_fraction=0.25, full_interval=4)
+    inc = IncrementalCheckpointer(shim, config)
+
+    def scenario():
+        metas = []
+        for step in range(8):
+            metas.append((yield from inc.write_checkpoint(step)))
+        return metas
+
+    metas = run(shim, scenario())
+    assert [m.full for m in metas] == [True, False, False, False] * 2
+    for meta in metas:
+        if meta.full:
+            assert meta.regions_written == config.regions
+        else:
+            assert meta.regions_written < config.regions
+
+
+def test_incremental_reduces_volume(shim):
+    config = IncrementalConfig(state_bytes=MiB(64), dirty_fraction=0.2, full_interval=10)
+    inc = IncrementalCheckpointer(shim, config)
+
+    def scenario():
+        for step in range(5):
+            yield from inc.write_checkpoint(step)
+
+    run(shim, scenario())
+    full_volume = 5 * MiB(64)
+    assert inc.bytes_written < 0.5 * full_volume
+
+
+def test_restore_reads_full_plus_increments(shim):
+    config = IncrementalConfig(state_bytes=MiB(32), dirty_fraction=0.3, full_interval=3)
+    inc = IncrementalCheckpointer(shim, config)
+
+    def scenario():
+        for step in range(5):  # full at 0, 3; increments 1,2,4
+            yield from inc.write_checkpoint(step)
+        return (yield from inc.restore())
+
+    total = run(shim, scenario())
+    # Restore = full at step 3 + increment at step 4.
+    expected = inc.history[3].nbytes + inc.history[4].nbytes
+    assert total == expected
+
+
+def test_restore_without_full_raises(shim):
+    config = IncrementalConfig(state_bytes=MiB(32))
+    inc = IncrementalCheckpointer(shim, config)
+
+    def scenario():
+        yield from inc.restore()
+
+    with pytest.raises(RecoveryError):
+        run(shim, scenario())
+
+
+def test_incremental_deterministic_across_seeds(shim):
+    config = IncrementalConfig(state_bytes=MiB(32), dirty_fraction=0.5)
+    a = IncrementalCheckpointer(shim, config, seed=9)
+    b = IncrementalCheckpointer(shim, config, seed=9)
+    assert a._dirty_regions(1) == b._dirty_regions(1)
+
+
+# -- compression ---------------------------------------------------------------
+
+
+def test_compression_spec_validation():
+    with pytest.raises(ValueError):
+        CompressionSpec("bad", ratio=0.5, compress_bandwidth=1e9, decompress_bandwidth=1e9)
+    lz4 = CompressionSpec.lz4()
+    assert lz4.ratio > 1.0
+
+
+def test_compressed_checkpoint_writes_fewer_bytes(shim):
+    spec = CompressionSpec.lz4()
+
+    def scenario():
+        out = yield from compressed_checkpoint(shim, "/c.z", MiB(64), spec)
+        return out
+
+    out = run(shim, scenario())
+    assert out == int(MiB(64) / spec.ratio)
+    assert shim.stat("/c.z").size == out
+
+
+def test_compression_tradeoff_crossover():
+    """Compression wins when the device is shared (IO-bound), loses when
+    one rank owns the bandwidth (CPU-bound) — the classic crossover."""
+    def dump_time(nprocs, compress):
+        fleet = MicroFSFleet(nprocs, partition_bytes=MiB(512), seed=4)
+        spec = CompressionSpec.zstd()
+        env = fleet.env
+        finish = []
+
+        def work(i, shim):
+            if compress:
+                yield from compressed_checkpoint(shim, "/c.dat", MiB(64), spec)
+            else:
+                fd = yield from shim.open("/c.dat", "w")
+                yield from shim.write(fd, MiB(64))
+                yield from shim.fsync(fd)
+                yield from shim.close(fd)
+            finish.append(env.now)
+
+        for i, client in enumerate(fleet.clients):
+            env.process(work(i, client))
+        env.run()
+        return max(finish)
+
+    # Single rank: zstd at 0.7 GB/s is slower than a 2.2 GB/s SSD.
+    assert dump_time(1, compress=True) > dump_time(1, compress=False)
+    # 28 ranks sharing one SSD: halving the bytes wins.
+    assert dump_time(28, compress=True) < dump_time(28, compress=False)
+
+
+def test_compressed_restore(shim):
+    spec = CompressionSpec.lz4()
+
+    def scenario():
+        stored = yield from compressed_checkpoint(shim, "/c.z", MiB(16), spec)
+        yield from compressed_restore(shim, "/c.z", stored, spec)
+
+    run(shim, scenario())

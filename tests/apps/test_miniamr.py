@@ -1,0 +1,60 @@
+"""Tests for the miniAMR proxy."""
+
+import numpy as np
+import pytest
+
+from repro.apps import Deployment
+from repro.apps.miniamr import MiniAMRConfig, MiniAMRProxy
+from repro.core.config import RuntimeConfig
+from repro.units import GiB, MiB
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MiniAMRConfig(mean_blocks_per_rank=0)
+    with pytest.raises(ValueError):
+        MiniAMRConfig(refinement_skew=-1)
+    with pytest.raises(ValueError):
+        MiniAMRConfig(churn=2.0)
+
+
+def test_zero_skew_is_equal_sizes():
+    proxy = MiniAMRProxy(MiniAMRConfig(refinement_skew=0.0))
+    rng = np.random.default_rng(0)
+    draws = {proxy._initial_blocks(rng) for _ in range(10)}
+    assert draws == {float(proxy.config.mean_blocks_per_rank)}
+
+
+def test_skew_preserves_mean_but_spreads():
+    proxy = MiniAMRProxy(MiniAMRConfig(refinement_skew=0.8, mean_blocks_per_rank=1000))
+    rng = np.random.default_rng(1)
+    draws = [proxy._initial_blocks(rng) for _ in range(4000)]
+    assert np.mean(draws) == pytest.approx(1000, rel=0.1)
+    assert np.std(draws) > 300
+
+
+def test_churn_mixes_toward_fresh_draws():
+    config = MiniAMRConfig(refinement_skew=0.5, churn=1.0)
+    proxy = MiniAMRProxy(config)
+    rng = np.random.default_rng(2)
+    # churn=1: refine ignores the old value entirely.
+    old = 1e9
+    refined = proxy._refine(old, rng)
+    assert refined < old / 100
+
+
+def test_rank_main_runs_end_to_end():
+    dep = Deployment(seed=40, deterministic_devices=True)
+    config = MiniAMRConfig(mean_blocks_per_rank=32, checkpoints=3,
+                           refinement_skew=0.5, block_state_bytes=64 * 1024)
+    proxy = MiniAMRProxy(config, seed=40)
+    job, plan = dep.submit("amr", nprocs=4, devices=2, bytes_per_device=GiB(4))
+    runtime_config = RuntimeConfig(log_region_bytes=MiB(1), state_region_bytes=MiB(8))
+    mpi_job = dep.run_job(job, plan, proxy.rank_main, config=runtime_config)
+    sizes = set()
+    for stats in mpi_job.results():
+        assert len(stats.checkpoint_times) == 3
+        assert stats.compute_time > 0
+        sizes.add(stats.bytes_written)
+    # Skew: ranks wrote different volumes.
+    assert len(sizes) > 1

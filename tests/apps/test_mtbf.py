@@ -1,0 +1,130 @@
+"""Tests for the MTBF campaign simulator and Young/Daly intervals."""
+
+import math
+
+import pytest
+
+from repro.apps.mtbf import (
+    CampaignConfig,
+    FailureCampaign,
+    daly_interval,
+    young_interval,
+)
+from repro.bench.fleet import MicroFSFleet
+from repro.units import GiB, MiB
+
+
+def make_shim(partition=GiB(2)):
+    return MicroFSFleet(1, partition_bytes=partition).clients[0]
+
+
+def run_campaign(shim, config, seed=0):
+    campaign = FailureCampaign(shim, config, seed=seed)
+    return shim.env.run_until_complete(shim.env.process(campaign.run()))
+
+
+# -- formulas -----------------------------------------------------------------
+
+
+def test_young_formula():
+    assert young_interval(1800.0, 10.0) == pytest.approx(math.sqrt(2 * 10 * 1800))
+
+
+def test_daly_close_to_young_when_cost_small():
+    young = young_interval(3600.0, 1.0)
+    daly = daly_interval(3600.0, 1.0)
+    assert abs(daly - young) / young < 0.05
+
+
+def test_daly_degenerate_regime():
+    assert daly_interval(10.0, 9.0) == 10.0
+
+
+def test_formula_validation():
+    with pytest.raises(ValueError):
+        young_interval(0, 1)
+    with pytest.raises(ValueError):
+        daly_interval(1, 0)
+
+
+# -- campaigns ------------------------------------------------------------------
+
+
+def test_no_failures_completes_cleanly():
+    shim = make_shim()
+    config = CampaignConfig(
+        total_compute=10.0, checkpoint_interval=2.0,
+        checkpoint_bytes=MiB(16), mtbf=1e9,
+    )
+    result = run_campaign(shim, config)
+    assert result.failures == 0
+    assert result.compute_done == pytest.approx(10.0)
+    # 4 checkpoints (no final one needed at completion).
+    assert result.checkpoints_written == 4
+    assert result.effective_progress > 0.9
+
+
+def test_failures_cause_rollback_and_lost_work():
+    shim = make_shim()
+    config = CampaignConfig(
+        total_compute=60.0, checkpoint_interval=5.0,
+        checkpoint_bytes=MiB(16), mtbf=8.0, restart_cost=0.5,
+    )
+    result = run_campaign(shim, config, seed=3)
+    assert result.failures > 0
+    assert result.lost_work > 0
+    assert result.compute_done == pytest.approx(60.0)
+    assert result.wall_time > 60.0
+    assert 0.0 < result.effective_progress < 1.0
+    assert result.restarts <= result.failures
+
+
+def test_common_random_numbers_reproducible():
+    config = CampaignConfig(
+        total_compute=30.0, checkpoint_interval=4.0,
+        checkpoint_bytes=MiB(8), mtbf=10.0,
+    )
+    a = run_campaign(make_shim(), config, seed=7)
+    b = run_campaign(make_shim(), config, seed=7)
+    assert a.wall_time == b.wall_time
+    assert a.failures == b.failures
+
+
+def test_higher_mtbf_means_better_progress():
+    config_fragile = CampaignConfig(
+        total_compute=40.0, checkpoint_interval=4.0,
+        checkpoint_bytes=MiB(8), mtbf=6.0,
+    )
+    config_stable = CampaignConfig(
+        total_compute=40.0, checkpoint_interval=4.0,
+        checkpoint_bytes=MiB(8), mtbf=600.0,
+    )
+    fragile = run_campaign(make_shim(), config_fragile, seed=5)
+    stable = run_campaign(make_shim(), config_stable, seed=5)
+    assert stable.effective_progress > fragile.effective_progress
+
+
+def test_interval_sweep_has_interior_optimum():
+    """Too-frequent checkpoints waste time dumping; too-rare ones lose
+    big rollbacks: effective progress peaks at an interior interval."""
+    def progress(interval, seed=11):
+        config = CampaignConfig(
+            total_compute=120.0, checkpoint_interval=interval,
+            checkpoint_bytes=MiB(64), mtbf=15.0, restart_cost=0.2,
+        )
+        return run_campaign(make_shim(GiB(8)), config, seed=seed).effective_progress
+
+    tiny = progress(0.2)     # dump-dominated
+    mid = progress(3.0)      # near Daly for C~0.03,M=15
+    huge = progress(60.0)    # rollback-dominated
+    assert mid > tiny
+    assert mid > huge
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(total_compute=0, checkpoint_interval=1,
+                       checkpoint_bytes=1, mtbf=1)
+    with pytest.raises(ValueError):
+        CampaignConfig(total_compute=1, checkpoint_interval=1,
+                       checkpoint_bytes=0, mtbf=1)

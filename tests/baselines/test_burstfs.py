@@ -1,0 +1,148 @@
+"""Tests for the node-local burst buffer baseline."""
+
+import pytest
+
+from repro.baselines.burstfs import BurstBufferCluster
+from repro.errors import FileNotFound, RecoveryError
+from repro.sim import Environment
+from repro.units import GiB, MiB
+
+
+def make_cluster(nodes=("comp00", "comp01")):
+    env = Environment()
+    return env, BurstBufferCluster(env, list(nodes), namespace_bytes=GiB(8))
+
+
+def run(env, gen):
+    return env.run_until_complete(env.process(gen))
+
+
+def test_local_write_read_roundtrip():
+    env, cluster = make_cluster()
+    client = cluster.client("r0", "comp00")
+
+    def scenario():
+        fd = yield from client.open("/ckpt0", "w")
+        yield from client.write(fd, MiB(16))
+        yield from client.fsync(fd)
+        yield from client.close(fd)
+        fd = yield from client.open("/ckpt0", "r")
+        pieces = yield from client.read(fd, MiB(16))
+        yield from client.close(fd)
+        return sum(p.nbytes for p in pieces)
+
+    assert run(env, scenario()) == MiB(16)
+    assert cluster.node_ssds["comp00"].counters.get("bytes_written") >= MiB(16)
+    assert cluster.node_ssds["comp01"].counters.get("bytes_written") == 0
+
+
+def test_checkpoints_scale_with_compute_nodes():
+    """Node-local aggregate bandwidth grows with node count — the burst
+    buffer's strength."""
+    def dump_time(nodes):
+        env, cluster = make_cluster([f"comp{i:02d}" for i in range(nodes)])
+        finish = []
+
+        def work(i):
+            client = cluster.client(f"r{i}", f"comp{i:02d}")
+            fd = yield from client.open(f"/ckpt{i}", "w")
+            yield from client.write(fd, MiB(256))
+            yield from client.fsync(fd)
+            yield from client.close(fd)
+            finish.append(env.now)
+
+        for i in range(nodes):
+            env.process(work(i))
+        env.run()
+        return max(finish)
+
+    # Perfectly parallel: same per-node time regardless of node count.
+    assert dump_time(4) == pytest.approx(dump_time(1), rel=0.05)
+
+
+def test_drain_pushes_to_pfs():
+    env, cluster = make_cluster()
+    client = cluster.client("r0", "comp00")
+
+    def scenario():
+        fd = yield from client.open("/ckpt0", "w")
+        yield from client.write(fd, MiB(8))
+        yield from client.close(fd)
+        assert cluster.drain_lag_files() == 1
+        yield from client.drain("/ckpt0")
+
+    run(env, scenario())
+    assert cluster.drain_lag_files() == 0
+    assert cluster.pfs.counters.get("bytes_written") == MiB(8)
+
+
+def test_node_failure_loses_undrained_checkpoint():
+    """The disaggregation argument: checkpoint and process share a
+    failure domain, so an undrained checkpoint dies with the node."""
+    env, cluster = make_cluster()
+    client = cluster.client("r0", "comp00")
+
+    def write_only():
+        fd = yield from client.open("/ckpt0", "w")
+        yield from client.write(fd, MiB(8))
+        yield from client.close(fd)
+
+    run(env, write_only())
+    cluster.fail_node("comp00")
+    survivor = cluster.client("r1", "comp01")
+
+    def try_read():
+        fd = yield from survivor.open("/ckpt0", "r")
+        yield from survivor.read(fd, MiB(8))
+
+    with pytest.raises(RecoveryError):
+        run(env, try_read())
+
+
+def test_node_failure_recovers_from_drained_copy():
+    env, cluster = make_cluster()
+    client = cluster.client("r0", "comp00")
+
+    def write_and_drain():
+        fd = yield from client.open("/ckpt0", "w")
+        yield from client.write(fd, MiB(8))
+        yield from client.close(fd)
+        yield from client.drain("/ckpt0")
+
+    run(env, write_and_drain())
+    cluster.fail_node("comp00")
+    survivor = cluster.client("r1", "comp01")
+
+    def read_back():
+        fd = yield from survivor.open("/ckpt0", "r")
+        pieces = yield from survivor.read(fd, MiB(8))
+        return sum(p.nbytes for p in pieces)
+
+    assert run(env, read_back()) == MiB(8)
+
+
+def test_cross_node_read_requires_drain():
+    env, cluster = make_cluster()
+    writer = cluster.client("r0", "comp00")
+    reader = cluster.client("r1", "comp01")
+
+    def scenario():
+        fd = yield from writer.open("/ckpt0", "w")
+        yield from writer.write(fd, MiB(4))
+        yield from writer.close(fd)
+        fd = yield from reader.open("/ckpt0", "r")
+        yield from reader.read(fd, MiB(4))
+
+    with pytest.raises(RecoveryError):
+        run(env, scenario())
+
+
+def test_missing_file():
+    env, cluster = make_cluster()
+    client = cluster.client("r0", "comp00")
+
+    def scenario():
+        yield from client.open("/ghost", "r")
+
+    with pytest.raises(FileNotFound):
+        run(env, scenario())

@@ -1,0 +1,143 @@
+"""Tests for the ext4/XFS kernel filesystem models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.posixfs import KernelFilesystem
+from repro.errors import FileNotFound
+from repro.nvme import SSD
+from repro.sim import Environment
+from repro.units import GiB, MiB
+
+from tests.conftest import deterministic_spec
+
+
+def make_kfs(variant, env=None):
+    env = env or Environment()
+    ssd = SSD(env, deterministic_spec(), "local0", rng=np.random.default_rng(0))
+    ns = ssd.create_namespace(GiB(64), owner_job="kernelfs")
+    return env, KernelFilesystem(env, ssd, ns, variant)
+
+
+def run(env, gen):
+    return env.run_until_complete(env.process(gen))
+
+
+def dump(client, nbytes, path="/ckpt.dat"):
+    def scenario():
+        t0 = client.env.now
+        fd = yield from client.open(path, "w")
+        yield from client.write(fd, nbytes)
+        yield from client.fsync(fd)
+        yield from client.close(fd)
+        return client.env.now - t0
+    return scenario()
+
+
+def test_write_is_buffered_fsync_pays():
+    env, kfs = make_kfs("xfs")
+    client = kfs.client("c0")
+
+    def scenario():
+        fd = yield from client.open("/f", "w")
+        t0 = env.now
+        yield from client.write(fd, MiB(64))
+        write_time = env.now - t0
+        t1 = env.now
+        yield from client.fsync(fd)
+        fsync_time = env.now - t1
+        yield from client.close(fd)
+        return write_time, fsync_time
+
+    write_time, fsync_time = run(env, scenario())
+    # Buffered write ~ memcpy speed; fsync ~ device speed.
+    assert write_time < MiB(64) / 2e9
+    assert fsync_time > MiB(64) / 3e9
+
+
+def test_ext4_slower_than_xfs_under_concurrency():
+    """Figure 7(c): ext4 is much slower than XFS at full subscription,
+    because per-4K-block allocation serialises on the shared lock."""
+    def full_subscription(variant, nprocs=28):
+        env, kfs = make_kfs(variant)
+        done = []
+
+        def proc(i):
+            client = kfs.client(f"c{i}")
+            yield from dump(client, MiB(64), path=f"/f{i}")
+            done.append(env.now)
+
+        for i in range(nprocs):
+            env.process(proc(i))
+        env.run()
+        return max(done)
+
+    xfs_time = full_subscription("xfs")
+    ext4_time = full_subscription("ext4")
+    assert ext4_time > 1.2 * xfs_time
+
+
+def test_kernel_fraction_dominates():
+    """Figure 7(c): kernel filesystems spend most wall time in-kernel."""
+    env, kfs = make_kfs("xfs")
+    client = kfs.client("c0")
+    wall = run(env, dump(client, MiB(256)))
+    assert client.kernel_fraction(wall) > 0.6
+
+
+def test_read_path():
+    env, kfs = make_kfs("xfs")
+    client = kfs.client("c0")
+
+    def scenario():
+        fd = yield from client.open("/f", "w")
+        yield from client.write(fd, MiB(4))
+        yield from client.fsync(fd)
+        yield from client.close(fd)
+        fd = yield from client.open("/f", "r")
+        pieces = yield from client.read(fd, MiB(4))
+        yield from client.close(fd)
+        return sum(p.nbytes for p in pieces)
+
+    assert run(env, scenario()) == MiB(4)
+
+
+def test_open_missing_raises():
+    env, kfs = make_kfs("ext4")
+    client = kfs.client("c0")
+
+    def scenario():
+        yield from client.open("/missing", "r")
+
+    with pytest.raises(FileNotFound):
+        run(env, scenario())
+
+
+def test_shared_namespace_across_clients():
+    env, kfs = make_kfs("xfs")
+    a, b = kfs.client("a"), kfs.client("b")
+
+    def scenario():
+        fd = yield from a.open("/shared", "w")
+        yield from a.write(fd, MiB(1))
+        yield from a.fsync(fd)
+        yield from a.close(fd)
+        fd = yield from b.open("/shared", "r")
+        yield from b.close(fd)
+        return b.stat("/shared").size
+
+    assert run(env, scenario()) == MiB(1)
+
+
+def test_unlink():
+    env, kfs = make_kfs("xfs")
+    client = kfs.client("c0")
+
+    def scenario():
+        fd = yield from client.open("/f", "w")
+        yield from client.close(fd)
+        yield from client.unlink("/f")
+
+    run(env, scenario())
+    with pytest.raises(FileNotFound):
+        client.stat("/f")

@@ -1,0 +1,103 @@
+"""Tests for the bench harness: tables, drivers, and the fleet."""
+
+import pytest
+
+from repro.bench.fleet import MicroFSFleet, StandaloneRuntime
+from repro.bench.harness import ResultTable, dump_files, parallel_clients, read_files
+from repro.core.config import RuntimeConfig
+from repro.units import KiB, MiB
+
+
+# -- ResultTable ---------------------------------------------------------------
+
+
+def test_table_add_and_column():
+    table = ResultTable("t", ["a", "b"])
+    table.add(1, 2.0)
+    table.add(3, 4.0)
+    assert table.column("a") == [1, 3]
+    assert table.column("b") == [2.0, 4.0]
+
+
+def test_table_row_arity_checked():
+    table = ResultTable("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add(1)
+
+
+def test_table_render_contains_everything():
+    table = ResultTable("My Title", ["name", "value"])
+    table.add("x", 0.123456)
+    table.add("y", 12345.6)
+    table.note("context line")
+    out = table.render()
+    assert "My Title" in out
+    assert "x" in out and "0.123" in out
+    assert "1.23e+04" in out or "12345" in out or "1.23e4" in out
+    assert "note: context line" in out
+
+
+def test_table_render_empty():
+    table = ResultTable("empty", ["only"])
+    assert "empty" in table.render()
+
+
+# -- fleet + drivers ----------------------------------------------------------------
+
+
+def test_fleet_builds_n_instances():
+    fleet = MicroFSFleet(4, partition_bytes=MiB(128))
+    assert len(fleet.instances) == 4
+    assert len(fleet.clients) == 4
+    # Partitions are disjoint slices of one namespace.
+    offsets = sorted(fs.partition.offset for fs in fleet.instances)
+    assert len(set(offsets)) == 4
+
+
+def test_fleet_remote_mode_uses_nvmf():
+    fleet = MicroFSFleet(2, partition_bytes=MiB(128), remote=True)
+    desc = fleet.instances[0].data_plane.transport.description
+    assert desc.startswith("nvmf:")
+
+
+def test_fleet_global_namespace_mode():
+    config = RuntimeConfig(
+        private_namespace=False, log_region_bytes=MiB(1), state_region_bytes=MiB(8)
+    )
+    fleet = MicroFSFleet(2, config=config, partition_bytes=MiB(128),
+                         global_namespace=True)
+    assert fleet.instances[0].global_namespace is fleet.global_ns
+    assert fleet.global_ns is not None
+
+
+def test_standalone_runtime_surface():
+    fleet = MicroFSFleet(1, partition_bytes=MiB(128))
+    runtime = StandaloneRuntime(fleet.env, fleet.instances[0])
+    assert runtime.microfs is fleet.instances[0]
+
+    def lifecycle():
+        yield from runtime.init()
+        yield from runtime.finalize()
+
+    fleet.env.run_until_complete(fleet.env.process(lifecycle()))
+
+
+def test_parallel_clients_and_drivers_roundtrip():
+    fleet = MicroFSFleet(3, partition_bytes=MiB(256))
+    elapsed = parallel_clients(fleet.env, fleet.clients, dump_files(MiB(4)))
+    assert elapsed > 0
+    read_elapsed = parallel_clients(fleet.env, fleet.clients, read_files(MiB(4)))
+    assert read_elapsed > 0
+    for fs in fleet.instances:
+        assert fs.counters.get("app_bytes_written") == MiB(4)
+        assert fs.counters.get("app_bytes_read") == MiB(4)
+
+
+def test_parallel_clients_requires_completion():
+    fleet = MicroFSFleet(1, partition_bytes=MiB(128))
+
+    def broken(i, client):
+        yield from client.open("/missing", "r")  # raises
+
+    with pytest.raises(Exception):
+        parallel_clients(fleet.env, fleet.clients, broken)

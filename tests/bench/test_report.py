@@ -1,0 +1,50 @@
+"""Tests for table export."""
+
+import csv
+import json
+
+from repro.bench.harness import ResultTable
+from repro.bench.report import export, to_csv, to_json
+
+
+def sample_table():
+    table = ResultTable("Figure 9 (weak): efficiency", ["procs", "eff"])
+    table.add(56, 0.994)
+    table.add(448, 0.999)
+    table.note("anchor")
+    return table
+
+
+def test_to_csv_roundtrip():
+    rows = list(csv.reader(to_csv(sample_table()).splitlines()))
+    assert rows[0] == ["procs", "eff"]
+    assert rows[1] == ["56", "0.994"]
+    assert len(rows) == 3
+
+
+def test_to_json_roundtrip():
+    doc = json.loads(to_json(sample_table()))
+    assert doc["title"].startswith("Figure 9")
+    assert doc["columns"] == ["procs", "eff"]
+    assert doc["rows"] == [[56, 0.994], [448, 0.999]]
+    assert doc["notes"] == ["anchor"]
+
+
+def test_export_writes_files(tmp_path):
+    written = export(sample_table(), tmp_path)
+    assert len(written) == 2
+    suffixes = {p.suffix for p in written}
+    assert suffixes == {".csv", ".json"}
+    for path in written:
+        assert path.exists()
+        assert path.stat().st_size > 0
+
+
+def test_export_many(tmp_path):
+    t1 = sample_table()
+    t2 = ResultTable("Other table", ["x"])
+    t2.add(1)
+    written = export([t1, t2], tmp_path)
+    assert len(written) == 4
+    names = {p.stem for p in written}
+    assert len(names) == 2

@@ -1,0 +1,67 @@
+"""Shared fixtures: a single-SSD microfs rig used across core tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.core.data_plane import DataPlane
+from repro.core.microfs.fs import MicroFS
+from repro.fabric.transport import LocalPCIeTransport
+from repro.nvme import SSD, SSDSpec, intel_p4800x
+from repro.sim import Environment
+from repro.units import GiB, MiB
+
+
+def deterministic_spec(**overrides) -> SSDSpec:
+    """P4800X with arbitration jitter off so unit tests are exact."""
+    base = intel_p4800x()
+    fields = dict(
+        model=base.model,
+        capacity_bytes=base.capacity_bytes,
+        write_bandwidth=base.write_bandwidth,
+        read_bandwidth=base.read_bandwidth,
+        per_command_cost=base.per_command_cost,
+        flush_cost=base.flush_cost,
+        lba_size=base.lba_size,
+        max_hw_queues=base.max_hw_queues,
+        max_namespaces=base.max_namespaces,
+        ram_buffer_bytes=base.ram_buffer_bytes,
+        ram_write_bandwidth=base.ram_write_bandwidth,
+        arbitration_beta=0.0,
+    )
+    fields.update(overrides)
+    return SSDSpec(**fields)
+
+
+class MicroFSRig:
+    """One env + SSD + namespace + a MicroFS on a partition."""
+
+    def __init__(self, config=None, partition_bytes=GiB(4), nranks=1, rank=0):
+        self.env = Environment()
+        self.config = config or RuntimeConfig(
+            log_region_bytes=MiB(1), state_region_bytes=MiB(16)
+        )
+        self.ssd = SSD(
+            self.env, deterministic_spec(), "ssd0", rng=np.random.default_rng(0)
+        )
+        self.namespace = self.ssd.create_namespace(partition_bytes * nranks, owner_job="test")
+        self.partition = self.namespace.partition(
+            rank, nranks, self.config.effective_block_bytes
+        )
+        self.transport = LocalPCIeTransport(self.env, self.ssd)
+        self.data_plane = DataPlane(
+            self.env, self.transport, self.namespace.nsid, self.config
+        )
+        self.fs = MicroFS(
+            self.env, self.config, self.data_plane, self.partition,
+            instance_name="test-rig",
+        )
+
+    def run(self, gen):
+        """Drive a sub-generator to completion, returning its value."""
+        return self.env.run_until_complete(self.env.process(gen))
+
+
+@pytest.fixture
+def rig():
+    return MicroFSRig()

@@ -1,0 +1,80 @@
+"""Edge-case tests for the storage balancer."""
+
+import pytest
+
+from repro.apps import Deployment
+from repro.errors import AllocationError
+from repro.scheduler import JobSpec
+from repro.topology import ClusterSpec, Node, NodeKind, Rack
+from repro.units import GiB
+
+
+def test_allocation_error_when_not_enough_partner_devices():
+    dep = Deployment(seed=1)
+    job, _plan = dep.submit("a", nprocs=2, devices=1, bytes_per_device=GiB(1))
+    job2 = dep.scheduler.submit(JobSpec("b", "u", nprocs=2))
+    with pytest.raises(AllocationError):
+        dep.balancer.allocate(job2, devices=9, bytes_per_device=GiB(1))
+
+
+def test_unallocated_job_rejected():
+    dep = Deployment(seed=2)
+    # Fill the cluster so the next job pends without compute nodes.
+    dep.scheduler.submit(JobSpec("hog", "u", nprocs=448, procs_per_node=28))
+    pending = dep.scheduler.submit(JobSpec("late", "u", nprocs=28))
+    with pytest.raises(Exception):
+        dep.balancer.allocate(pending, devices=1)
+
+
+def test_same_domain_fallback():
+    """A cluster whose only SSDs share the compute rack: partner-domain
+    allocation fails unless fault isolation is explicitly waived."""
+    mixed = Rack(
+        "r0",
+        [
+            Node("c0", NodeKind.COMPUTE, "r0", "p0", 4, GiB(8)),
+            Node("s0", NodeKind.STORAGE, "r0", "p0", 4, GiB(8), ssd_count=1),
+        ],
+    )
+    dep = Deployment(seed=3, cluster=ClusterSpec([mixed]))
+    job = dep.scheduler.submit(JobSpec("j", "u", nprocs=2, procs_per_node=4))
+    with pytest.raises(AllocationError):
+        dep.balancer.allocate(job, devices=1, bytes_per_device=GiB(1))
+    plan = dep.balancer.allocate(
+        job, devices=1, bytes_per_device=GiB(1), allow_same_domain=True
+    )
+    assert plan.grants[0].node_name == "s0"
+
+
+def test_closest_partner_preferred_with_three_racks():
+    """Storage in two different racks: the balancer picks deterministic
+    candidates walking partner domains in hop order."""
+    racks = [
+        Rack("rc", [Node(f"c{i}", NodeKind.COMPUTE, "rc", "pc", 4, GiB(8))
+                    for i in range(2)]),
+        Rack("rs1", [Node("sA", NodeKind.STORAGE, "rs1", "p1", 4, GiB(8), ssd_count=1)]),
+        Rack("rs2", [Node("sB", NodeKind.STORAGE, "rs2", "p2", 4, GiB(8), ssd_count=1)]),
+    ]
+    dep = Deployment(seed=4, cluster=ClusterSpec(racks))
+    job = dep.scheduler.submit(JobSpec("j", "u", nprocs=2, procs_per_node=4))
+    plan = dep.balancer.allocate(job, devices=2, bytes_per_device=GiB(1))
+    assert sorted(g.node_name for g in plan.grants) == ["sA", "sB"]
+    # Deterministic tie-break (equal hops): domain-id order.
+    assert plan.grants[0].node_name == "sA"
+
+
+def test_partition_block_alignment():
+    dep = Deployment(seed=5)
+    job, plan = dep.submit("j", nprocs=5, devices=2, bytes_per_device=GiB(3))
+    block = 32 * 1024
+    for rank in range(5):
+        part = plan.partition_for(rank, block)
+        assert part.offset % block == 0
+        assert part.nbytes % block == 0
+        assert part.nbytes > 0
+
+
+def test_domain_of_unknown_node():
+    dep = Deployment(seed=6)
+    with pytest.raises(AllocationError):
+        dep.balancer.domain_of_node("ghost")

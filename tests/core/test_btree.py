@@ -1,0 +1,150 @@
+"""Unit + property tests for the B+Tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.microfs.btree import BPlusTree
+
+
+def test_insert_and_get():
+    tree = BPlusTree(order=4)
+    tree.insert("/a", 1)
+    tree.insert("/b", 2)
+    assert tree.get("/a") == 1
+    assert tree.get("/b") == 2
+    assert tree.get("/c") is None
+    assert tree.get("/c", -1) == -1
+
+
+def test_overwrite_updates_value():
+    tree = BPlusTree(order=4)
+    tree.insert("/a", 1)
+    tree.insert("/a", 9)
+    assert tree.get("/a") == 9
+    assert len(tree) == 1
+
+
+def test_contains():
+    tree = BPlusTree(order=4)
+    tree.insert("/x", None)  # None values are legal
+    assert "/x" in tree
+    assert "/y" not in tree
+
+
+def test_items_sorted():
+    tree = BPlusTree(order=4)
+    keys = [f"/k{i:03d}" for i in range(100)]
+    for i, key in enumerate(reversed(keys)):
+        tree.insert(key, i)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+def test_split_cascade_many_inserts():
+    tree = BPlusTree(order=4)
+    for i in range(1000):
+        tree.insert(f"/f{i:05d}", i)
+    tree.check_invariants()
+    assert len(tree) == 1000
+    assert tree.height() > 1
+    assert tree.get("/f00500") == 500
+
+
+def test_delete_simple():
+    tree = BPlusTree(order=4)
+    tree.insert("/a", 1)
+    assert tree.delete("/a")
+    assert tree.get("/a") is None
+    assert not tree.delete("/a")
+    assert len(tree) == 0
+
+
+def test_delete_all_then_reinsert():
+    tree = BPlusTree(order=4)
+    for i in range(200):
+        tree.insert(f"/k{i:04d}", i)
+    for i in range(200):
+        assert tree.delete(f"/k{i:04d}")
+    tree.check_invariants()
+    assert len(tree) == 0
+    tree.insert("/again", 7)
+    assert tree.get("/again") == 7
+
+
+def test_delete_reverse_order():
+    tree = BPlusTree(order=5)
+    for i in range(300):
+        tree.insert(f"/k{i:04d}", i)
+    for i in reversed(range(300)):
+        assert tree.delete(f"/k{i:04d}")
+        if i % 37 == 0:
+            tree.check_invariants()
+    assert len(tree) == 0
+
+
+def test_prefix_scan():
+    tree = BPlusTree(order=8)
+    for i in range(20):
+        tree.insert(f"/dir/a{i:02d}", i)
+        tree.insert(f"/other/b{i:02d}", i)
+    found = list(tree.keys_with_prefix("/dir/"))
+    assert len(found) == 20
+    assert all(k.startswith("/dir/") for k, _ in found)
+
+
+def test_order_too_small_rejected():
+    with pytest.raises(ValueError):
+        BPlusTree(order=3)
+
+
+def test_node_count_grows_and_shrinks():
+    tree = BPlusTree(order=4)
+    assert tree.node_count == 1
+    for i in range(100):
+        tree.insert(f"/k{i:03d}", i)
+    grown = tree.node_count
+    assert grown > 1
+    for i in range(100):
+        tree.delete(f"/k{i:03d}")
+    assert tree.node_count < grown
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(min_value=0, max_value=120),
+        ),
+        max_size=400,
+    ),
+    order=st.sampled_from([4, 5, 8, 64]),
+)
+def test_btree_matches_dict_model(ops, order):
+    """Property: the B+Tree behaves exactly like a dict under any
+    insert/delete/get interleaving, and keeps its structural invariants."""
+    tree = BPlusTree(order=order)
+    model = {}
+    for op, n in ops:
+        key = f"/k{n:04d}"
+        if op == "insert":
+            tree.insert(key, n)
+            model[key] = n
+        elif op == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.get(key) == model.get(key)
+    assert len(tree) == len(model)
+    assert dict(tree.items()) == model
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.sets(st.text(min_size=1, max_size=12), max_size=200))
+def test_btree_arbitrary_string_keys(keys):
+    tree = BPlusTree(order=8)
+    for i, key in enumerate(sorted(keys)):
+        tree.insert(key, i)
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == sorted(keys)

@@ -1,0 +1,134 @@
+"""Tests for the DRAM cache layer over microfs (§V future work)."""
+
+import pytest
+
+from repro.core.cache import CachedMicroFS
+from repro.errors import InvalidArgument
+from repro.units import KiB, MiB
+
+from tests.conftest import MicroFSRig
+
+
+def make_cached(policy="write-through", capacity=MiB(8)):
+    rig = MicroFSRig()
+    cache = CachedMicroFS(rig.fs, capacity, policy=policy)
+    return rig, cache
+
+
+def test_invalid_policy_rejected():
+    rig = MicroFSRig()
+    with pytest.raises(InvalidArgument):
+        CachedMicroFS(rig.fs, MiB(1), policy="write-around")
+
+
+def test_cache_too_small_rejected():
+    rig = MicroFSRig()
+    with pytest.raises(InvalidArgument):
+        CachedMicroFS(rig.fs, 1024)
+
+
+def test_write_through_persists_immediately():
+    rig, cache = make_cached("write-through")
+
+    def scenario():
+        fd = yield from cache.open("/f", create=True)
+        yield from cache.write(fd, MiB(1))
+        yield from cache.close(fd)
+
+    rig.run(scenario())
+    # Device saw the data without any fsync.
+    assert rig.ssd.counters.get("bytes_written") >= MiB(1)
+    assert rig.fs.stat("/f").size == MiB(1)
+
+
+def test_read_after_write_hits_cache():
+    rig, cache = make_cached("write-through")
+
+    def scenario():
+        fd = yield from cache.open("/f", create=True)
+        yield from cache.write(fd, MiB(1))
+        t0 = rig.env.now
+        pieces = yield from cache.pread(fd, MiB(1), 0)
+        hit_time = rig.env.now - t0
+        yield from cache.close(fd)
+        return hit_time, sum(p.nbytes for p in pieces)
+
+    hit_time, nbytes = rig.run(scenario())
+    assert nbytes == MiB(1)
+    assert cache.hit_rate() == 1.0
+    # DRAM speed, far faster than the device read path.
+    assert hit_time < MiB(1) / 2e9
+    assert rig.ssd.counters.get("bytes_read") == 0
+
+
+def test_eviction_causes_miss():
+    rig, cache = make_cached("write-through", capacity=MiB(1))
+
+    def scenario():
+        fd = yield from cache.open("/f", create=True)
+        yield from cache.write(fd, MiB(4))  # 4x the cache
+        pieces = yield from cache.pread(fd, KiB(32), 0)  # oldest block: evicted
+        yield from cache.close(fd)
+        return pieces
+
+    rig.run(scenario())
+    assert cache.counters.get("evictions") > 0
+    assert cache.counters.get("misses") > 0
+    assert rig.ssd.counters.get("bytes_read") > 0
+
+
+def test_write_back_defers_device_io():
+    rig, cache = make_cached("write-back")
+
+    def scenario():
+        fd = yield from cache.open("/f", create=True)
+        yield from cache.write(fd, MiB(2))
+        buffered = rig.ssd.counters.get("bytes_written")
+        yield from cache.fsync(fd)
+        drained = rig.ssd.counters.get("bytes_written")
+        yield from cache.close(fd)
+        return buffered, drained
+
+    buffered, drained = rig.run(scenario())
+    assert buffered < MiB(1)  # only metadata traffic before fsync
+    assert drained >= MiB(2)
+    assert cache.counters.get("writeback_bytes_drained") == MiB(2)
+
+
+def test_write_back_close_drains():
+    rig, cache = make_cached("write-back")
+
+    def scenario():
+        fd = yield from cache.open("/f", create=True)
+        yield from cache.write(fd, MiB(1))
+        yield from cache.close(fd)
+
+    rig.run(scenario())
+    assert rig.fs.stat("/f").size == MiB(1)
+    assert rig.ssd.counters.get("bytes_written") >= MiB(1)
+
+
+def test_write_back_read_of_dirty_data():
+    rig, cache = make_cached("write-back")
+
+    def scenario():
+        fd = yield from cache.open("/f", create=True)
+        yield from cache.write(fd, KiB(64))
+        pieces = yield from cache.pread(fd, KiB(64), 0)
+        yield from cache.close(fd)
+        return sum(p.nbytes for p in pieces)
+
+    assert rig.run(scenario()) == KiB(64)
+
+
+def test_unlink_invalidates():
+    rig, cache = make_cached("write-through")
+
+    def scenario():
+        fd = yield from cache.open("/f", create=True)
+        yield from cache.write(fd, KiB(64))
+        yield from cache.close(fd)
+        yield from cache.unlink("/f")
+
+    rig.run(scenario())
+    assert len(cache._cache) == 0

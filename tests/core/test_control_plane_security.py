@@ -1,0 +1,85 @@
+"""Direct tests for the global-namespace service, metadata accounting,
+and the namespace security manager."""
+
+import pytest
+
+from repro.bench import calibration as cal
+from repro.core.control_plane import GlobalNamespaceService, MetadataFootprint
+from repro.core.security import SecurityManager
+from repro.errors import PermissionDenied
+from repro.nvme.namespace import Namespace
+from repro.sim import Environment
+from repro.units import MiB
+
+
+def test_global_namespace_serialises():
+    env = Environment()
+    service = GlobalNamespaceService(env)
+    done = []
+
+    def client(i):
+        yield from service.execute()
+        done.append((i, env.now))
+
+    for i in range(4):
+        env.process(client(i))
+    env.run()
+    times = [t for _i, t in done]
+    # Strictly increasing completion times: one at a time.
+    assert times == sorted(times)
+    assert len(set(times)) == 4
+    assert service.operations == 4
+    assert service.mean_wait() > 0
+
+
+def test_global_namespace_multiple_servers_overlap():
+    env = Environment()
+    service = GlobalNamespaceService(env, servers=4)
+    done = []
+
+    def client(i):
+        yield from service.execute()
+        done.append(env.now)
+
+    for i in range(4):
+        env.process(client(i))
+    env.run()
+    assert len(set(done)) == 1  # all in parallel
+
+
+def test_metadata_footprint_math():
+    fp = MetadataFootprint(
+        inode_count=10,
+        btree_nodes=3,
+        blockpool_bytes=4096,
+        log_region_bytes=MiB(16),
+        state_region_bytes=MiB(64),
+        dir_file_bytes=128,
+    )
+    assert fp.dram_bytes() == (
+        10 * cal.NVMECR_INODE_BYTES + 3 * cal.NVMECR_BTREE_NODE_BYTES + 4096
+    )
+    assert fp.ssd_bytes() == MiB(16) + MiB(64) + 128
+
+
+def test_security_manager_accepts_own_job():
+    manager = SecurityManager("jobA", uid=0)
+    ns = Namespace(1, MiB(1), owner_job="jobA")
+    manager.check_namespace(ns)  # no raise
+    assert manager.can_access(ns)
+    assert manager.denials == 0
+
+
+def test_security_manager_rejects_foreign_job():
+    manager = SecurityManager("jobA", uid=0)
+    foreign = Namespace(2, MiB(1), owner_job="jobB")
+    with pytest.raises(PermissionDenied):
+        manager.check_namespace(foreign)
+    assert not manager.can_access(foreign)
+    assert manager.denials == 2
+
+
+def test_security_manager_rejects_unowned():
+    manager = SecurityManager("jobA", uid=0)
+    unowned = Namespace(3, MiB(1))
+    assert not manager.can_access(unowned)

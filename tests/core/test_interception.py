@@ -1,0 +1,142 @@
+"""Tests for the POSIX interception shim."""
+
+import pytest
+
+from repro.bench.fleet import MicroFSFleet
+from repro.errors import BadFileDescriptor, FileExists, FileNotFound, InvalidArgument
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def shim():
+    return MicroFSFleet(1, partition_bytes=MiB(512)).clients[0]
+
+
+def run(shim, gen):
+    return shim.env.run_until_complete(shim.env.process(gen))
+
+
+def test_open_modes(shim):
+    def scenario():
+        fd = yield from shim.open("/f", "w")
+        yield from shim.write(fd, b"abc")
+        yield from shim.close(fd)
+        # "r" reads, "a" appends, "w" truncates, "x" excl-creates.
+        fd = yield from shim.open("/f", "a")
+        yield from shim.write(fd, b"def")
+        yield from shim.close(fd)
+        fd = yield from shim.open("/f", "r")
+        pieces = yield from shim.read(fd, 100)
+        yield from shim.close(fd)
+        return b"".join(p.data for p in pieces)
+
+    assert run(shim, scenario()) == b"abcdef"
+
+
+def test_open_x_mode_exclusive(shim):
+    def scenario():
+        fd = yield from shim.open("/f", "x")
+        yield from shim.close(fd)
+        yield from shim.open("/f", "x")
+
+    with pytest.raises(FileExists):
+        run(shim, scenario())
+
+
+def test_bad_mode_rejected(shim):
+    def scenario():
+        yield from shim.open("/f", "rw+")
+
+    with pytest.raises(InvalidArgument):
+        run(shim, scenario())
+
+
+def test_fd_is_integer_and_unique(shim):
+    def scenario():
+        fd1 = yield from shim.open("/a", "w")
+        fd2 = yield from shim.open("/b", "w")
+        assert isinstance(fd1, int) and isinstance(fd2, int)
+        assert fd1 != fd2
+        assert fd1 >= 3  # 0-2 reserved for stdio
+        yield from shim.close(fd1)
+        yield from shim.close(fd2)
+
+    run(shim, scenario())
+
+
+def test_lseek_and_pread(shim):
+    def scenario():
+        fd = yield from shim.open("/f", "w")
+        yield from shim.write(fd, b"0123456789")
+        shim.lseek(fd, 4)
+        pieces = yield from shim.read(fd, 3)
+        yield from shim.close(fd)
+        return b"".join(p.data for p in pieces)
+
+    assert run(shim, scenario()) == b"456"
+
+
+def test_lseek_negative_rejected(shim):
+    def scenario():
+        fd = yield from shim.open("/f", "w")
+        shim.lseek(fd, -1)
+
+    with pytest.raises(InvalidArgument):
+        run(shim, scenario())
+
+
+def test_use_after_close_raises(shim):
+    def scenario():
+        fd = yield from shim.open("/f", "w")
+        yield from shim.close(fd)
+        yield from shim.write(fd, b"x")
+
+    with pytest.raises(BadFileDescriptor):
+        run(shim, scenario())
+
+
+def test_creat_alias(shim):
+    def scenario():
+        fd = yield from shim.creat("/made", mode=0o600)
+        yield from shim.close(fd)
+
+    run(shim, scenario())
+    assert shim.stat("/made").mode == 0o600
+
+
+def test_mkdir_listdir_unlink(shim):
+    def scenario():
+        yield from shim.mkdir("/d")
+        fd = yield from shim.open("/d/f", "w")
+        yield from shim.close(fd)
+        assert shim.listdir("/d") == ["f"]
+        yield from shim.unlink("/d/f")
+        assert shim.listdir("/d") == []
+        yield from shim.unlink("/d")
+
+    run(shim, scenario())
+    with pytest.raises(FileNotFound):
+        shim.stat("/d")
+
+
+def test_open_fds_tracking(shim):
+    def scenario():
+        assert shim.open_fds == 0
+        fd = yield from shim.open("/f", "w")
+        assert shim.open_fds == 1
+        yield from shim.close(fd)
+        assert shim.open_fds == 0
+
+    run(shim, scenario())
+
+
+def test_synthetic_int_write(shim):
+    def scenario():
+        fd = yield from shim.open("/bulk", "w")
+        written = yield from shim.write(fd, MiB(2))
+        yield from shim.fsync(fd)
+        yield from shim.close(fd)
+        return written
+
+    assert run(shim, scenario()) == MiB(2)
+    assert shim.stat("/bulk").size == MiB(2)

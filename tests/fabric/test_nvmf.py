@@ -1,0 +1,156 @@
+"""Tests for the RDMA model and the NVMf target/initiator pair."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric import (
+    FabricTransport,
+    LocalPCIeTransport,
+    NVMfInitiator,
+    NVMfTarget,
+    RdmaFabric,
+    edr_infiniband,
+)
+from repro.nvme import SSD, Payload, SSDSpec, intel_p4800x
+from repro.sim import Environment
+from repro.topology import NetworkTopology, paper_testbed
+from repro.units import GiB, KiB, MiB
+
+
+def quiet_spec():
+    base = intel_p4800x()
+    return SSDSpec(
+        model=base.model, capacity_bytes=base.capacity_bytes,
+        write_bandwidth=base.write_bandwidth, read_bandwidth=base.read_bandwidth,
+        per_command_cost=base.per_command_cost, flush_cost=base.flush_cost,
+        arbitration_beta=0.0,
+    )
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    topo = NetworkTopology(paper_testbed())
+    fabric = RdmaFabric(topo, edr_infiniband())
+    ssd = SSD(env, quiet_spec(), "ssd-stor00", rng=np.random.default_rng(0))
+    ns = ssd.create_namespace(GiB(32))
+    target = NVMfTarget(env, "stor00", ssd)
+    return env, fabric, ssd, ns, target
+
+
+def test_rdma_latency_model():
+    topo = NetworkTopology(paper_testbed())
+    fabric = RdmaFabric(topo, edr_infiniband())
+    assert fabric.one_way_latency("comp00", "comp00") == 0.0
+    same_rack = fabric.one_way_latency("comp00", "comp01")
+    cross_rack = fabric.one_way_latency("comp00", "stor00")
+    assert cross_rack > same_rack > 0
+    assert fabric.round_trip("comp00", "stor00") == pytest.approx(2 * cross_rack)
+
+
+def test_connect_and_write_roundtrip(setup):
+    env, fabric, ssd, ns, target = setup
+    initiator = NVMfInitiator(env, "comp00", fabric)
+    session = initiator.connect(target)
+    assert not session.is_local
+    assert target.sessions == 1
+
+    def proc():
+        yield session.write(ns.nsid, 0, Payload.of_bytes(b"r" * 4096), KiB(32))
+        result = yield session.read(ns.nsid, 0, 4096, KiB(32))
+        return result.extra["extents"][0].payload.data
+
+    data = env.run_until_complete(env.process(proc()))
+    assert data == b"r" * 4096
+
+
+def test_session_reuse(setup):
+    env, fabric, ssd, ns, target = setup
+    initiator = NVMfInitiator(env, "comp00", fabric)
+    s1 = initiator.connect(target)
+    s2 = initiator.connect(target)
+    assert s1 is s2
+    assert target.sessions == 1
+
+
+def test_disconnect_rejects_io(setup):
+    env, fabric, ssd, ns, target = setup
+    initiator = NVMfInitiator(env, "comp00", fabric)
+    session = initiator.connect(target)
+    session.disconnect()
+    with pytest.raises(FabricError):
+        session.write(ns.nsid, 0, Payload.of_bytes(b"x" * 4096), KiB(32))
+    assert target.sessions == 0
+
+
+def test_remote_overhead_is_small_for_bulk_writes(setup):
+    """The Figure 8(a) property: NVMf adds < 3.5% for checkpoint writes."""
+    env, fabric, ssd, ns, target = setup
+    nbytes = MiB(512)
+
+    def local():
+        result = yield ssd.write(ns.nsid, 0, Payload.synthetic("l", nbytes), MiB(1))
+        return result.latency
+
+    local_latency = env.run_until_complete(env.process(local()))
+
+    initiator = NVMfInitiator(env, "comp00", fabric)
+    session = initiator.connect(target)
+
+    def remote():
+        t0 = env.now
+        yield session.write(ns.nsid, 0, Payload.synthetic("r", nbytes), MiB(1))
+        return env.now - t0
+
+    remote_latency = env.run_until_complete(env.process(remote()))
+    overhead = remote_latency / local_latency - 1.0
+    assert 0.0 <= overhead < 0.035
+
+
+def test_local_session_has_zero_fabric_latency(setup):
+    env, fabric, ssd, ns, target = setup
+    initiator = NVMfInitiator(env, "stor00", fabric)  # co-located
+    session = initiator.connect(target)
+    assert session.is_local
+
+
+def test_transports_share_interface(setup):
+    env, fabric, ssd, ns, target = setup
+    local = LocalPCIeTransport(env, ssd)
+    remote = FabricTransport(NVMfInitiator(env, "comp00", fabric).connect(target))
+    for transport in (local, remote):
+        def proc(t=transport):
+            yield t.write(ns.nsid, 0, Payload.of_bytes(b"z" * 4096), KiB(32))
+            result = yield t.read(ns.nsid, 0, 4096, KiB(32))
+            return result.extra["extents"][0].payload.data
+
+        assert env.run_until_complete(env.process(proc())) == b"z" * 4096
+    assert local.description.startswith("local-pcie")
+    assert remote.description.startswith("nvmf:")
+
+
+def test_flush_over_fabric(setup):
+    env, fabric, ssd, ns, target = setup
+    session = NVMfInitiator(env, "comp00", fabric).connect(target)
+
+    def proc():
+        t0 = env.now
+        yield session.flush(ns.nsid)
+        return env.now - t0
+
+    latency = env.run_until_complete(env.process(proc()))
+    assert latency >= ssd.spec.flush_cost
+
+
+def test_counters(setup):
+    env, fabric, ssd, ns, target = setup
+    session = NVMfInitiator(env, "comp00", fabric).connect(target)
+
+    def proc():
+        yield session.write(ns.nsid, 0, Payload.synthetic("x", MiB(2)), KiB(32))
+
+    env.run_until_complete(env.process(proc()))
+    assert session.counters.get("bytes") == MiB(2)
+    assert session.counters.get("commands") == 64
+    assert target.counters.get("bytes") == MiB(2)

@@ -1,0 +1,67 @@
+"""Edge-case tests for the RDMA spec and NVMf session caps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric import NVMfInitiator, NVMfTarget, RdmaFabric, RdmaSpec, edr_infiniband
+from repro.nvme import SSD, Payload
+from repro.sim import Environment
+from repro.topology import NetworkTopology, paper_testbed
+from repro.units import GiB, KiB, MiB
+
+from tests.conftest import deterministic_spec
+
+
+def test_rdma_spec_validation():
+    with pytest.raises(FabricError):
+        RdmaSpec("bad", link_bandwidth=0, base_latency=1e-6,
+                 per_hop_latency=1e-7, per_message_cpu=1e-7)
+
+
+def test_edr_line_rate():
+    spec = edr_infiniband()
+    assert spec.link_bandwidth == pytest.approx(12.5e9)
+
+
+def test_qd1_rtt_cap_limits_small_command_remote_stream():
+    """A remote session streaming tiny commands run-to-completion is
+    capped at command_size/rtt — the reason hugeblocks matter remotely."""
+    env = Environment()
+    topo = NetworkTopology(paper_testbed())
+    fabric = RdmaFabric(topo, edr_infiniband())
+    ssd = SSD(env, deterministic_spec(), "s", rng=np.random.default_rng(0))
+    ns = ssd.create_namespace(GiB(4))
+    target = NVMfTarget(env, "stor00", ssd)
+    session = NVMfInitiator(env, "comp00", fabric).connect(target)
+    rtt = fabric.round_trip("comp00", "stor00")
+
+    def proc(command_size):
+        t0 = env.now
+        yield session.write(ns.nsid, 0, Payload.synthetic("x", MiB(16)), command_size)
+        return env.now - t0
+
+    small = env.run_until_complete(env.process(proc(4096)))
+    large = env.run_until_complete(env.process(proc(MiB(1))))
+    # The binding QD-1 ceiling is min(cs/rtt, cs/access_latency); with
+    # ~1.8 us fabric rtt and 10 us media latency, the device term wins:
+    qd1 = 4096 / max(rtt, ssd.spec.access_latency)
+    assert small == pytest.approx(MiB(16) / qd1, rel=0.15)
+    assert large < small / 5
+
+
+def test_disconnected_initiator_reconnects():
+    env = Environment()
+    topo = NetworkTopology(paper_testbed())
+    fabric = RdmaFabric(topo, edr_infiniband())
+    ssd = SSD(env, deterministic_spec(), "s", rng=np.random.default_rng(0))
+    ssd.create_namespace(GiB(1))
+    target = NVMfTarget(env, "stor00", ssd)
+    initiator = NVMfInitiator(env, "comp00", fabric)
+    first = initiator.connect(target)
+    initiator.disconnect_all()
+    assert not first.connected
+    second = initiator.connect(target)
+    assert second is not first
+    assert second.connected
+    assert target.sessions == 1

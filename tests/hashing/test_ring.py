@@ -1,0 +1,61 @@
+"""Tests for the vnode hash ring."""
+
+import pytest
+
+from repro.hashing import HashRing
+
+
+def test_lookup_returns_member():
+    ring = HashRing(["a", "b", "c"])
+    for key in range(100):
+        assert ring.lookup(key) in {"a", "b", "c"}
+
+
+def test_lookup_deterministic():
+    ring1 = HashRing(["s0", "s1", "s2", "s3"])
+    ring2 = HashRing(["s0", "s1", "s2", "s3"])
+    keys = [f"file{i}" for i in range(200)]
+    assert [ring1.lookup(k) for k in keys] == [ring2.lookup(k) for k in keys]
+
+
+def test_remove_member_moves_only_its_keys():
+    ring = HashRing(["a", "b", "c"], vnodes=128)
+    keys = [f"k{i}" for i in range(500)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.remove("b")
+    after = {k: ring.lookup(k) for k in keys}
+    for key in keys:
+        if before[key] != "b":
+            assert after[key] == before[key]
+        else:
+            assert after[key] in {"a", "c"}
+
+
+def test_add_member_takes_some_keys():
+    ring = HashRing(["a", "b"], vnodes=128)
+    keys = [f"k{i}" for i in range(500)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add("c")
+    after = {k: ring.lookup(k) for k in keys}
+    moved = sum(1 for k in keys if before[k] != after[k])
+    assert 0 < moved < len(keys)
+    for key in keys:
+        if before[key] != after[key]:
+            assert after[key] == "c"
+
+
+def test_empty_members_rejected():
+    with pytest.raises(ValueError):
+        HashRing([])
+
+
+def test_invalid_vnodes_rejected():
+    with pytest.raises(ValueError):
+        HashRing(["a"], vnodes=0)
+
+
+def test_members_listing():
+    ring = HashRing(["x", "y"])
+    assert ring.members() == ["x", "y"]
+    ring.remove("x")
+    assert ring.members() == ["y"]

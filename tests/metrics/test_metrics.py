@@ -1,0 +1,75 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.apps.checkpoint import CheckpointStats
+from repro.metrics import (
+    coefficient_of_variation,
+    efficiency,
+    progress_rate,
+    summarize_stats,
+)
+
+
+def test_efficiency_basic():
+    # 10 GB in 5 s over 4 GB/s hardware: 0.5 efficiency.
+    assert efficiency(10e9, 5.0, 4e9) == pytest.approx(0.5)
+
+
+def test_efficiency_clipped_at_one():
+    assert efficiency(100e9, 1.0, 1e9) == 1.0
+
+
+def test_efficiency_invalid_inputs():
+    with pytest.raises(ValueError):
+        efficiency(1.0, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        efficiency(1.0, 1.0, 0.0)
+
+
+def test_progress_rate():
+    assert progress_rate(30.0, 100.0) == pytest.approx(0.3)
+    with pytest.raises(ValueError):
+        progress_rate(5.0, 0.0)
+    with pytest.raises(ValueError):
+        progress_rate(11.0, 10.0)
+
+
+def test_cov_balanced_is_zero():
+    assert coefficient_of_variation([5, 5, 5, 5]) == 0.0
+
+
+def test_cov_imbalanced_positive():
+    assert coefficient_of_variation([10, 0, 0, 0]) == pytest.approx(3 ** 0.5)
+
+
+def test_cov_empty_rejected():
+    with pytest.raises(ValueError):
+        coefficient_of_variation([])
+
+
+def test_cov_all_zero():
+    assert coefficient_of_variation([0, 0]) == 0.0
+
+
+def test_summarize_stats():
+    a = CheckpointStats(checkpoint_times=[1.0, 2.0], restart_times=[0.5],
+                        compute_time=4.0, bytes_written=100)
+    b = CheckpointStats(checkpoint_times=[1.5, 2.5], restart_times=[0.7],
+                        compute_time=6.0, bytes_written=100)
+    row = summarize_stats("sys", 2, [a, b])
+    assert row.checkpoint_time == 4.0  # max across ranks
+    assert row.restart_time == 0.7
+    assert row.compute_time == 5.0  # mean
+    assert row.total_bytes == 200
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_stats("sys", 0, [])
+
+
+def test_checkpoint_stats_progress():
+    stats = CheckpointStats(checkpoint_times=[2.0], compute_time=8.0)
+    assert stats.progress_rate() == pytest.approx(0.8)
+    assert CheckpointStats().progress_rate() == 0.0

@@ -1,0 +1,151 @@
+"""Tests for the simulated MPI communicators and job launcher."""
+
+import pytest
+
+from repro.mpi import Communicator, launch
+from repro.sim import Environment
+
+
+def test_barrier_synchronizes_ranks():
+    env = Environment()
+    release_times = []
+
+    def rank_main(comm):
+        yield env.timeout(comm.rank * 1.0)  # staggered arrivals
+        yield from comm.barrier()
+        release_times.append(env.now)
+
+    job = launch(env, 4, rank_main)
+    env.run()
+    assert job.done.triggered
+    # Everyone leaves at (or just after) the last arrival at t=3.
+    assert all(t >= 3.0 for t in release_times)
+    assert max(release_times) - min(release_times) < 1e-9
+
+
+def test_allgather_collects_all_values():
+    env = Environment()
+
+    def rank_main(comm):
+        values = yield from comm.allgather(comm.rank * 10)
+        return values
+
+    job = launch(env, 5, rank_main)
+    env.run()
+    for result in job.results():
+        assert result == [0, 10, 20, 30, 40]
+
+
+def test_bcast_delivers_root_value():
+    env = Environment()
+
+    def rank_main(comm):
+        value = yield from comm.bcast(f"from-{comm.rank}" if comm.rank == 2 else None, root=2)
+        return value
+
+    job = launch(env, 4, rank_main)
+    env.run()
+    assert job.results() == ["from-2"] * 4
+
+
+def test_gather_only_root_receives():
+    env = Environment()
+
+    def rank_main(comm):
+        return (yield from comm.gather(comm.rank ** 2, root=0))
+
+    job = launch(env, 4, rank_main)
+    env.run()
+    results = job.results()
+    assert results[0] == [0, 1, 4, 9]
+    assert results[1:] == [None, None, None]
+
+
+def test_multiple_sequential_collectives_match_in_order():
+    env = Environment()
+
+    def rank_main(comm):
+        first = yield from comm.allgather(("a", comm.rank))
+        yield from comm.barrier()
+        second = yield from comm.allgather(("b", comm.rank))
+        return (first[0], second[0])
+
+    job = launch(env, 3, rank_main)
+    env.run()
+    for first, second in job.results():
+        assert first == ("a", 0)
+        assert second == ("b", 0)
+
+
+def test_split_groups_by_color():
+    env = Environment()
+
+    def rank_main(comm):
+        color = comm.rank % 2
+        sub = yield from comm.split(color)
+        members = yield from sub.allgather(comm.rank)
+        return (color, sub.rank, sub.size, members)
+
+    job = launch(env, 6, rank_main)
+    env.run()
+    for world_rank, (color, sub_rank, sub_size, members) in job.result_map().items():
+        assert sub_size == 3
+        assert members == ([0, 2, 4] if color == 0 else [1, 3, 5])
+        assert members[sub_rank] == world_rank
+
+
+def test_split_with_key_reorders():
+    env = Environment()
+
+    def rank_main(comm):
+        # Reverse ordering: highest world rank becomes sub-rank 0.
+        sub = yield from comm.split(0, key=comm.size - comm.rank)
+        return sub.rank
+
+    job = launch(env, 4, rank_main)
+    env.run()
+    assert job.results() == [3, 2, 1, 0]
+
+
+def test_world_handles_share_state():
+    env = Environment()
+    comms = Communicator.world(env, 3)
+    assert all(c.size == 3 for c in comms)
+    assert [c.rank for c in comms] == [0, 1, 2]
+
+
+def test_single_rank_collectives_trivial():
+    env = Environment()
+
+    def rank_main(comm):
+        yield from comm.barrier()
+        values = yield from comm.allgather("solo")
+        return values
+
+    job = launch(env, 1, rank_main)
+    env.run()
+    assert job.results() == [["solo"]]
+
+
+def test_launch_attaches_node_names():
+    env = Environment()
+
+    def rank_main(comm):
+        yield from comm.barrier()
+        return comm.node
+
+    job = launch(env, 4, rank_main, node_of_rank=lambda r: f"comp{r // 2:02d}")
+    env.run()
+    assert job.results() == ["comp00", "comp00", "comp01", "comp01"]
+
+
+def test_collective_charges_latency():
+    env = Environment()
+
+    def rank_main(comm):
+        yield from comm.barrier()
+        return env.now
+
+    job = launch(env, 8, rank_main)
+    env.run()
+    assert all(t > 0 for t in job.results())

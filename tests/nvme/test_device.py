@@ -1,0 +1,322 @@
+"""Tests for the simulated SSD."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, DevicePoweredOff, InvalidCommand, OutOfSpace
+from repro.nvme import SSD, Payload, SSDSpec, generic_nand_ssd, intel_p4800x
+from repro.sim import Environment
+from repro.units import GB_per_s, GiB, KiB, MiB, us
+
+
+def make_ssd(env, spec=None, beta=0.0):
+    """An SSD with arbitration jitter disabled for deterministic timing."""
+    base = spec or intel_p4800x()
+    spec = SSDSpec(
+        model=base.model,
+        capacity_bytes=base.capacity_bytes,
+        write_bandwidth=base.write_bandwidth,
+        read_bandwidth=base.read_bandwidth,
+        per_command_cost=base.per_command_cost,
+        flush_cost=base.flush_cost,
+        lba_size=base.lba_size,
+        max_hw_queues=base.max_hw_queues,
+        max_namespaces=base.max_namespaces,
+        ram_buffer_bytes=base.ram_buffer_bytes,
+        ram_write_bandwidth=base.ram_write_bandwidth,
+        arbitration_beta=beta,
+    )
+    return SSD(env, spec, "ssd0", rng=np.random.default_rng(1))
+
+
+def test_p4800x_spec_sanity():
+    spec = intel_p4800x()
+    assert spec.write_bandwidth == GB_per_s(2.2)
+    assert spec.max_hw_queues == 32
+    assert spec.ram_buffer_bytes == 0
+
+
+def test_namespace_create_and_capacity():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(10))
+    assert ns.nsid == 1
+    assert ssd.free_bytes() == ssd.spec.capacity_bytes - GiB(10)
+
+
+def test_namespace_overallocation_rejected():
+    env = Environment()
+    ssd = make_ssd(env)
+    with pytest.raises(OutOfSpace):
+        ssd.create_namespace(ssd.spec.capacity_bytes + 1)
+
+
+def test_namespace_delete_frees_space():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(10))
+    ssd.delete_namespace(ns.nsid)
+    assert ssd.free_bytes() == ssd.spec.capacity_bytes
+    with pytest.raises(DeviceError):
+        ssd.namespace(ns.nsid)
+
+
+def test_write_read_roundtrip():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(1))
+
+    def proc():
+        yield ssd.write(ns.nsid, 0, Payload.of_bytes(b"x" * 4096), KiB(32))
+        result = yield ssd.read(ns.nsid, 0, 4096, KiB(32))
+        return result.extra["extents"]
+
+    extents = env.run_until_complete(env.process(proc()))
+    assert len(extents) == 1
+    assert extents[0].payload.data == b"x" * 4096
+
+
+def test_single_writer_gets_full_bandwidth():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(2))
+    nbytes = MiB(512)
+
+    def proc():
+        result = yield ssd.write(
+            ns.nsid, 0, Payload.synthetic("big", nbytes), KiB(32)
+        )
+        return result.latency
+
+    latency = env.run_until_complete(env.process(proc()))
+    expected = nbytes / ssd.spec.write_bandwidth
+    assert latency == pytest.approx(expected, rel=0.01)
+
+
+def test_small_commands_hit_qd1_ceiling():
+    """A single instance issuing 4 KiB commands run-to-completion is
+    capped at command_size/access_latency, far below bandwidth."""
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(2))
+    nbytes = MiB(64)
+
+    def proc():
+        result = yield ssd.write(
+            ns.nsid, 0, Payload.synthetic("small", nbytes), 4096
+        )
+        return result.latency
+
+    latency = env.run_until_complete(env.process(proc()))
+    ceiling = 4096 / ssd.spec.access_latency  # ~0.41 GB/s
+    assert latency == pytest.approx(nbytes / ceiling, rel=0.01)
+    assert latency > nbytes / ssd.spec.write_bandwidth
+
+
+def test_small_commands_aggregate_controller_ceiling():
+    """Many concurrent 4 KiB streams saturate the controller's command
+    rate (1/per_command_cost), ~7% below sequential bandwidth."""
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(8))
+    per_client = MiB(16)
+    nclients = 28
+    done = []
+
+    def writer(i):
+        yield ssd.write(ns.nsid, i * per_client, Payload.synthetic(f"w{i}", per_client), 4096)
+        done.append(env.now)
+
+    for i in range(nclients):
+        env.process(writer(i))
+    env.run()
+    aggregate = nclients * per_client / max(done)
+    ceiling = 4096 / ssd.spec.per_command_cost
+    assert aggregate == pytest.approx(ceiling, rel=0.02)
+    assert aggregate < ssd.spec.write_bandwidth
+
+
+def test_concurrent_writers_share_bandwidth_fairly():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(4))
+    nbytes = MiB(256)
+    done = {}
+
+    def writer(i):
+        yield ssd.write(ns.nsid, i * nbytes, Payload.synthetic(f"w{i}", nbytes), KiB(32))
+        done[i] = env.now
+
+    for i in range(4):
+        env.process(writer(i))
+    env.run()
+    expected = 4 * nbytes / ssd.spec.write_bandwidth
+    for i in range(4):
+        assert done[i] == pytest.approx(expected, rel=0.01)
+
+
+def test_sub_lba_write_modeled_as_rmw():
+    """Byte-granular offsets are accepted (controller-side RMW)."""
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(1))
+
+    def proc():
+        yield ssd.write(ns.nsid, 17, Payload.of_bytes(b"x"), KiB(32))
+        result = yield ssd.read(ns.nsid, 16, 3, KiB(32))
+        return result.extra["extents"]
+
+    extents = env.run_until_complete(env.process(proc()))
+    assert extents[0].start == 17
+    assert extents[0].payload.data == b"x"
+
+
+def test_out_of_namespace_write_rejected():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(MiB(1))
+    with pytest.raises(InvalidCommand):
+        ssd.write(ns.nsid, 0, Payload.synthetic("big", MiB(2)), KiB(32))
+
+
+def test_power_fail_rejects_new_io():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(1))
+    ssd.power_fail()
+    with pytest.raises(DevicePoweredOff):
+        ssd.write(ns.nsid, 0, Payload.of_bytes(b"x" * 4096), KiB(32))
+
+
+def test_power_fail_loses_inflight_but_keeps_committed():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(2))
+    outcome = {}
+
+    def writer():
+        yield ssd.write(ns.nsid, 0, Payload.of_bytes(b"A" * 4096), KiB(32))
+        outcome["committed"] = True
+        try:
+            yield ssd.write(
+                ns.nsid, MiB(1), Payload.synthetic("doomed", MiB(512)), KiB(32)
+            )
+            outcome["second"] = "completed"
+        except DevicePoweredOff:
+            outcome["second"] = "lost"
+
+    def killer():
+        yield env.timeout(0.05)  # mid-transfer of the 512 MiB write
+        ssd.power_fail()
+
+    env.process(writer())
+    env.process(killer())
+    env.run()
+    assert outcome == {"committed": True, "second": "lost"}
+    ssd.power_restore()
+    assert ns.store.read_bytes(0, 4096) == b"A" * 4096
+    assert ns.store.read(MiB(1), MiB(512)) == []  # in-flight write vanished
+
+
+def test_flush_costs_flush_latency():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(1))
+
+    def proc():
+        t0 = env.now
+        yield ssd.flush(ns.nsid)
+        return env.now - t0
+
+    latency = env.run_until_complete(env.process(proc()))
+    assert latency == pytest.approx(us(5.0))
+
+
+def test_queue_allocation_wraps_past_hw_limit():
+    env = Environment()
+    ssd = make_ssd(env)
+    qids = [ssd.allocate_queue() for _ in range(40)]
+    assert qids[:32] == list(range(32))
+    assert qids[32:] == list(range(8))
+    assert ssd.queues_shared
+
+
+def test_ram_buffer_absorbs_burst_then_throttles():
+    """NAND spec: a burst within RAM goes at RAM speed; a huge write is
+    flash-bound."""
+    env = Environment()
+    ssd = SSD(env, generic_nand_ssd(), "nand0", rng=np.random.default_rng(2))
+    spec = ssd.spec
+    ns = ssd.create_namespace(GiB(8))
+
+    def burst():
+        result = yield ssd.write(
+            ns.nsid, 0, Payload.synthetic("burst", MiB(256)), KiB(128)
+        )
+        return result.latency
+
+    latency = env.run_until_complete(env.process(burst()))
+    # 256 MiB fits in the 1 GiB buffer: near RAM ingest speed.
+    assert latency == pytest.approx(MiB(256) / spec.ram_write_bandwidth, rel=0.05)
+
+    env2 = Environment()
+    ssd2 = SSD(env2, generic_nand_ssd(), "nand1", rng=np.random.default_rng(3))
+    ns2 = ssd2.create_namespace(GiB(8))
+
+    def huge():
+        result = yield ssd2.write(
+            ns2.nsid, 0, Payload.synthetic("huge", GiB(4)), KiB(128)
+        )
+        return result.latency
+
+    latency2 = env2.run_until_complete(env2.process(huge()))
+    # 4 GiB >> buffer: sustained flash bandwidth dominates.
+    assert latency2 >= GiB(3) / spec.write_bandwidth
+
+
+def test_counters_track_bytes_and_commands():
+    env = Environment()
+    ssd = make_ssd(env)
+    ns = ssd.create_namespace(GiB(1))
+
+    def proc():
+        yield ssd.write(ns.nsid, 0, Payload.synthetic("x", MiB(1)), KiB(32))
+        yield ssd.read(ns.nsid, 0, MiB(1), KiB(32))
+
+    env.run_until_complete(env.process(proc()))
+    assert ssd.counters.get("bytes_written") == MiB(1)
+    assert ssd.counters.get("bytes_read") == MiB(1)
+    assert ssd.counters.get("write_commands") == 32  # 1 MiB / 32 KiB
+
+
+def test_arbitration_jitter_grows_with_command_size():
+    """With jitter enabled, large commands see larger admission delays."""
+    def total_time(command_size):
+        env = Environment()
+        base = intel_p4800x()
+        spec = SSDSpec(
+            model=base.model, capacity_bytes=base.capacity_bytes,
+            write_bandwidth=base.write_bandwidth, read_bandwidth=base.read_bandwidth,
+            per_command_cost=0.0000001, flush_cost=base.flush_cost,
+            arbitration_beta=0.5,
+        )
+        ssd = SSD(env, spec, "s", rng=np.random.default_rng(7))
+        ns = ssd.create_namespace(GiB(64))
+        per_proc = MiB(64)
+
+        def writer(i):
+            # Sequential chunks of one command each -> repeated admission.
+            for chunk in range(8):
+                offset = i * per_proc + chunk * (per_proc // 8)
+                yield ssd.write(
+                    ns.nsid, offset,
+                    Payload.synthetic(f"w{i}.{chunk}", per_proc // 8),
+                    command_size,
+                )
+
+        for i in range(8):
+            env.process(writer(i))
+        env.run()
+        return env.now
+
+    assert total_time(MiB(8)) > total_time(KiB(32))

@@ -1,0 +1,91 @@
+"""Tests for queue pairs (polled completion) and the power controller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.nvme import Command, Opcode, Payload, PowerController, QueuePair, SSD
+from repro.sim import Environment
+from repro.units import GiB, KiB, MiB
+
+from tests.conftest import deterministic_spec
+
+
+@pytest.fixture
+def qp_rig():
+    env = Environment()
+    ssd = SSD(env, deterministic_spec(), "s0", rng=np.random.default_rng(0))
+    ns = ssd.create_namespace(GiB(2))
+    return env, ssd, ns, QueuePair(env, ssd, depth=8)
+
+
+def test_submit_and_poll(qp_rig):
+    env, ssd, ns, qp = qp_rig
+    qp.submit(Command(Opcode.WRITE, ns.nsid, slba=0, nblocks=1,
+                      payload=Payload.of_bytes(b"a" * 4096)))
+    assert qp.poll() == []  # nothing complete yet (no time has passed)
+
+    def waiter():
+        results = yield from qp.wait_all()
+        return results
+
+    results = env.run_until_complete(env.process(waiter()))
+    assert len(results) == 1
+    assert results[0].command.opcode is Opcode.WRITE
+
+
+def test_in_order_completion(qp_rig):
+    """A small command submitted after a large one completes after it
+    (single-queue ordering guarantee of §III-A)."""
+    env, ssd, ns, qp = qp_rig
+    qp.submit(Command(Opcode.WRITE, ns.nsid, slba=0, nblocks=MiB(64) // 4096,
+                      payload=Payload.synthetic("large", MiB(64))))
+    qp.submit(Command(Opcode.FLUSH, ns.nsid))
+
+    def waiter():
+        return (yield from qp.wait_all())
+
+    results = env.run_until_complete(env.process(waiter()))
+    assert [r.command.opcode for r in results] == [Opcode.WRITE, Opcode.FLUSH]
+
+
+def test_queue_depth_enforced(qp_rig):
+    env, ssd, ns, qp = qp_rig
+    for _ in range(8):
+        qp.submit(Command(Opcode.FLUSH, ns.nsid))
+    with pytest.raises(DeviceError):
+        qp.submit(Command(Opcode.FLUSH, ns.nsid))
+
+
+def test_identify(qp_rig):
+    env, ssd, ns, qp = qp_rig
+    qp.submit(Command(Opcode.IDENTIFY, ns.nsid))
+
+    def waiter():
+        return (yield from qp.wait_all())
+
+    results = env.run_until_complete(env.process(waiter()))
+    assert results[0].extra["spec"] is ssd.spec
+
+
+def test_power_controller_fail_and_restore():
+    env = Environment()
+    ssd = SSD(env, deterministic_spec(), "s0", rng=np.random.default_rng(0))
+    ssd.create_namespace(GiB(1))
+    controller = PowerController(env, [ssd])
+    controller.fail_at(1.0, restore_after=0.5)
+    env.run()
+    assert ssd.powered
+    assert [action for _t, action in controller.events] == ["fail", "restore"]
+    assert controller.events[0][0] == pytest.approx(1.0)
+    assert controller.events[1][0] == pytest.approx(1.5)
+    assert ssd.counters.get("power_failures") == 1
+
+
+def test_power_controller_permanent_failure():
+    env = Environment()
+    ssd = SSD(env, deterministic_spec(), "s0", rng=np.random.default_rng(0))
+    controller = PowerController(env, [ssd])
+    controller.fail_at(0.5)
+    env.run()
+    assert not ssd.powered

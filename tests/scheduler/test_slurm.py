@@ -1,0 +1,109 @@
+"""Tests for the Slurm-like scheduler and its namespace GRES."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, SchedulerError
+from repro.nvme import SSD
+from repro.scheduler import JobSpec, JobState, SlurmScheduler
+from repro.sim import Environment
+from repro.topology import paper_testbed
+from repro.units import GiB
+
+from tests.conftest import deterministic_spec
+
+
+def make_scheduler():
+    env = Environment()
+    cluster = paper_testbed()
+    sched = SlurmScheduler(env, cluster)
+    for node in cluster.storage_nodes():
+        sched.register_ssd(node.name, SSD(env, deterministic_spec(), f"nvme-{node.name}",
+                                          rng=np.random.default_rng(0)))
+    return env, sched
+
+
+def test_jobspec_validation():
+    with pytest.raises(SchedulerError):
+        JobSpec(name="bad", user="u", nprocs=0)
+    with pytest.raises(SchedulerError):
+        JobSpec(name="bad", user="u", nprocs=1, storage_devices=0)
+
+
+def test_ratio_rule_device_counts():
+    """§III-F: process:SSD ratio in 56-112."""
+    assert JobSpec("j", "u", nprocs=28).storage_devices_needed() == 1
+    assert JobSpec("j", "u", nprocs=56).storage_devices_needed() == 1
+    assert JobSpec("j", "u", nprocs=112).storage_devices_needed() == 2
+    assert JobSpec("j", "u", nprocs=448).storage_devices_needed() == 8
+    assert JobSpec("j", "u", nprocs=448, storage_devices=3).storage_devices_needed() == 3
+
+
+def test_compute_allocation_block_placement():
+    env, sched = make_scheduler()
+    job = sched.submit(JobSpec("j", "u", nprocs=56, procs_per_node=28))
+    assert job.state is JobState.RUNNING
+    assert len(job.compute_nodes) == 2
+    assert job.rank_to_node(0) == job.compute_nodes[0]
+    assert job.rank_to_node(28) == job.compute_nodes[1]
+    with pytest.raises(SchedulerError):
+        job.rank_to_node(56)
+
+
+def test_oversized_job_rejected():
+    env, sched = make_scheduler()
+    with pytest.raises(AllocationError):
+        sched.submit(JobSpec("huge", "u", nprocs=16 * 28 + 1, procs_per_node=28))
+
+
+def test_job_queues_when_cluster_busy():
+    env, sched = make_scheduler()
+    first = sched.submit(JobSpec("a", "u", nprocs=16 * 28, procs_per_node=28))
+    assert first.state is JobState.RUNNING
+    second = sched.submit(JobSpec("b", "u", nprocs=28, procs_per_node=28))
+    assert second.state is JobState.PENDING
+
+
+def test_storage_grants_create_namespaces():
+    env, sched = make_scheduler()
+    job = sched.submit(JobSpec("j", "u", nprocs=28))
+    grants = sched.grant_storage(job, ["stor00", "stor01"], bytes_per_device=GiB(4))
+    assert len(grants) == 2
+    for grant in grants:
+        assert grant.namespace.owner_job == "j"
+        assert grant.namespace.nbytes == GiB(4)
+
+
+def test_grant_on_unregistered_node_rejected():
+    env, sched = make_scheduler()
+    job = sched.submit(JobSpec("j", "u", nprocs=28))
+    with pytest.raises(AllocationError):
+        sched.grant_storage(job, ["comp00"], bytes_per_device=GiB(1))
+
+
+def test_complete_releases_everything():
+    env, sched = make_scheduler()
+    free_before = len(sched.free_compute_nodes())
+    job = sched.submit(JobSpec("j", "u", nprocs=28))
+    grants = sched.grant_storage(job, ["stor00"], bytes_per_device=GiB(4))
+    ssd = grants[0].ssd
+    used = ssd.free_bytes()
+    sched.complete(job)
+    assert job.state is JobState.COMPLETED
+    assert len(sched.free_compute_nodes()) == free_before
+    assert ssd.free_bytes() == used + GiB(4)
+
+
+def test_double_complete_rejected():
+    env, sched = make_scheduler()
+    job = sched.submit(JobSpec("j", "u", nprocs=28))
+    sched.complete(job)
+    with pytest.raises(SchedulerError):
+        sched.complete(job)
+
+
+def test_failed_job_state():
+    env, sched = make_scheduler()
+    job = sched.submit(JobSpec("j", "u", nprocs=28))
+    sched.complete(job, failed=True)
+    assert job.state is JobState.FAILED

@@ -1,0 +1,306 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(1.5)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [1.5]
+    assert env.now == 1.5
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(0.1, value="hello")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(3.0, "c"))
+    env.process(proc(1.0, "a"))
+    env.process(proc(2.0, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo_deterministic():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(10):
+        env.process(proc(tag))
+    env.run()
+    assert order == list(range(10))
+
+
+def test_process_join_returns_value():
+    env = Environment()
+    results = []
+
+    def child():
+        yield env.timeout(2.0)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        results.append((env.now, value))
+
+    env.process(parent())
+    env.run()
+    assert results == [(2.0, 42)]
+
+
+def test_process_exception_propagates_to_joiner():
+    env = Environment()
+    caught = []
+
+    def child():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(parent())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_orphan_process_failure_aborts_run():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        raise ValueError("unheard scream")
+
+    env.process(child())
+    with pytest.raises(ValueError, match="unheard scream"):
+        env.run()
+
+
+def test_run_until_time_horizon():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(10.0)
+        fired.append(True)
+
+    env.process(proc())
+    env.run(until=5.0)
+    assert env.now == 5.0
+    assert fired == []
+    env.run()
+    assert fired == [True]
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener():
+        yield env.timeout(3.0)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert seen == [(3.0, "open")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.all_of([env.timeout(1.0), env.timeout(5.0), env.timeout(3.0)])
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [5.0]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.any_of([env.timeout(4.0), env.timeout(2.0)])
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [2.0]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.all_of([])
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [0.0]
+
+
+def test_yield_already_processed_event():
+    env = Environment()
+    order = []
+
+    def proc():
+        done = env.timeout(1.0)
+        yield env.timeout(2.0)  # `done` fires and is processed meanwhile
+        value = yield done
+        order.append((env.now, value))
+
+    env.process(proc())
+    env.run()
+    assert order == [(2.0, None)]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    outcomes = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+            outcomes.append("slept")
+        except Interrupt as intr:
+            outcomes.append(("interrupted", env.now, intr.cause))
+
+    def interrupter(target):
+        yield env.timeout(2.5)
+        target.interrupt(cause="power-loss")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert outcomes == [("interrupted", 2.5, "power-loss")]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(0.1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_run_until_complete():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(7.0)
+        return "done"
+
+    result = env.run_until_complete(env.process(proc()))
+    assert result == "done"
+    assert env.now == 7.0
+
+
+def test_nested_subgenerators_via_yield_from():
+    env = Environment()
+    trail = []
+
+    def inner():
+        yield env.timeout(1.0)
+        trail.append("inner")
+        return 10
+
+    def outer():
+        value = yield from inner()
+        trail.append(("outer", value))
+        yield env.timeout(1.0)
+        return value * 2
+
+    result = env.run_until_complete(env.process(outer()))
+    assert result == 20
+    assert trail == ["inner", ("outer", 10)]
+    assert env.now == 2.0
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_clock_monotonicity_under_many_processes():
+    env = Environment()
+    stamps = []
+
+    def proc(i):
+        yield env.timeout(i % 7 * 0.1)
+        stamps.append(env.now)
+        yield env.timeout(0.05)
+        stamps.append(env.now)
+
+    for i in range(50):
+        env.process(proc(i))
+    env.run()
+    assert stamps == sorted(stamps)

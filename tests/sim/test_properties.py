@@ -1,0 +1,112 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, FairShareServer, Resource
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+def test_events_always_fire_in_order(delays):
+    env = Environment()
+    fired = []
+
+    def proc(d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transfers=st.lists(
+        st.tuples(st.floats(0.0, 5.0), st.floats(1.0, 1000.0)),
+        min_size=1, max_size=25,
+    ),
+    capacity=st.floats(10.0, 1000.0),
+)
+def test_fairshare_conserves_work(transfers, capacity):
+    """Total bytes served equals total bytes submitted, and the makespan
+    is never below the work-conserving lower bound."""
+    env = Environment()
+    server = FairShareServer(env, capacity=capacity)
+    done = []
+
+    def client(start, nbytes):
+        yield env.timeout(start)
+        yield server.transfer(nbytes)
+        done.append(env.now)
+
+    for start, nbytes in transfers:
+        env.process(client(start, nbytes))
+    env.run()
+    total = sum(n for _s, n in transfers)
+    assert server.bytes_served == pytest_approx(total)
+    last_arrival = max(s for s, _n in transfers)
+    lower_bound = total / capacity  # all work at full capacity
+    assert max(done) >= lower_bound - 1e-9
+    assert max(done) <= last_arrival + lower_bound + 1e-6
+
+
+def pytest_approx(value, rel=1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    jobs=st.lists(st.floats(0.01, 2.0), min_size=1, max_size=30),
+    capacity=st.integers(1, 5),
+)
+def test_resource_work_conservation(jobs, capacity):
+    """FCFS server pool: makespan within [work/capacity, sum(work)]."""
+    env = Environment()
+    server = Resource(env, capacity=capacity)
+
+    def client(duration):
+        yield from server.serve(duration)
+
+    for duration in jobs:
+        env.process(client(duration))
+    env.run()
+    total = sum(jobs)
+    assert env.now >= max(max(jobs), total / capacity) - 1e-9
+    assert env.now <= total + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed_ops=st.lists(st.integers(0, 2), min_size=2, max_size=20),
+)
+def test_deterministic_replay(seed_ops):
+    """Two identical environments produce identical timelines."""
+
+    def build():
+        env = Environment()
+        server = FairShareServer(env, capacity=100.0)
+        trace = []
+
+        def client(i, kind):
+            yield env.timeout(i * 0.1)
+            if kind == 0:
+                yield server.transfer(50.0)
+            elif kind == 1:
+                yield env.timeout(0.05)
+            else:
+                yield server.transfer(25.0, cap=10.0)
+            trace.append((i, env.now))
+
+        for i, kind in enumerate(seed_ops):
+            env.process(client(i, kind))
+        env.run()
+        return trace
+
+    assert build() == build()

@@ -1,0 +1,150 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_serializes_at_capacity_one():
+    env = Environment()
+    server = Resource(env, capacity=1)
+    finish_times = []
+
+    def client(i):
+        yield from server.serve(1.0)
+        finish_times.append((i, env.now))
+
+    for i in range(3):
+        env.process(client(i))
+    env.run()
+    assert finish_times == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+
+def test_resource_parallel_at_higher_capacity():
+    env = Environment()
+    server = Resource(env, capacity=3)
+    finish_times = []
+
+    def client(i):
+        yield from server.serve(1.0)
+        finish_times.append(env.now)
+
+    for i in range(3):
+        env.process(client(i))
+    env.run()
+    assert finish_times == [1.0, 1.0, 1.0]
+
+
+def test_resource_fifo_queue_order():
+    env = Environment()
+    server = Resource(env, capacity=1)
+    order = []
+
+    def client(i, arrival):
+        yield env.timeout(arrival)
+        yield from server.serve(1.0)
+        order.append(i)
+
+    env.process(client(0, 0.0))
+    env.process(client(1, 0.1))
+    env.process(client(2, 0.2))
+    env.run()
+    assert order == [0, 1, 2]
+
+
+def test_release_without_request_raises():
+    env = Environment()
+    server = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        server.release()
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_wait_time_accounting():
+    env = Environment()
+    server = Resource(env, capacity=1)
+
+    def client():
+        yield from server.serve(2.0)
+
+    env.process(client())
+    env.process(client())
+    env.run()
+    # Second client waited exactly 2.0s.
+    assert server.total_wait_time == pytest.approx(2.0)
+    assert server.total_requests == 2
+
+
+def test_resource_busy_time_integral():
+    env = Environment()
+    server = Resource(env, capacity=2)
+
+    def client():
+        yield from server.serve(4.0)
+
+    env.process(client())
+    env.run()
+    # One of two slots busy for 4s -> busy integral 2.0 "capacity-seconds".
+    assert server.busy_time() == pytest.approx(2.0)
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    store.put("x")
+    env.process(consumer())
+    env.run()
+    assert got == [(0.0, "x")]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5.0)
+        store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_fifo_matching():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(consumer("first"))
+    env.process(consumer("second"))
+
+    def producer():
+        yield env.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    env.process(producer())
+    env.run()
+    assert got == [("first", 1), ("second", 2)]

@@ -1,0 +1,90 @@
+"""Tests for the error hierarchy and Payload semantics."""
+
+import pytest
+
+from repro import errors
+from repro.errors import InvalidCommand
+from repro.nvme.commands import Command, Opcode, Payload
+
+
+def test_fs_errors_carry_errno_names():
+    cases = {
+        errors.FileNotFound: "ENOENT",
+        errors.FileExists: "EEXIST",
+        errors.NotADirectory: "ENOTDIR",
+        errors.IsADirectory: "EISDIR",
+        errors.DirectoryNotEmpty: "ENOTEMPTY",
+        errors.BadFileDescriptor: "EBADF",
+        errors.NoSpace: "ENOSPC",
+        errors.PermissionDenied: "EACCES",
+        errors.InvalidArgument: "EINVAL",
+    }
+    for cls, name in cases.items():
+        assert cls.errno_name == name
+        assert issubclass(cls, errors.FSError)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_hierarchy_roots():
+    assert issubclass(errors.DevicePoweredOff, errors.DeviceError)
+    assert issubclass(errors.Deadlock, errors.SimulationError)
+    assert issubclass(errors.AllocationError, errors.SchedulerError)
+
+
+# -- Payload ---------------------------------------------------------------------
+
+
+def test_payload_bytes_mode():
+    p = Payload.of_bytes(b"hello")
+    assert not p.is_synthetic
+    assert p.nbytes == 5
+    assert p.slice(1, 3).data == b"ell"
+
+
+def test_payload_synthetic_mode():
+    p = Payload.synthetic("tag", 1000)
+    assert p.is_synthetic
+    assert p.nbytes == 1000
+    sliced = p.slice(100, 50)
+    assert sliced.tag == "tag+100"
+    assert sliced.nbytes == 50
+    # Full-range slice is identity.
+    assert p.slice(0, 1000) is p
+
+
+def test_payload_invalid_construction():
+    with pytest.raises(InvalidCommand):
+        Payload(data=b"x", tag="both")
+    with pytest.raises(InvalidCommand):
+        Payload(tag="no-size")
+    with pytest.raises(InvalidCommand):
+        Payload(tag="neg", nbytes=-1)
+
+
+def test_payload_slice_bounds():
+    p = Payload.of_bytes(b"abc")
+    with pytest.raises(InvalidCommand):
+        p.slice(2, 5)
+    with pytest.raises(InvalidCommand):
+        p.slice(-1, 1)
+
+
+def test_payload_equality():
+    assert Payload.of_bytes(b"x") == Payload.of_bytes(b"x")
+    assert Payload.synthetic("t", 5) == Payload.synthetic("t", 5)
+    assert Payload.synthetic("t", 5) != Payload.synthetic("u", 5)
+    assert Payload.of_bytes(b"x") != Payload.synthetic("x", 1)
+
+
+# -- Command validation ---------------------------------------------------------------
+
+
+def test_command_validation():
+    with pytest.raises(InvalidCommand):
+        Command(Opcode.WRITE, 1, slba=0, nblocks=1)  # write needs payload
+    with pytest.raises(InvalidCommand):
+        Command(Opcode.READ, 1, slba=0, nblocks=0)  # zero-block read
+    with pytest.raises(InvalidCommand):
+        Command(Opcode.READ, 1, slba=-1, nblocks=1)
+    # FLUSH needs no range.
+    Command(Opcode.FLUSH, 1)

@@ -1,0 +1,50 @@
+"""Smoke tests: the examples and the CLI stay runnable."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+def test_failure_recovery_example_runs():
+    import examples.failure_recovery as demo
+
+    demo.main()  # asserts internally
+
+
+def test_quickstart_example_compiles_and_imports():
+    import examples.quickstart  # noqa: F401
+    import examples.comd_weak_scaling  # noqa: F401
+    import examples.multilevel_checkpointing  # noqa: F401
+
+
+@pytest.mark.slow
+def test_quickstart_example_runs():
+    import examples.quickstart as demo
+
+    demo.main()
+
+
+def test_cli_list():
+    assert cli_main(["list"]) == 0
+
+
+def test_cli_unknown_experiment():
+    assert cli_main(["run", "fig99"]) == 2
+
+
+def test_cli_run_fast_experiment(capsys):
+    assert cli_main(["run", "ablation-distributors"]) == 0
+    out = capsys.readouterr().out
+    assert "round-robin" in out
+
+
+def test_cli_module_invocation():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0
+    assert "fig7a" in result.stdout

@@ -1,0 +1,45 @@
+"""Tests for unit helpers and formatting."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_sizes():
+    assert units.KiB(1) == 1024
+    assert units.MiB(2) == 2 * 1024**2
+    assert units.GiB(1) == 1024**3
+    assert units.TiB(1) == 1024**4
+    assert units.KiB(1.5) == 1536
+
+
+def test_times():
+    assert units.ns(1) == pytest.approx(1e-9)
+    assert units.us(3) == pytest.approx(3e-6)
+    assert units.ms(2) == pytest.approx(2e-3)
+    assert units.seconds(4) == 4.0
+
+
+def test_rates():
+    assert units.MB_per_s(1) == 1e6
+    assert units.GB_per_s(2.2) == 2.2e9
+    assert units.Gbit_per_s(100) == pytest.approx(12.5e9)
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(units.KiB(2)) == "2.0 KiB"
+    assert units.fmt_bytes(units.MiB(512)) == "512.0 MiB"
+    assert units.fmt_bytes(units.GiB(3.5)) == "3.5 GiB"
+
+
+def test_fmt_rate():
+    assert units.fmt_rate(2.2e9) == "2.20 GB/s"
+    assert units.fmt_rate(500) == "500.00 B/s"
+
+
+def test_fmt_time():
+    assert units.fmt_time(39.5) == "39.50 s"
+    assert units.fmt_time(0.0445) == "44.50 ms"
+    assert units.fmt_time(3e-6) == "3.00 us"
+    assert units.fmt_time(5e-9) == "5.0 ns"

@@ -1,0 +1,118 @@
+"""Tests for cluster spec, network graph, and failure domains."""
+
+import pytest
+
+from repro.topology import (
+    ClusterSpec,
+    Node,
+    NodeKind,
+    NetworkTopology,
+    Rack,
+    derive_failure_domains,
+    paper_testbed,
+    partner_domains,
+)
+from repro.units import GiB
+
+
+def test_paper_testbed_shape():
+    cluster = paper_testbed()
+    assert len(cluster.storage_nodes()) == 8
+    assert len(cluster.compute_nodes()) == 16
+    assert cluster.total_cores(NodeKind.COMPUTE) == 448  # 16 x 28
+    assert cluster.total_ssds() == 8
+
+
+def test_compute_node_with_ssd_rejected():
+    with pytest.raises(ValueError):
+        Node("bad", NodeKind.COMPUTE, "r", "p", 28, GiB(128), ssd_count=1)
+
+
+def test_storage_node_without_ssd_rejected():
+    with pytest.raises(ValueError):
+        Node("bad", NodeKind.STORAGE, "r", "p", 28, GiB(128), ssd_count=0)
+
+
+def test_duplicate_node_names_rejected():
+    node = Node("dup", NodeKind.COMPUTE, "r0", "p0", 4, GiB(1))
+    with pytest.raises(ValueError):
+        ClusterSpec([Rack("r0", [node, node])])
+
+
+def test_node_rack_mismatch_rejected():
+    node = Node("n0", NodeKind.COMPUTE, "other-rack", "p0", 4, GiB(1))
+    with pytest.raises(ValueError):
+        ClusterSpec([Rack("r0", [node])])
+
+
+def test_node_lookup():
+    cluster = paper_testbed()
+    assert cluster.node("stor00").kind is NodeKind.STORAGE
+    with pytest.raises(KeyError):
+        cluster.node("nope")
+
+
+def test_hop_counts():
+    topo = NetworkTopology(paper_testbed())
+    # Same node.
+    assert topo.hop_count("comp00", "comp00") == 0
+    # Same rack: through one ToR switch.
+    assert topo.hop_count("comp00", "comp01") == 1
+    # Cross rack: ToR -> core -> ToR.
+    assert topo.hop_count("comp00", "stor00") == 3
+    # Symmetric.
+    assert topo.hop_count("stor00", "comp00") == 3
+
+
+def test_switch_inventory():
+    topo = NetworkTopology(paper_testbed())
+    switches = topo.switches()
+    assert "switch-core" in switches
+    assert len(switches) == 3  # core + 2 ToR
+
+
+def test_failure_domains_group_by_rack_and_pdu():
+    domains = derive_failure_domains(paper_testbed())
+    assert len(domains) == 2
+    by_id = {d.domain_id: d for d in domains}
+    assert len(by_id["rack-storage/pdu-storage"].nodes) == 8
+    assert len(by_id["rack-compute/pdu-compute"].nodes) == 16
+
+
+def test_domain_membership():
+    domains = derive_failure_domains(paper_testbed())
+    storage_domain = next(d for d in domains if "storage" in d.domain_id)
+    assert "stor03" in storage_domain
+    assert "comp00" not in storage_domain
+
+
+def test_partner_domains_exclude_self_and_sort_by_hops():
+    cluster = paper_testbed()
+    topo = NetworkTopology(cluster)
+    domains = derive_failure_domains(cluster)
+    partners = partner_domains(topo, domains)
+    for domain_id, plist in partners.items():
+        assert all(p.domain_id != domain_id for p in plist)
+        assert len(plist) == len(domains) - 1
+
+
+def test_partner_domains_closest_first_with_three_racks():
+    # Three racks: r0 and r1 hang off one aggregation switch... our model
+    # is single-core, so all cross-rack distances tie at 3 hops and the
+    # ordering must fall back to domain-id determinism.
+    racks = []
+    for r in range(3):
+        racks.append(
+            Rack(
+                f"r{r}",
+                [
+                    Node(f"n{r}{i}", NodeKind.COMPUTE, f"r{r}", f"p{r}", 4, GiB(1))
+                    for i in range(2)
+                ],
+            )
+        )
+    cluster = ClusterSpec(racks)
+    topo = NetworkTopology(cluster)
+    domains = derive_failure_domains(cluster)
+    partners = partner_domains(topo, domains)
+    assert [d.domain_id for d in partners["r0/p0"]] == ["r1/p1", "r2/p2"]
