@@ -1,0 +1,16 @@
+"""Registry conformance: every backend completes the N-N matrix pass."""
+
+from repro import systems
+from repro.bench import experiments as E
+from repro.units import MiB
+
+
+def test_sysmatrix_covers_every_registered_system(once):
+    table = once(E.sysmatrix, nprocs=4, nbytes=MiB(8))
+    assert len(table.rows) == len(systems.names())
+    assert all(w > 0 for w in table.column("write_s"))
+    assert all(r > 0 for r in table.column("read_s"))
+    by_system = {row[0]: row for row in table.rows}
+    # Shape: the runtime's userspace path beats the kernel filesystems.
+    assert by_system["NVMe-CR"][2] < by_system["ext4"][2]
+    assert by_system["NVMe-CR"][2] < by_system["XFS"][2]

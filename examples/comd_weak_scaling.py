@@ -12,11 +12,9 @@ Run:  python examples/comd_weak_scaling.py [--full]
 
 import sys
 
-from repro.apps import CoMDConfig, CoMDProxy, Deployment
-from repro.baselines import GlusterFSCluster, OrangeFSCluster
-from repro.bench.experiments import _run_comd_baseline, _run_comd_nvmecr
+from repro.apps import CoMDConfig, CoMDProxy
+from repro.bench.experiments import _run_comd
 from repro.metrics import efficiency
-from repro.units import GiB
 
 
 def main(full: bool = False):
@@ -29,16 +27,13 @@ def main(full: bool = False):
     print(f"{'procs':>6}  {'nvme-cr':>8}  {'orangefs':>8}  {'glusterfs':>9}")
     for procs in procs_list:
         effs = {}
-        dep, stats = _run_comd_nvmecr(procs, comd, seed=7)
         total = procs * nbytes * checkpoints
-        effs["nvmecr"] = efficiency(
-            total, max(s.checkpoint_time for s in stats), dep.aggregate_write_bandwidth()
-        )
-        for kind in ("orangefs", "glusterfs"):
-            dep_b, stats_b = _run_comd_baseline(kind, procs, comd, seed=7)
+        # Any registered storage system runs the same proxy app.
+        for kind in ("nvmecr", "orangefs", "glusterfs"):
+            handle, stats = _run_comd(kind, procs, comd, seed=7)
             effs[kind] = efficiency(
-                total, max(s.checkpoint_time for s in stats_b),
-                dep_b.aggregate_write_bandwidth(),
+                total, max(s.checkpoint_time for s in stats),
+                handle.aggregate_write_bandwidth(),
             )
         print(f"{procs:>6}  {effs['nvmecr']:>8.3f}  {effs['orangefs']:>8.3f}  "
               f"{effs['glusterfs']:>9.3f}")

@@ -5,32 +5,29 @@ describes, and returns a :class:`ResultTable` whose rows mirror the
 paper's series. Default parameters are scaled to finish in seconds to a
 couple of minutes on a laptop; pass the paper-scale values explicitly
 where noted. EXPERIMENTS.md records paper-vs-measured for every row.
+
+Storage systems are built through :mod:`repro.systems`, so the
+cross-system figures accept a ``systems=(...)`` tuple of registered
+names — ``repro run fig8b --systems nvmecr crail glusterfs`` compares
+any backend without touching experiment code.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.apps.checkpoint import CheckpointStats
 from repro.apps.comd import CoMDConfig, CoMDProxy
-from repro.apps.deployment import Deployment
-from repro.baselines.crail import CrailCluster
-from repro.baselines.glusterfs import GlusterFSCluster
 from repro.baselines.lustre import LustreCluster
-from repro.baselines.orangefs import OrangeFSCluster
-from repro.baselines.posixfs import KernelFilesystem
-from repro.baselines.spdk import RawSPDKClient
 from repro.bench import calibration as cal
-from repro.bench.fleet import MicroFSFleet
-from repro.bench.harness import ResultTable, dump_files, parallel_clients
+from repro.bench.harness import ResultTable, dump_files
 from repro.core.config import RuntimeConfig
 from repro.core.control_plane import GlobalNamespaceService
 from repro.core.multilevel import MultiLevelCheckpointer
-from repro.fabric.transport import LocalPCIeTransport
 from repro.metrics import coefficient_of_variation, efficiency
-from repro.mpi.runtime import launch
-from repro.nvme.device import SSD, intel_p4800x
-from repro.sim.engine import Environment
+from repro.systems import SystemHandle
+from repro.systems import build as build_system
+from repro.systems import get as get_system
 from repro.units import GiB, KiB, MiB
 
 __all__ = [
@@ -44,6 +41,7 @@ __all__ = [
     "fig9_scaling",
     "tab1_metadata_overhead",
     "tab2_multilevel",
+    "sysmatrix",
     "ablation_coalescing",
     "ablation_distributors",
     "run_all",
@@ -59,15 +57,8 @@ def _bench_config(**overrides) -> RuntimeConfig:
     return RuntimeConfig(**base)
 
 
-def _baseline_cluster(kind: str, dep: Deployment, namespace_bytes: int):
-    if kind == "orangefs":
-        return OrangeFSCluster(dep, namespace_bytes)
-    if kind == "glusterfs":
-        return GlusterFSCluster(dep, namespace_bytes)
-    raise ValueError(f"unknown baseline {kind!r}")
-
-
-def _run_comd_nvmecr(
+def _run_comd(
+    system: str,
     nprocs: int,
     comd: CoMDProxy,
     seed: int,
@@ -75,12 +66,20 @@ def _run_comd_nvmecr(
     bytes_per_device: Optional[int] = None,
     config: Optional[RuntimeConfig] = None,
     with_recovery: bool = False,
-) -> Tuple[Deployment, List[CheckpointStats]]:
-    dep = Deployment(seed=seed)
-    needed = bytes_per_device or _device_quota(nprocs, comd, devices or 8)
-    job, plan = dep.submit(
-        "comd", nprocs=nprocs, devices=devices or 8, bytes_per_device=needed
-    )
+) -> Tuple[SystemHandle, List[CheckpointStats]]:
+    """Run the CoMD proxy on any registered system; (handle, per-rank stats)."""
+    if system == "nvmecr":
+        needed = bytes_per_device or _device_quota(nprocs, comd, devices or 8)
+        handle = build_system(
+            "nvmecr", nprocs=nprocs, seed=seed, devices=devices or 8,
+            bytes_per_device=needed, config=config or _bench_config(),
+            job_name="comd",
+        )
+    else:
+        per_server = comd.config.total_checkpoint_bytes(nprocs) // 2 + GiB(1)
+        handle = build_system(
+            system, nprocs=nprocs, namespace_bytes=per_server, seed=seed
+        )
 
     def rank_main(shim, comm):
         stats = yield from comd.rank_main(shim, comm)
@@ -90,8 +89,7 @@ def _run_comd_nvmecr(
             stats.bytes_read += recovery.bytes_read
         return stats
 
-    mpi_job = dep.run_job(job, plan, rank_main, config=config or _bench_config())
-    return dep, mpi_job.results()
+    return handle, handle.run_ranks(rank_main)
 
 
 def _device_quota(nprocs: int, comd: CoMDProxy, devices: int) -> int:
@@ -100,34 +98,6 @@ def _device_quota(nprocs: int, comd: CoMDProxy, devices: int) -> int:
     # data + per-rank reserved metadata regions, 1.5x slack.
     per_rank_total = int(1.5 * per_rank) + MiB(64)
     return max(GiB(1), ranks_per_device * per_rank_total)
-
-
-def _run_comd_baseline(
-    kind: str,
-    nprocs: int,
-    comd: CoMDProxy,
-    seed: int,
-    with_recovery: bool = False,
-) -> Tuple[Deployment, List[CheckpointStats]]:
-    dep = Deployment(seed=seed)
-    per_server = comd.config.total_checkpoint_bytes(nprocs) // 2 + GiB(1)
-    cluster = _baseline_cluster(kind, dep, per_server)
-    clients = [cluster.client(f"r{i}") for i in range(nprocs)]
-
-    def rank_main(comm):
-        shim = clients[comm.rank]
-        stats = yield from comd.rank_main(shim, comm)
-        if with_recovery:
-            recovery = yield from comd.restart_main(shim, comm)
-            stats.restart_times.extend(recovery.restart_times)
-            stats.bytes_read += recovery.bytes_read
-        return stats
-
-    mpi_job = launch(dep.env, nprocs, rank_main)
-    dep.env.run()
-    if mpi_job.done.triggered:
-        mpi_job.done.value
-    return dep, mpi_job.results()
 
 
 # ===========================================================================
@@ -139,6 +109,7 @@ def fig1_motivation(
     procs: Iterable[int] = _DEFAULT_PROCS,
     atoms_per_rank: int = 32_000,
     seed: int = 1,
+    systems: Sequence[str] = ("orangefs", "glusterfs"),
 ) -> ResultTable:
     """Weak-scaling checkpoint bandwidth of OrangeFS and GlusterFS.
 
@@ -147,22 +118,23 @@ def fig1_motivation(
     """
     table = ResultTable(
         "Figure 1: weak-scaling checkpoint bandwidth (fraction of hw peak)",
-        ["procs", "orangefs_GBps", "glusterfs_GBps", "hw_peak_GBps",
-         "orangefs_frac", "glusterfs_frac"],
+        ["procs"] + [f"{s}_GBps" for s in systems] + ["hw_peak_GBps"]
+        + [f"{s}_frac" for s in systems],
     )
     nbytes = atoms_per_rank * cal.COMD_BYTES_PER_ATOM
     for p in procs:
         row: Dict[str, float] = {}
-        for kind in ("orangefs", "glusterfs"):
-            dep = Deployment(seed=seed)
-            cluster = _baseline_cluster(kind, dep, nbytes * p // 2 + GiB(1))
-            clients = [cluster.client(f"r{i}") for i in range(p)]
-            elapsed = parallel_clients(dep.env, clients, dump_files(nbytes))
+        for kind in systems:
+            handle = build_system(
+                kind, nprocs=p, namespace_bytes=nbytes * p // 2 + GiB(1),
+                seed=seed,
+            )
+            elapsed = handle.makespan(dump_files(nbytes))
             row[kind] = p * nbytes / elapsed
-            row["peak"] = dep.aggregate_write_bandwidth()
+            row["peak"] = handle.aggregate_write_bandwidth()
         table.add(
-            p, row["orangefs"] / 1e9, row["glusterfs"] / 1e9, row["peak"] / 1e9,
-            row["orangefs"] / row["peak"], row["glusterfs"] / row["peak"],
+            p, *(row[s] / 1e9 for s in systems), row["peak"] / 1e9,
+            *(row[s] / row["peak"] for s in systems),
         )
     table.note("paper: OrangeFS peaks at ~41% and GlusterFS at ~84% of hw peak")
     return table
@@ -195,13 +167,12 @@ def fig7a_hugeblock_sweep(
     pool_sizes: Dict[int, int] = {}
     for block in block_sizes:
         config = _bench_config(hugeblock_bytes=block)
-        fleet = MicroFSFleet(
-            nprocs, config=config,
+        fleet = build_system(
+            "microfs", nprocs=nprocs, config=config,
             partition_bytes=2 * file_bytes + MiB(64), seed=seed,
         )
-        elapsed = parallel_clients(fleet.env, fleet.clients, dump_files(file_bytes))
-        times[block] = elapsed
-        pool_sizes[block] = fleet.instances[0].pool.footprint_bytes()
+        times[block] = fleet.makespan(dump_files(file_bytes))
+        pool_sizes[block] = fleet.cluster.instances[0].pool.footprint_bytes()
     base = times[KiB(32)] if KiB(32) in times else min(times.values())
     for block in block_sizes:
         table.add(
@@ -221,6 +192,7 @@ def fig7b_load_imbalance(
     procs: Iterable[int] = _DEFAULT_PROCS,
     atoms_per_rank: int = 8_000,
     seed: int = 3,
+    systems: Sequence[str] = ("nvmecr", "orangefs", "glusterfs"),
 ) -> ResultTable:
     """Per-server load CoV for NVMe-CR, OrangeFS, GlusterFS.
 
@@ -230,25 +202,24 @@ def fig7b_load_imbalance(
     """
     table = ResultTable(
         "Figure 7(b): load-imbalance coefficient of variation",
-        ["procs", "nvmecr", "orangefs", "glusterfs"],
+        ["procs"] + list(systems),
     )
     comd = CoMDProxy(CoMDConfig(atoms_per_rank=atoms_per_rank, checkpoints=1))
     for p in procs:
-        # NVMe-CR allocates devices by the §III-F ratio rule (56-112
-        # procs per SSD), so process counts divide evenly across them.
-        devices = max(1, -(-p // 56))
-        dep, _ = _run_comd_nvmecr(p, comd, seed, devices=devices)
-        used = [b for b in dep.bytes_per_server() if b > 0]
-        nvmecr_cov = coefficient_of_variation(used)
-        covs = {}
-        for kind in ("orangefs", "glusterfs"):
-            dep_b, _ = _run_comd_baseline(kind, p, comd, seed)
-            loads = [
-                dep_b.ssds[n.name].counters.get("bytes_written")
-                for n in dep_b.cluster.storage_nodes()
-            ]
-            covs[kind] = coefficient_of_variation(loads)
-        table.add(p, nvmecr_cov, covs["orangefs"], covs["glusterfs"])
+        covs: Dict[str, float] = {}
+        for kind in systems:
+            if kind == "nvmecr":
+                # NVMe-CR allocates devices by the §III-F ratio rule
+                # (56-112 procs per SSD), so process counts divide
+                # evenly across the devices it was actually granted.
+                devices = max(1, -(-p // 56))
+                handle, _ = _run_comd("nvmecr", p, comd, seed, devices=devices)
+                used = [b for b in handle.load_per_server() if b > 0]
+                covs[kind] = coefficient_of_variation(used)
+            else:
+                handle, _ = _run_comd(kind, p, comd, seed)
+                covs[kind] = coefficient_of_variation(handle.load_per_server())
+        table.add(p, *(covs[s] for s in systems))
     table.note("paper: NVMe-CR ~0 everywhere; GlusterFS worst at low concurrency")
     return table
 
@@ -278,41 +249,32 @@ def fig7c_direct_access(
         results: Dict[str, float] = {}
         kernel_frac: Dict[str, float] = {}
         # NVMe-CR fleet.
-        fleet = MicroFSFleet(
-            nprocs, config=_bench_config(),
+        fleet = build_system(
+            "microfs", nprocs=nprocs, config=_bench_config(),
             partition_bytes=2 * nbytes + MiB(64), seed=seed,
         )
-        results["nvmecr"] = parallel_clients(
-            fleet.env, fleet.clients, dump_files(nbytes)
-        )
+        results["nvmecr"] = fleet.makespan(dump_files(nbytes))
         # The benchmark's own non-IO syscalls (malloc, init/finalize):
         # the paper attributes NVMe-CR's 10% kernel share to these.
         app_kernel = 0.10 * results["nvmecr"]
         kernel_frac["nvmecr"] = app_kernel / results["nvmecr"]
         # Raw SPDK.
-        env = Environment()
-        import numpy as np
-        ssd = SSD(env, intel_p4800x(), "nvme0", rng=np.random.default_rng(seed))
-        ns = ssd.create_namespace((2 * nbytes + MiB(64)) * nprocs, owner_job="spdk")
-        region = ns.nbytes // nprocs
-        spdk_clients = [
-            RawSPDKClient(env, LocalPCIeTransport(env, ssd), ns.nsid,
-                          i * region, region, name=f"spdk{i}")
-            for i in range(nprocs)
-        ]
-        results["spdk"] = parallel_clients(env, spdk_clients, dump_files(nbytes))
+        spdk = build_system(
+            "spdk", nprocs=nprocs, bytes_per_client=2 * nbytes + MiB(64),
+            seed=seed,
+        )
+        results["spdk"] = spdk.makespan(dump_files(nbytes))
         # Kernel filesystems.
         for variant in ("xfs", "ext4"):
-            env = Environment()
-            ssd = SSD(env, intel_p4800x(), "nvme0", rng=np.random.default_rng(seed))
-            ns = ssd.create_namespace((2 * nbytes + MiB(64)) * nprocs, owner_job=variant)
-            kfs = KernelFilesystem(env, ssd, ns, variant)
-            clients = [kfs.client(f"c{i}") for i in range(nprocs)]
-            results[variant] = parallel_clients(env, clients, dump_files(nbytes))
+            kfs = build_system(
+                variant, nprocs=nprocs, bytes_per_client=2 * nbytes + MiB(64),
+                seed=seed,
+            )
+            results[variant] = kfs.makespan(dump_files(nbytes))
             kernel_frac[variant] = sum(
                 c.kernel_fraction(results[variant], app_kernel_time=app_kernel)
-                for c in clients
-            ) / len(clients)
+                for c in kfs.clients
+            ) / len(kfs.clients)
         table.add(
             nbytes // MiB(1), results["nvmecr"], results["spdk"],
             results["xfs"], results["ext4"],
@@ -364,13 +326,19 @@ def fig7d_drilldown(
             config = stage_config.with_(
                 log_region_bytes=MiB(64), state_region_bytes=MiB(64),
             )
+            from repro.apps.deployment import Deployment
+
             dep = Deployment(seed=seed)
             global_ns = (
                 GlobalNamespaceService(dep.env)
                 if not config.private_namespace else None
             )
             quota = max(GiB(1), (-(-p // 8)) * (2 * nbytes + MiB(160)))
-            job, plan = dep.submit("drill", nprocs=p, devices=8, bytes_per_device=quota)
+            handle = build_system(
+                "nvmecr", nprocs=p, deployment=dep, devices=8,
+                bytes_per_device=quota, config=config,
+                global_namespace=global_ns, job_name="drill",
+            )
 
             def rank_main(shim, comm):
                 stats = CheckpointStats()
@@ -390,10 +358,9 @@ def fig7d_drilldown(
                 stats.bytes_written = nbytes
                 return stats
 
-            mpi_job = dep.run_job(
-                job, plan, rank_main, config=config, global_namespace=global_ns
+            row.append(
+                max(s.checkpoint_time for s in handle.run_ranks(rank_main))
             )
-            row.append(max(s.checkpoint_time for s in mpi_job.results()))
         table.add(p, *row)
     table.note("paper: +userspace/private-ns up to 44% (grows with scale); "
                "+provenance up to 17%; +hugeblocks up to 62% (low concurrency)")
@@ -422,17 +389,17 @@ def fig8a_nvmf_overhead(
     )
     for nbytes in sizes:
         times: Dict[str, float] = {}
-        for mode in ("local", "remote"):
-            fleet = MicroFSFleet(
-                nprocs, config=_bench_config(),
-                partition_bytes=2 * nbytes + MiB(64),
-                remote=(mode == "remote"), seed=seed,
+        for mode, system in (("local", "microfs"), ("remote", "microfs-remote")):
+            fleet = build_system(
+                system, nprocs=nprocs, config=_bench_config(),
+                partition_bytes=2 * nbytes + MiB(64), seed=seed,
             )
-            times[mode] = parallel_clients(fleet.env, fleet.clients, dump_files(nbytes))
-        dep = Deployment(seed=seed)
-        crail = CrailCluster(dep, (2 * nbytes) * nprocs + GiB(1))
-        crail_clients = [crail.client(f"c{i}", "comp00") for i in range(nprocs)]
-        times["crail"] = parallel_clients(dep.env, crail_clients, dump_files(nbytes))
+            times[mode] = fleet.makespan(dump_files(nbytes))
+        crail = build_system(
+            "crail", nprocs=nprocs,
+            namespace_bytes=(2 * nbytes) * nprocs + GiB(1), seed=seed,
+        )
+        times["crail"] = crail.makespan(dump_files(nbytes))
         table.add(
             nbytes // MiB(1), times["local"], times["remote"], times["crail"],
             times["remote"] / times["local"] - 1.0,
@@ -451,16 +418,20 @@ def fig8b_create_rate(
     procs: Iterable[int] = _DEFAULT_PROCS,
     creates_per_proc: int = 10,
     seed: int = 7,
+    systems: Sequence[str] = ("nvmecr", "orangefs", "glusterfs"),
 ) -> ResultTable:
     """N-N file create throughput at scale.
 
     Paper anchor (§IV-G): "NVMe-CR provides 7x and 18x higher create
     performance at 448 processes" vs OrangeFS and GlusterFS.
     """
+    others = (
+        [s for s in systems if s != "nvmecr"] if "nvmecr" in systems else []
+    )
     table = ResultTable(
         "Figure 8(b): file creates per second",
-        ["procs", "nvmecr", "orangefs", "glusterfs",
-         "nvmecr_vs_ofs", "nvmecr_vs_gfs"],
+        ["procs"] + list(systems)
+        + [f"nvmecr_vs_{get_system(s).short}" for s in others],
     )
 
     def create_work(i, client, count=creates_per_proc):
@@ -470,31 +441,33 @@ def fig8b_create_rate(
 
     for p in procs:
         rates: Dict[str, float] = {}
-        # NVMe-CR through the full runtime.
-        dep = Deployment(seed=seed)
-        job, plan = dep.submit("creates", nprocs=p, devices=8, bytes_per_device=GiB(2))
+        for kind in systems:
+            if kind == "nvmecr":
+                # NVMe-CR through the full runtime.
+                handle = build_system(
+                    "nvmecr", nprocs=p, seed=seed, devices=8,
+                    bytes_per_device=GiB(2), config=_bench_config(),
+                    job_name="creates",
+                )
 
-        def rank_main(shim, comm):
-            yield from shim.mkdir("/ckpt")
-            yield from comm.barrier()
-            t0 = shim.env.now
-            yield from create_work(comm.rank, shim)
-            yield from comm.barrier()
-            return shim.env.now - t0
+                def rank_main(shim, comm):
+                    yield from shim.mkdir("/ckpt")
+                    yield from comm.barrier()
+                    t0 = shim.env.now
+                    yield from create_work(comm.rank, shim)
+                    yield from comm.barrier()
+                    return shim.env.now - t0
 
-        mpi_job = dep.run_job(job, plan, rank_main, config=_bench_config())
-        rates["nvmecr"] = p * creates_per_proc / max(mpi_job.results())
-        for kind in ("orangefs", "glusterfs"):
-            dep_b = Deployment(seed=seed)
-            cluster = _baseline_cluster(kind, dep_b, GiB(4))
-            clients = [cluster.client(f"r{i}") for i in range(p)]
-            elapsed = parallel_clients(
-                dep_b.env, clients, lambda i, c: create_work(i, c)
-            )
-            rates[kind] = p * creates_per_proc / elapsed
+                rates[kind] = p * creates_per_proc / max(handle.run_ranks(rank_main))
+            else:
+                handle = build_system(
+                    kind, nprocs=p, namespace_bytes=GiB(4), seed=seed
+                )
+                elapsed = handle.makespan(lambda i, c: create_work(i, c))
+                rates[kind] = p * creates_per_proc / elapsed
         table.add(
-            p, rates["nvmecr"], rates["orangefs"], rates["glusterfs"],
-            rates["nvmecr"] / rates["orangefs"], rates["nvmecr"] / rates["glusterfs"],
+            p, *(rates[s] for s in systems),
+            *(rates["nvmecr"] / rates[s] for s in others),
         )
     table.note("paper @448: NVMe-CR 7x OrangeFS and 18x GlusterFS")
     return table
@@ -512,6 +485,7 @@ def fig9_scaling(
     atoms_per_rank: int = 32_000,
     atoms_total: int = 16_384_000,
     seed: int = 8,
+    systems: Sequence[str] = ("nvmecr", "orangefs", "glusterfs"),
 ) -> ResultTable:
     """Checkpoint and recovery efficiency (Figures 9(a)-(d)).
 
@@ -522,10 +496,10 @@ def fig9_scaling(
     """
     if mode not in ("weak", "strong"):
         raise ValueError(f"mode must be weak|strong, got {mode!r}")
+    shorts = [get_system(s).short for s in systems]
     table = ResultTable(
         f"Figure 9 ({mode} scaling): checkpoint / recovery efficiency",
-        ["procs", "ckpt_nvmecr", "ckpt_ofs", "ckpt_gfs",
-         "rec_nvmecr", "rec_ofs", "rec_gfs"],
+        ["procs"] + [f"ckpt_{s}" for s in shorts] + [f"rec_{s}" for s in shorts],
     )
     for p in procs:
         if mode == "weak":
@@ -535,26 +509,23 @@ def fig9_scaling(
         comd = CoMDProxy(config, seed=seed)
         nbytes = config.checkpoint_bytes_per_rank
         row: Dict[str, Tuple[float, float]] = {}
-        dep, stats = _run_comd_nvmecr(p, comd, seed, with_recovery=True)
-        row["nvmecr"] = _efficiencies(dep, p, nbytes, checkpoints, stats)
-        for kind in ("orangefs", "glusterfs"):
-            dep_b, stats_b = _run_comd_baseline(kind, p, comd, seed, with_recovery=True)
-            row[kind] = _efficiencies(dep_b, p, nbytes, checkpoints, stats_b)
+        for kind in systems:
+            handle, stats = _run_comd(kind, p, comd, seed, with_recovery=True)
+            row[kind] = _efficiencies(handle, p, nbytes, checkpoints, stats)
         table.add(
-            p, row["nvmecr"][0], row["orangefs"][0], row["glusterfs"][0],
-            row["nvmecr"][1], row["orangefs"][1], row["glusterfs"][1],
+            p, *(row[s][0] for s in systems), *(row[s][1] for s in systems),
         )
     table.note("paper weak@448: NVMe-CR 0.96 ckpt / 0.99 recovery; "
                "GlusterFS ~13% lower ckpt; GlusterFS recovery dips at 448")
     return table
 
 
-def _efficiencies(dep, nprocs, nbytes, checkpoints, stats) -> Tuple[float, float]:
+def _efficiencies(handle, nprocs, nbytes, checkpoints, stats) -> Tuple[float, float]:
     total = nprocs * nbytes * checkpoints
     ckpt_time = max(s.checkpoint_time for s in stats)
     rec_time = max(s.restart_time for s in stats)
-    write_eff = efficiency(total, ckpt_time, dep.aggregate_write_bandwidth())
-    read_eff = efficiency(total, rec_time, dep.aggregate_read_bandwidth())
+    write_eff = efficiency(total, ckpt_time, handle.aggregate_write_bandwidth())
+    read_eff = efficiency(total, rec_time, handle.aggregate_read_bandwidth())
     return write_eff, read_eff
 
 
@@ -568,6 +539,7 @@ def tab1_metadata_overhead(
     atoms_per_rank: int = 32_000,
     checkpoints: int = 10,
     seed: int = 9,
+    systems: Sequence[str] = ("orangefs", "glusterfs"),
 ) -> ResultTable:
     """Metadata storage overhead with CoMD.
 
@@ -587,7 +559,9 @@ def tab1_metadata_overhead(
     config = _bench_config(
         log_region_bytes=MiB(29), state_region_bytes=MiB(416)
     )
-    fleet = MicroFSFleet(1, config=config, partition_bytes=GiB(4), seed=seed)
+    fleet = build_system(
+        "microfs", nprocs=1, config=config, partition_bytes=GiB(4), seed=seed
+    )
     shim = fleet.clients[0]
 
     def probe():
@@ -598,22 +572,22 @@ def tab1_metadata_overhead(
             yield from shim.close(fd)
 
     fleet.env.run_until_complete(fleet.env.process(probe()))
-    footprint = fleet.instances[0].footprint()
+    footprint = fleet.cluster.instances[0].footprint()
     table.add("NVMe-CR", "per runtime", footprint.ssd_bytes() / 1e6)
     table.add("NVMe-CR (DRAM)", "per runtime", footprint.dram_bytes() / 1e6)
 
-    for kind in ("orangefs", "glusterfs"):
-        dep_c = Deployment(seed=seed)
-        cluster = _baseline_cluster(
-            kind, dep_c, comd.config.total_checkpoint_bytes(nprocs) // 2 + GiB(1)
+    for kind in systems:
+        handle = build_system(
+            kind, nprocs=nprocs, seed=seed,
+            namespace_bytes=comd.config.total_checkpoint_bytes(nprocs) // 2 + GiB(1),
         )
-        clients = [cluster.client(f"r{i}") for i in range(nprocs)]
         for step in range(checkpoints):
-            parallel_clients(
-                dep_c.env, clients,
-                dump_files(comd.config.checkpoint_bytes_per_rank, step=step),
+            handle.makespan(
+                dump_files(comd.config.checkpoint_bytes_per_rank, step=step)
             )
-        table.add(kind, "per storage node", cluster.metadata_bytes_per_server() / 1e6)
+        table.add(
+            kind, "per storage node", handle.metadata_bytes_per_server() / 1e6
+        )
     table.note("paper: OrangeFS 2686.25 / GlusterFS 3.5 per node; "
                "NVMe-CR 445.25 per runtime, DRAM < 512 MB")
     return table
@@ -630,6 +604,7 @@ def tab2_multilevel(
     checkpoints: int = 10,
     pfs_interval: int = 10,
     seed: int = 10,
+    systems: Sequence[str] = ("orangefs", "glusterfs", "nvmecr"),
 ) -> ResultTable:
     """Multi-level checkpointing: one checkpoint in ten goes to Lustre.
 
@@ -637,6 +612,8 @@ def tab2_multilevel(
     3.6/4.5/3.6 s, progress 0.252/0.402/0.423 for OrangeFS/GlusterFS/
     NVMe-CR.
     """
+    from repro.apps.deployment import Deployment
+
     table = ResultTable(
         "Table II: multi-level checkpointing at scale",
         ["system", "checkpoint_s", "recovery_s", "progress_rate"],
@@ -647,47 +624,37 @@ def tab2_multilevel(
     def run(system: str) -> Tuple[float, float, float]:
         dep = Deployment(seed=seed)
         lustre = LustreCluster(dep.env)
-        results: Dict[int, Dict[str, float]] = {}
 
         if system == "nvmecr":
             quota = _device_quota(nprocs, CoMDProxy(
                 CoMDConfig(atoms_per_rank=atoms_per_rank, checkpoints=checkpoints)), 8)
-            job, plan = dep.submit("ml", nprocs=nprocs, devices=8, bytes_per_device=quota)
-
-            def rank_main(shim, comm):
-                result = yield from _multilevel_rank(
-                    shim, comm, lustre, nbytes, checkpoints, pfs_interval, compute_phase
-                )
-                return result
-
-            mpi_job = dep.run_job(job, plan, rank_main, config=_bench_config())
-            ranks = mpi_job.results()
+            handle = build_system(
+                "nvmecr", nprocs=nprocs, deployment=dep, devices=8,
+                bytes_per_device=quota, config=_bench_config(), job_name="ml",
+            )
         else:
             per_server = nbytes * checkpoints * nprocs // 2 + GiB(1)
-            cluster = _baseline_cluster(system, dep, per_server)
-            clients = [cluster.client(f"r{i}") for i in range(nprocs)]
+            handle = build_system(
+                system, nprocs=nprocs, namespace_bytes=per_server,
+                deployment=dep,
+            )
 
-            def rank_main(comm):
-                return (yield from _multilevel_rank(
-                    clients[comm.rank], comm, lustre, nbytes,
-                    checkpoints, pfs_interval, compute_phase,
-                ))
+        def rank_main(shim, comm):
+            return (yield from _multilevel_rank(
+                shim, comm, lustre, nbytes,
+                checkpoints, pfs_interval, compute_phase,
+            ))
 
-            mpi_job = launch(dep.env, nprocs, rank_main)
-            dep.env.run()
-            if mpi_job.done.triggered:
-                mpi_job.done.value
-            ranks = mpi_job.results()
+        ranks = handle.run_ranks(rank_main)
         ckpt = max(r["checkpoint"] for r in ranks)
         rec = max(r["recovery"] for r in ranks)
         compute = checkpoints * compute_phase
         progress = compute / (compute + ckpt)
         return ckpt, rec, progress
 
-    for system, label in (("orangefs", "OrangeFS"), ("glusterfs", "GlusterFS"),
-                          ("nvmecr", "NVMe-CR")):
+    for system in systems:
         ckpt, rec, progress = run(system)
-        table.add(label, ckpt, rec, progress)
+        table.add(get_system(system).title, ckpt, rec, progress)
     table.note("paper: ckpt 85.9/44.5/39.5 s; recovery 3.6/4.5/3.6 s; "
                "progress 0.252/0.402/0.423")
     return table
@@ -723,6 +690,88 @@ def _multilevel_rank(shim, comm, lustre, nbytes, checkpoints, pfs_interval, comp
 
 
 # ===========================================================================
+# Cross-system matrix: every registered backend under one N-N workload
+# ===========================================================================
+
+
+def sysmatrix(
+    nprocs: int = 8,
+    nbytes: int = MiB(64),
+    systems: Optional[Sequence[str]] = None,
+    seed: int = 13,
+) -> ResultTable:
+    """One N-N write/fsync/read-back pass over every registered system.
+
+    Not a paper artefact: a registry exerciser. Every backend runs the
+    same rank program through :meth:`SystemHandle.run_ranks`, so a
+    backend that drifts from the shim contract fails here before it can
+    skew a calibrated figure.
+    """
+    from repro.systems import names as system_names
+
+    chosen = tuple(systems) if systems else tuple(system_names())
+    table = ResultTable(
+        "System matrix: N-N write+fsync then read-back",
+        ["system", "kind", "write_s", "read_s", "write_GiBps"],
+    )
+
+    def rank_main(shim, comm):
+        env = shim.env
+        path = f"/m{comm.rank:04d}.dat"
+        yield from comm.barrier()
+        t0 = env.now
+        fd = yield from shim.open(path, "w")
+        yield from shim.write(fd, nbytes)
+        yield from shim.fsync(fd)
+        yield from shim.close(fd)
+        yield from comm.barrier()
+        write_s = env.now - t0
+        t1 = env.now
+        fd = yield from shim.open(path, "r")
+        yield from shim.read(fd, nbytes)
+        yield from shim.close(fd)
+        yield from comm.barrier()
+        return write_s, env.now - t1
+
+    for name in chosen:
+        handle = _build_for_matrix(name, nprocs, nbytes, seed)
+        ranks = handle.run_ranks(rank_main)
+        write_s = max(r[0] for r in ranks)
+        read_s = max(r[1] for r in ranks)
+        spec = get_system(name)
+        table.add(
+            spec.title, spec.kind, write_s, read_s,
+            nprocs * nbytes / write_s / GiB(1),
+        )
+    table.note(f"{nprocs} ranks x {nbytes // MiB(1)} MiB per rank")
+    return table
+
+
+def _build_for_matrix(name: str, nprocs: int, nbytes: int, seed: int) -> SystemHandle:
+    """Provision each backend generously enough for one N-N pass."""
+    spare = 2 * nbytes + MiB(64)
+    if name == "nvmecr":
+        per_device = max(GiB(1), -(-nprocs // 8) * spare)
+        return build_system(
+            name, nprocs=nprocs, seed=seed, devices=8,
+            bytes_per_device=per_device, config=_bench_config(),
+            job_name="matrix",
+        )
+    if name in ("microfs", "microfs-remote"):
+        return build_system(
+            name, nprocs=nprocs, config=_bench_config(),
+            partition_bytes=spare, seed=seed,
+        )
+    if name in ("xfs", "ext4", "spdk"):
+        return build_system(name, nprocs=nprocs, bytes_per_client=spare, seed=seed)
+    if name == "burstfs":
+        return build_system(name, nprocs=nprocs, namespace_bytes=2 * spare, seed=seed)
+    return build_system(
+        name, nprocs=nprocs, namespace_bytes=nprocs * spare + GiB(1), seed=seed
+    )
+
+
+# ===========================================================================
 # Ablations called out in DESIGN.md
 # ===========================================================================
 
@@ -745,11 +794,12 @@ def ablation_coalescing(
         ["coalescing", "log_records", "replayed", "recovery_s"],
     )
     for enabled in (True, False):
-        fleet = MicroFSFleet(
-            1, config=_bench_config(log_coalescing=enabled),
+        handle = build_system(
+            "microfs", nprocs=1, config=_bench_config(log_coalescing=enabled),
             partition_bytes=GiB(1), seed=seed,
         )
-        shim = fleet.clients[0]
+        fleet = handle.cluster
+        shim = handle.clients[0]
 
         def workload():
             fd = yield from shim.open("/big.dat", "w")
@@ -837,6 +887,7 @@ def run_all(fast: bool = True) -> List[ResultTable]:
         fig9_scaling("strong", procs=(56, 112) if fast else (56, 112, 224, 448)),
         tab1_metadata_overhead(nprocs=112 if fast else 448),
         tab2_multilevel(nprocs=112 if fast else 448, checkpoints=5 if fast else 10),
+        sysmatrix(nprocs=8 if fast else 28, nbytes=MiB(16) if fast else MiB(64)),
         ablation_coalescing(),
         ablation_distributors(),
     ]

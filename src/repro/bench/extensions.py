@@ -12,9 +12,9 @@ from typing import Iterable
 
 from repro.apps.compression import CompressionSpec, compressed_checkpoint
 from repro.apps.incremental import IncrementalCheckpointer, IncrementalConfig
-from repro.bench.fleet import MicroFSFleet
 from repro.bench.harness import ResultTable
 from repro.core.cache import CachedMicroFS
+from repro.systems import build as build_system
 from repro.units import GiB, MiB
 
 __all__ = [
@@ -41,8 +41,11 @@ def ext_cache_layer(
         ["config", "ckpt_s", "restart_s", "hit_rate"],
     )
     for mode in ("none", "write-through", "write-back"):
-        fleet = MicroFSFleet(nprocs, partition_bytes=4 * nbytes + MiB(64), seed=seed)
-        env = fleet.env
+        handle = build_system(
+            "microfs", nprocs=nprocs, partition_bytes=4 * nbytes + MiB(64), seed=seed
+        )
+        fleet = handle.cluster
+        env = handle.env
         finish = {"ckpt": [], "read": []}
 
         def work(i, shim, mode=mode, finish=finish, fleet=fleet, env=env):
@@ -61,7 +64,7 @@ def ext_cache_layer(
                 fleet.hit_rates = getattr(fleet, "hit_rates", [])
                 fleet.hit_rates.append(target.hit_rate())
 
-        for i, shim in enumerate(fleet.clients):
+        for i, shim in enumerate(handle.clients):
             env.process(work(i, shim))
         env.run()
         ckpt = max(finish["ckpt"])
@@ -87,9 +90,9 @@ def ext_incremental(
         ["dirty_frac", "bytes_vs_full", "time_s", "restore_s"],
     )
     for fraction in dirty_fractions:
-        fleet = MicroFSFleet(1, partition_bytes=GiB(2), seed=seed)
-        shim = fleet.clients[0]
-        env = fleet.env
+        handle = build_system("microfs", nprocs=1, partition_bytes=GiB(2), seed=seed)
+        shim = handle.clients[0]
+        env = handle.env
         config = IncrementalConfig(
             state_bytes=state_bytes, dirty_fraction=fraction, full_interval=checkpoints
         )
@@ -131,8 +134,10 @@ def ext_compression(
     for p in procs:
         times = {}
         for compress in (False, True):
-            fleet = MicroFSFleet(p, partition_bytes=4 * nbytes + MiB(64), seed=seed)
-            env = fleet.env
+            handle = build_system(
+                "microfs", nprocs=p, partition_bytes=4 * nbytes + MiB(64), seed=seed
+            )
+            env = handle.env
             finish = []
 
             def work(i, shim, compress=compress, env=env, finish=finish):
@@ -145,7 +150,7 @@ def ext_compression(
                     yield from shim.close(fd)
                 finish.append(env.now)
 
-            for i, shim in enumerate(fleet.clients):
+            for i, shim in enumerate(handle.clients):
                 env.process(work(i, shim))
             env.run()
             times[compress] = max(finish)
@@ -167,8 +172,6 @@ def ext_burst_buffer(
     balancer keeps checkpoints on a *partner* failure domain, so the
     same failure loses nothing.
     """
-    from repro.apps import Deployment
-    from repro.baselines.burstfs import BurstBufferCluster
     from repro.errors import RecoveryError
 
     table = ResultTable(
@@ -177,15 +180,16 @@ def ext_burst_buffer(
     )
 
     # --- BurstFS-class node-local buffers --------------------------------
-    from repro.sim.engine import Environment
-
-    env = Environment()
+    bb_handle = build_system(
+        "burstfs", nprocs=nranks, namespace_bytes=4 * nbytes + MiB(64), seed=seed
+    )
+    bb = bb_handle.cluster
+    env = bb_handle.env
     nodes = [f"comp{i:02d}" for i in range(nranks)]
-    bb = BurstBufferCluster(env, nodes, namespace_bytes=4 * nbytes + MiB(64), seed=seed)
     finish = []
 
     def bb_work(i):
-        client = bb.client(f"r{i}", nodes[i])
+        client = bb_handle.clients[i]
         fd = yield from client.open(f"/ckpt{i}", "w")
         yield from client.write(fd, nbytes)
         yield from client.fsync(fd)
@@ -212,9 +216,10 @@ def ext_burst_buffer(
     table.add("burstfs (node-local)", bb_time, bb_survives)
 
     # --- NVMe-CR (disaggregated, partner failure domain) ------------------
-    dep = Deployment(seed=seed)
-    job, plan = dep.submit("bbcmp", nprocs=nranks, devices=2,
-                           bytes_per_device=nranks * 2 * nbytes + MiB(512))
+    handle = build_system(
+        "nvmecr", nprocs=nranks, seed=seed, devices=2,
+        bytes_per_device=nranks * 2 * nbytes + MiB(512), job_name="bbcmp",
+    )
 
     def rank_main(shim, comm):
         yield from shim.mkdir("/ckpt")
@@ -233,9 +238,9 @@ def ext_burst_buffer(
         yield from shim.close(fd)
         return ckpt, sum(p.nbytes for p in pieces)
 
-    mpi_job = dep.run_job(job, plan, rank_main)
-    ckpt = max(r[0] for r in mpi_job.results())
-    survives = all(r[1] == nbytes for r in mpi_job.results())
+    results = handle.run_ranks(rank_main)
+    ckpt = max(r[0] for r in results)
+    survives = all(r[1] == nbytes for r in results)
     table.add("nvme-cr (disaggregated)", ckpt, survives)
     table.note("local buffers dump in parallel at node speed but share the "
                "process's failure domain; NVMe-CR pays the fabric and keeps "
@@ -265,14 +270,16 @@ def ext_mtbf_campaign(
     )
     measured_cost = None
     for interval in intervals:
-        fleet = MicroFSFleet(1, partition_bytes=8 * nbytes + MiB(64), seed=seed)
-        shim = fleet.clients[0]
+        handle = build_system(
+            "microfs", nprocs=1, partition_bytes=8 * nbytes + MiB(64), seed=seed
+        )
+        shim = handle.clients[0]
         config = CampaignConfig(
             total_compute=total_compute, checkpoint_interval=interval,
             checkpoint_bytes=nbytes, mtbf=mtbf, restart_cost=1.0,
         )
         campaign = FailureCampaign(shim, config, seed=seed)
-        result = fleet.env.run_until_complete(fleet.env.process(campaign.run()))
+        result = handle.env.run_until_complete(handle.env.process(campaign.run()))
         cost = (result.checkpoint_time / result.checkpoints_written
                 if result.checkpoints_written else 0.0)
         measured_cost = measured_cost or cost
@@ -299,9 +306,6 @@ def ext_n1_pattern(
     namespaces do that rewriting by construction, so its N-1 equals its
     N-N.
     """
-    from repro.apps.deployment import Deployment
-    from repro.baselines.orangefs import OrangeFSCluster
-
     table = ResultTable(
         "Extension: N-1 (shared file) vs N-N (file per rank)",
         ["system", "n1_s", "nn_s", "n1_penalty"],
@@ -310,8 +314,11 @@ def ext_n1_pattern(
     # --- NVMe-CR -----------------------------------------------------------
     times = {}
     for pattern in ("n1", "nn"):
-        fleet = MicroFSFleet(nranks, partition_bytes=4 * segment + MiB(64), seed=seed)
-        env = fleet.env
+        handle = build_system(
+            "microfs", nprocs=nranks,
+            partition_bytes=4 * segment + MiB(64), seed=seed,
+        )
+        env = handle.env
         finish = []
 
         def work(i, shim, pattern=pattern, env=env, finish=finish):
@@ -323,7 +330,7 @@ def ext_n1_pattern(
             yield from shim.close(fd)
             finish.append(env.now)
 
-        for i, shim in enumerate(fleet.clients):
+        for i, shim in enumerate(handle.clients):
             env.process(work(i, shim))
         env.run()
         times[pattern] = max(finish)
@@ -332,10 +339,11 @@ def ext_n1_pattern(
     # --- OrangeFS (true shared file: one lock, rank-strided offsets) --------
     times = {}
     for pattern in ("n1", "nn"):
-        dep = Deployment(seed=seed)
-        cluster = OrangeFSCluster(dep, nranks * 2 * segment + GiB(1))
-        clients = [cluster.client(f"r{i}") for i in range(nranks)]
-        env = dep.env
+        handle = build_system(
+            "orangefs", nprocs=nranks,
+            namespace_bytes=nranks * 2 * segment + GiB(1), seed=seed,
+        )
+        env = handle.env
         finish = []
 
         def work(i, client, pattern=pattern, env=env, finish=finish):
@@ -346,7 +354,7 @@ def ext_n1_pattern(
             yield from client.close(fd)
             finish.append(env.now)
 
-        for i, client in enumerate(clients):
+        for i, client in enumerate(handle.clients):
             env.process(work(i, client))
         env.run()
         times[pattern] = max(finish)
@@ -369,9 +377,7 @@ def ext_skewed_balance(
     then exactly equal"). miniAMR violates that: round-robin still beats
     hashing, but its CoV is no longer zero — quantified here.
     """
-    from repro.apps.deployment import Deployment
     from repro.apps.miniamr import MiniAMRConfig, MiniAMRProxy
-    from repro.baselines.glusterfs import GlusterFSCluster
     from repro.bench.experiments import _bench_config
     from repro.metrics import coefficient_of_variation
 
@@ -385,29 +391,22 @@ def ext_skewed_balance(
         )
         proxy = MiniAMRProxy(config, seed=seed)
         # NVMe-CR.
-        dep = Deployment(seed=seed)
         quota = int(20 * config.mean_checkpoint_bytes * -(-nprocs // 8)) + GiB(1)
-        job, plan = dep.submit("amr", nprocs=nprocs, devices=8, bytes_per_device=quota)
-        dep.run_job(job, plan, proxy.rank_main, config=_bench_config())
+        nvmecr = build_system(
+            "nvmecr", nprocs=nprocs, seed=seed, devices=8,
+            bytes_per_device=quota, config=_bench_config(), job_name="amr",
+        )
+        nvmecr.run_ranks(proxy.rank_main)
         nvmecr_cov = coefficient_of_variation(
-            [b for b in dep.bytes_per_server() if b > 0]
+            [b for b in nvmecr.load_per_server() if b > 0]
         )
         # GlusterFS.
-        from repro.mpi.runtime import launch
-
-        dep_g = Deployment(seed=seed)
-        cluster = GlusterFSCluster(
-            dep_g, int(3 * config.mean_checkpoint_bytes * nprocs) + GiB(1)
+        gfs = build_system(
+            "glusterfs", nprocs=nprocs, seed=seed,
+            namespace_bytes=int(3 * config.mean_checkpoint_bytes * nprocs) + GiB(1),
         )
-        clients = [cluster.client(f"r{i}") for i in range(nprocs)]
-
-        def rank_main(comm):
-            return (yield from proxy.rank_main(clients[comm.rank], comm))
-
-        mpi_job = launch(dep_g.env, nprocs, rank_main)
-        dep_g.env.run()
-        mpi_job.done.value
-        gfs_cov = coefficient_of_variation(cluster.bytes_per_server())
+        gfs.run_ranks(proxy.rank_main)
+        gfs_cov = coefficient_of_variation(gfs.load_per_server())
         table.add(skew, nvmecr_cov, gfs_cov)
     table.note("round-robin degrades gracefully with size skew and stays "
                "well below consistent hashing at every sigma")

@@ -1,9 +1,11 @@
 """Command-line interface: regenerate paper artefacts from a shell.
 
     python -m repro list                  # what can be regenerated
+    python -m repro systems               # registered storage backends
     python -m repro run fig7a             # one figure/table
     python -m repro run all --fast        # everything, reduced scale
     python -m repro run tab2 --procs 448  # paper scale where supported
+    python -m repro run fig8b --systems nvmecr crail   # swap comparisons
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "fig9strong": lambda **kw: E.fig9_scaling("strong", **kw),
     "tab1": E.tab1_metadata_overhead,
     "tab2": E.tab2_multilevel,
+    "sysmatrix": E.sysmatrix,
     "ablation-coalescing": E.ablation_coalescing,
     "ablation-distributors": E.ablation_distributors,
     "ext-cache": X.ext_cache_layer,
@@ -51,6 +54,7 @@ _DESCRIPTIONS: Dict[str, str] = {
     "fig9strong": "strong-scaling checkpoint/recovery efficiency",
     "tab1": "metadata storage overhead",
     "tab2": "multi-level checkpointing with Lustre tier",
+    "sysmatrix": "one N-N pass over every registered storage system",
     "ablation-coalescing": "log record coalescing on/off",
     "ablation-distributors": "round-robin vs jump hash vs vnode ring",
     "ext-cache": "DRAM cache layer (the paper's future work)",
@@ -69,12 +73,15 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser("systems", help="list registered storage systems")
     runp = sub.add_parser("run", help="run experiment(s)")
     runp.add_argument("name", help="experiment id (or 'all')")
     runp.add_argument("--fast", action="store_true",
                       help="reduced scale for 'all'")
     runp.add_argument("--procs", type=int, nargs="+", default=None,
                       help="process counts (where supported)")
+    runp.add_argument("--systems", nargs="+", default=None, metavar="NAME",
+                      help="storage systems to compare (see 'repro systems')")
     runp.add_argument("--export", metavar="DIR", default=None,
                       help="also write the table(s) as CSV + JSON to DIR")
     args = parser.parse_args(argv)
@@ -82,6 +89,13 @@ def main(argv=None) -> int:
     if args.command == "list":
         for name in _EXPERIMENTS:
             print(f"  {name:<22} {_DESCRIPTIONS[name]}")
+        return 0
+
+    if args.command == "systems":
+        from repro import systems
+
+        for spec in systems.specs():
+            print(f"  {spec.name:<16} [{spec.kind:<11}] {spec.description}")
         return 0
 
     if args.name == "all":
@@ -104,12 +118,30 @@ def main(argv=None) -> int:
         return 2
     kwargs = {}
     if args.procs:
-        if args.name in ("tab1", "tab2"):
+        if args.name in ("tab1", "tab2", "sysmatrix"):
             kwargs["nprocs"] = args.procs[0]
         elif args.name in ("fig7a", "fig7c", "fig8a"):
             kwargs["nprocs"] = args.procs[0]
         elif args.name.startswith("fig") and args.name not in ("fig7a",):
             kwargs["procs"] = tuple(args.procs)
+    if args.systems:
+        takes_systems = {"fig1", "fig7b", "fig8b", "fig9weak", "fig9strong",
+                         "tab1", "tab2", "sysmatrix"}
+        if args.name not in takes_systems:
+            print(f"{args.name} does not take --systems "
+                  f"(supported: {', '.join(sorted(takes_systems))})",
+                  file=sys.stderr)
+            return 2
+        from repro.errors import UnknownSystem
+        from repro.systems import get as get_system
+
+        try:
+            for name in args.systems:
+                get_system(name)  # fail fast with the known-names list
+        except UnknownSystem as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        kwargs["systems"] = tuple(args.systems)
     started = time.time()
     table = fn(**kwargs)
     table.show()

@@ -118,6 +118,15 @@ class InvalidArgument(FSError):
 
 
 # --------------------------------------------------------------------------
+# Storage-system registry
+# --------------------------------------------------------------------------
+
+
+class UnknownSystem(ReproError):
+    """A storage-system name not present in :mod:`repro.systems`."""
+
+
+# --------------------------------------------------------------------------
 # Scheduler / balancer
 # --------------------------------------------------------------------------
 

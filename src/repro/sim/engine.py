@@ -298,6 +298,8 @@ class AllOf(_Condition):
 class Environment:
     """The simulation clock and event queue."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_failures", "_active")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[tuple] = []
@@ -335,8 +337,9 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, event))
 
     def _note_failure(self, process: Process, exc: BaseException) -> None:
         self._failures.append((process, exc))
@@ -360,31 +363,46 @@ class Environment:
         waiting on it — silent process death would corrupt results.
         Returns the final simulation time.
         """
-        while self._queue:
-            time = self._queue[0][0]
+        # Hot loop: the pop/dispatch below is step() inlined (identical
+        # ordering), with the orphan check guarded so the common case
+        # costs one truth test instead of a call per event.
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time = queue[0][0]
             if until is not None and time > until:
                 self._now = until
                 break
-            self.step()
+            if time < self._now - 1e-12:
+                raise SimulationError("time went backwards (scheduler bug)")
+            event = pop(queue)[2]
+            if time > self._now:
+                self._now = time
+            event._run_callbacks()
+            if self._failures:
+                self._raise_orphans()
+        if self._failures:
             self._raise_orphans()
-        self._raise_orphans()
         if until is not None and self._now < until:
             self._now = until
         return self._now
 
     def run_until_complete(self, event: Event, limit: float = float("inf")) -> Any:
         """Run until ``event`` triggers; convenience for tests and drivers."""
+        queue = self._queue
         while not event.triggered:
-            if not self._queue:
+            if not queue:
                 raise SimulationError("event can never trigger: queue empty")
-            if self._queue[0][0] > limit:
+            if queue[0][0] > limit:
                 raise SimulationError(f"event did not trigger before t={limit}")
             self.step()
-            self._raise_orphans()
+            if self._failures:
+                self._raise_orphans()
         # Drain same-time callbacks so the event is fully processed.
-        while self._queue and self._queue[0][0] <= self._now:
+        while queue and queue[0][0] <= self._now:
             self.step()
-            self._raise_orphans()
+            if self._failures:
+                self._raise_orphans()
         return event.value
 
     def _raise_orphans(self) -> None:

@@ -130,10 +130,12 @@ class FairShareServer:
             rate = min(share, flow.cap) if flow.cap is not None else share
             flow.rate = rate
             remaining_capacity -= rate
-        # Next completion.
-        horizon = min(
+        # Next completion. _advance() can leave an almost-finished flow
+        # with remaining ~ -1e-16 (fp dust), which would make the horizon
+        # negative and the timeout below illegal — clamp to "fire now".
+        horizon = max(0.0, min(
             (f.remaining / f.rate) for f in flows if f.rate > 0
-        )
+        ))
         self._wake_generation += 1
         generation = self._wake_generation
         wake = self.env.timeout(horizon)

@@ -140,3 +140,29 @@ def test_staggered_flows_water_filling_three_way():
     # Others: 40 B/s until t=9 (360B each), then 45 B/s for 540B -> 12s more.
     assert done[0] == pytest.approx(21.0)
     assert done[1] == pytest.approx(21.0)
+
+
+def test_fp_dust_never_schedules_negative_horizon():
+    """Regression: an arrival landing just as another flow finishes could
+    leave ``remaining`` at ~-1e-16, so the next-completion horizon went
+    negative and ``env.timeout`` raised mid-simulation. Found by
+    test_deterministic_replay with ops [2, 0, 2, 1, 2, 1, 2, 2, 0]."""
+    env = Environment()
+    server = FairShareServer(env, capacity=100.0)
+    ops = [2, 0, 2, 1, 2, 1, 2, 2, 0]
+    done = []
+
+    def client(i, kind):
+        yield env.timeout(i * 0.1)
+        if kind == 0:
+            yield server.transfer(50.0)
+        elif kind == 1:
+            yield env.timeout(0.05)
+        else:
+            yield server.transfer(25.0, cap=10.0)
+        done.append(i)
+
+    for i, kind in enumerate(ops):
+        env.process(client(i, kind))
+    env.run()
+    assert sorted(done) == list(range(len(ops)))

@@ -1,0 +1,143 @@
+"""Tests for the storage-system registry (:mod:`repro.systems`)."""
+
+import pytest
+
+from repro import systems
+from repro.errors import UnknownSystem
+from repro.systems import registry
+from repro.units import MiB
+
+NBYTES = MiB(8)
+
+# Minimal provisioning per backend for a 2-rank round-trip.
+BUILD_ARGS = {
+    "nvmecr": dict(devices=2, bytes_per_device=4 * NBYTES + MiB(128)),
+    "microfs": dict(partition_bytes=4 * NBYTES + MiB(64)),
+    "microfs-remote": dict(partition_bytes=4 * NBYTES + MiB(64)),
+    "orangefs": dict(namespace_bytes=8 * NBYTES + MiB(64)),
+    "glusterfs": dict(namespace_bytes=8 * NBYTES + MiB(64)),
+    "crail": dict(namespace_bytes=8 * NBYTES + MiB(64)),
+    "burstfs": dict(namespace_bytes=4 * NBYTES + MiB(64)),
+    "xfs": dict(bytes_per_client=2 * NBYTES + MiB(64)),
+    "ext4": dict(bytes_per_client=2 * NBYTES + MiB(64)),
+    "spdk": dict(bytes_per_client=2 * NBYTES + MiB(64)),
+}
+
+
+def test_every_builtin_is_registered():
+    assert sorted(BUILD_ARGS) == systems.names()
+
+
+def test_specs_carry_unique_shorts_and_kinds():
+    specs = systems.specs()
+    shorts = [s.short for s in specs]
+    assert len(set(shorts)) == len(shorts)
+    assert {s.kind for s in specs} <= {"runtime", "distributed", "kernel", "local"}
+    for spec in specs:
+        assert spec.description
+
+
+def test_unknown_system_lists_known_names():
+    with pytest.raises(UnknownSystem, match="glusterfs"):
+        systems.get("lustre-on-mars")
+
+
+def test_build_unknown_raises():
+    with pytest.raises(UnknownSystem):
+        systems.build("nope", nprocs=2)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(UnknownSystem, match="duplicate"):
+        systems.register(
+            "nvmecr", title="x", short="x", kind="local", description="x"
+        )(lambda **kw: None)
+
+
+def test_handle_spec_backlink():
+    handle = systems.build("glusterfs", nprocs=2, namespace_bytes=MiB(256))
+    assert handle.spec is systems.get("glusterfs")
+    assert handle.name == "glusterfs"
+
+
+@pytest.mark.parametrize("name", sorted(BUILD_ARGS))
+def test_round_trip_on_every_backend(name):
+    """Each backend writes, fsyncs, and reads back a file per rank."""
+    handle = systems.build(name, nprocs=2, seed=3, **BUILD_ARGS[name])
+
+    def rank_main(shim, comm):
+        path = f"/rt{comm.rank}.dat"
+        yield from comm.barrier()
+        fd = yield from shim.open(path, "w")
+        yield from shim.write(fd, NBYTES)
+        yield from shim.fsync(fd)
+        yield from shim.close(fd)
+        yield from comm.barrier()
+        fd = yield from shim.open(path, "r")
+        pieces = yield from shim.read(fd, NBYTES)
+        yield from shim.close(fd)
+        return sum(p.nbytes for p in pieces)
+
+    results = handle.run_ranks(rank_main)
+    assert results == [NBYTES, NBYTES]
+    assert handle.env.now > 0
+
+
+@pytest.mark.parametrize("name", ["glusterfs", "orangefs", "crail"])
+def test_distributed_backends_report_load(name):
+    handle = systems.build(name, nprocs=2, seed=3, **BUILD_ARGS[name])
+
+    def rank_main(shim, comm):
+        fd = yield from shim.open(f"/l{comm.rank}.dat", "w")
+        yield from shim.write(fd, NBYTES)
+        yield from shim.fsync(fd)
+        yield from shim.close(fd)
+        return None
+
+    handle.run_ranks(rank_main)
+    loads = handle.load_per_server()
+    assert sum(loads) >= 2 * NBYTES
+
+
+def test_runtime_system_has_no_makespan_driver():
+    handle = systems.build("nvmecr", nprocs=2, **BUILD_ARGS["nvmecr"])
+    with pytest.raises(UnknownSystem, match="run_ranks"):
+        handle.makespan(lambda i, c: iter(()))
+
+
+def test_aggregate_bandwidth_positive_everywhere():
+    for name in systems.names():
+        handle = systems.build(name, nprocs=2, seed=3, **BUILD_ARGS[name])
+        assert handle.aggregate_write_bandwidth() > 0
+        assert handle.aggregate_read_bandwidth() > 0
+
+
+def test_third_party_registration_hook():
+    """A new backend registers, builds, runs, and is listed."""
+
+    @systems.register(
+        "loopback-test", title="Loopback", short="loop", kind="local",
+        description="microfs under another name (test-only)",
+    )
+    def _build_loopback(**kwargs):
+        return registry.get("microfs").builder(**kwargs)
+
+    try:
+        assert "loopback-test" in systems.names()
+        handle = systems.build(
+            "loopback-test", nprocs=1, partition_bytes=4 * NBYTES + MiB(64)
+        )
+        elapsed = handle.makespan(_dump_one())
+        assert elapsed > 0
+    finally:
+        del registry._REGISTRY["loopback-test"]
+    assert "loopback-test" not in systems.names()
+
+
+def _dump_one():
+    def work(i, client):
+        fd = yield from client.open(f"/d{i}.dat", "w")
+        yield from client.write(fd, NBYTES)
+        yield from client.close(fd)
+
+    return work
