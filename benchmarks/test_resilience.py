@@ -1,0 +1,36 @@
+"""Fault-injected campaign smoke: effective progress vs MTBF (§V).
+
+Marked ``slow`` — a full sweep runs many restart/rollback cycles per
+cell. Excluded from the quick loop via ``-m "not slow"``.
+"""
+
+import pytest
+
+from repro.bench.resilience import resilience
+from repro.units import MiB
+
+
+@pytest.mark.slow
+def test_resilience_sweep_shape(once):
+    table = once(
+        resilience,
+        mtbfs=(30.0, 60.0, 120.0),
+        systems=("nvmecr", "lustre"),
+        total_compute=240.0,
+        nbytes=MiB(64),
+        seed=41,
+    )
+    assert len(table.rows) == 6
+    progress = table.columns.index("progress")
+    mtbf = table.columns.index("mtbf_s")
+    by_system = {}
+    for row in table.rows:
+        by_system.setdefault(row[0], {})[row[mtbf]] = row[progress]
+    for curve in by_system.values():
+        # Rarer failures -> better effective progress, and every cell
+        # still makes forward progress.
+        assert curve[30.0] <= curve[120.0]
+        assert all(0.0 < p <= 1.0 for p in curve.values())
+    # The runtime's cheaper dumps buy shorter Daly intervals and at
+    # least as much effective progress as the PFS baseline at low MTBF.
+    assert by_system["nvmecr"][30.0] >= 0.95 * by_system["lustre"][30.0]

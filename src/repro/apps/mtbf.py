@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, Iterable, List, Optional
 
 import numpy as np
 
+from repro.faults.model import NodeCrash, blast_radius
+from repro.faults.timeline import FaultTimeline
 from repro.sim.engine import Event
 
 __all__ = [
@@ -99,14 +101,32 @@ class FailureCampaign:
     exponential with the configured MTBF, drawn from a seeded stream so
     campaigns are reproducible and comparable across storage systems
     (common random numbers: the same failure times hit every system).
+
+    ``fault_times`` switches the campaign to injector-fed mode: instead
+    of sampling its own exponential clock, failures strike at the given
+    *absolute* simulated times (e.g. from
+    :func:`repro.faults.hazard.campaign_failure_times`, which draws the
+    identical sequence for every system under comparison). A
+    :class:`~repro.faults.timeline.FaultTimeline` may be passed to get
+    one observable record per failure/rollback.
     """
 
-    def __init__(self, shim, config: CampaignConfig, seed: int = 0, rank: int = 0):
+    def __init__(
+        self,
+        shim,
+        config: CampaignConfig,
+        seed: int = 0,
+        rank: int = 0,
+        fault_times: Optional[Iterable[float]] = None,
+        timeline: Optional[FaultTimeline] = None,
+    ):
         self.shim = shim
         self.config = config
         self.rank = rank
         self.rng = np.random.default_rng((seed, rank, 0xFA11))
         self.result = CampaignResult()
+        self.timeline = timeline
+        self._fault_iter = iter(fault_times) if fault_times is not None else None
         self._dir_made = False
         self._kept: List[int] = []
 
@@ -115,6 +135,48 @@ class FailureCampaign:
 
     def _next_failure(self) -> float:
         return float(self.rng.exponential(self.config.mtbf))
+
+    def _next_failure_at(self) -> float:
+        """Absolute time of the next strike (inf when the injector-fed
+        schedule is exhausted)."""
+        if self._fault_iter is not None:
+            return next(self._fault_iter, float("inf"))
+        return self.shim.env.now + self._next_failure()
+
+    def _fail_and_restart(
+        self, lost: float, last_ckpt_index: Optional[int]
+    ) -> Generator[Event, Any, float]:
+        """One failure's aftermath: account the lost work, pay the
+        scheduler requeue, restore from the last durable checkpoint.
+        Returns the next failure time."""
+        env = self.shim.env
+        result = self.result
+        result.failures += 1
+        result.lost_work += lost
+        record = None
+        if self.timeline is not None:
+            fault = NodeCrash(f"campaign-rank{self.rank:05d}")
+            record = self.timeline.record(fault, env.now, blast_radius(fault))
+            self.timeline.mark_detected(record, env.now)
+        yield env.timeout(self.config.restart_cost)
+        if last_ckpt_index is not None:
+            t0 = env.now
+            yield from self._restore(last_ckpt_index)
+            result.restart_time += env.now - t0
+            result.restarts += 1
+        if record is not None:
+            self.timeline.mark_recovered(
+                record,
+                env.now,
+                level=1,
+                restored_from="last durable checkpoint",
+                bytes_replayed=(
+                    self.config.checkpoint_bytes if last_ckpt_index is not None else 0
+                ),
+                ranks_restarted=1,
+                note="campaign rollback + restart read",
+            )
+        return self._next_failure_at()
 
     def run(self) -> Generator[Event, Any, CampaignResult]:
         """Run to completion (or the failure cap); returns the result."""
@@ -131,7 +193,7 @@ class FailureCampaign:
                 pass
             self._dir_made = True
 
-        next_failure_at = env.now + self._next_failure()
+        next_failure_at = self._next_failure_at()
         saved_progress = 0.0  # compute captured by the last durable ckpt
         segment_done = 0.0  # compute since that checkpoint
         last_ckpt_index: Optional[int] = None
@@ -146,16 +208,10 @@ class FailureCampaign:
                 # Fail mid-segment: lose the segment, restart.
                 worked = max(0.0, next_failure_at - env.now)
                 yield env.timeout(worked)
-                result.failures += 1
-                result.lost_work += segment_done + worked
+                next_failure_at = yield from self._fail_and_restart(
+                    segment_done + worked, last_ckpt_index
+                )
                 segment_done = 0.0
-                yield env.timeout(config.restart_cost)
-                if last_ckpt_index is not None:
-                    t0 = env.now
-                    yield from self._restore(last_ckpt_index)
-                    result.restart_time += env.now - t0
-                    result.restarts += 1
-                next_failure_at = env.now + self._next_failure()
                 continue
             yield env.timeout(until_ckpt)
             segment_done += until_ckpt
@@ -173,16 +229,10 @@ class FailureCampaign:
                     try_failed = True
                 result.checkpoint_time += env.now - t0
                 if try_failed:
-                    result.failures += 1
-                    result.lost_work += segment_done
+                    next_failure_at = yield from self._fail_and_restart(
+                        segment_done, last_ckpt_index
+                    )
                     segment_done = 0.0
-                    yield env.timeout(config.restart_cost)
-                    if last_ckpt_index is not None:
-                        t0 = env.now
-                        yield from self._restore(last_ckpt_index)
-                        result.restart_time += env.now - t0
-                        result.restarts += 1
-                    next_failure_at = env.now + self._next_failure()
                     continue
                 result.checkpoints_written += 1
                 last_ckpt_index = index

@@ -11,15 +11,23 @@ expose ``write_file``/``read_file`` for
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List
 
 from repro.bench import calibration as cal
+from repro.nvme.commands import Payload
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
 from repro.sim.trace import Counter
-from repro.errors import FileNotFound
+from repro.errors import (
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+)
 
-__all__ = ["LustreCluster"]
+__all__ = ["LustreCluster", "LustreClient"]
 
 
 class LustreCluster:
@@ -30,7 +38,12 @@ class LustreCluster:
         self.servers = [Resource(env, capacity=1) for _ in range(servers)]
         self.mds = Resource(env, capacity=1)
         self.files: Dict[str, int] = {}
+        self.dirs: set = set()
         self.counters = Counter()
+
+    def client(self, name: str) -> "LustreClient":
+        """An intercepted-POSIX client over the striped file path."""
+        return LustreClient(self, name)
 
     # -- MultiLevelCheckpointer client surface -----------------------------------------
 
@@ -83,3 +96,114 @@ class LustreCluster:
 
     def aggregate_bandwidth(self) -> float:
         return len(self.servers) * cal.LUSTRE_SERVER_BANDWIDTH
+
+
+@dataclass
+class _LustreFD:
+    fd: int
+    path: str
+    mode: str
+    size: int  # bytes this handle will have on flush
+    dirty: bool = False
+    open_: bool = True
+
+
+class LustreClient:
+    """POSIX-flavoured adapter so shim-driven workloads (campaigns,
+    :func:`sysmatrix`, the resilience experiment) can run against the
+    PFS tier directly.
+
+    Lustre clients buffer dirty pages; the striped RPCs happen at
+    ``fsync``/``close`` via :meth:`LustreCluster.write_file`, which is
+    where the RAID-bound OSS cost lands — matching how the multi-level
+    checkpointer already drives this tier.
+    """
+
+    def __init__(self, cluster: LustreCluster, name: str):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.name = name
+        self.counters = Counter()
+        self._fds: Dict[int, _LustreFD] = {}
+        self._fd_counter = itertools.count(3)
+
+    # -- shim surface -------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> Generator[Event, Any, int]:
+        if mode not in ("r", "w", "a", "x"):
+            raise InvalidArgument(f"unsupported mode {mode!r}")
+        existing = self.cluster.files.get(path)
+        if mode == "r" and existing is None:
+            raise FileNotFound(path)
+        if mode == "x" and existing is not None:
+            raise FileExists(path)
+        yield from self.cluster.mds.serve(cal.LUSTRE_PER_REQUEST_COST)
+        size = existing or 0
+        if mode == "w":
+            size = 0
+        entry = _LustreFD(next(self._fd_counter), path, mode, size)
+        self._fds[entry.fd] = entry
+        self.counters.add("opens")
+        return entry.fd
+
+    def _fd(self, fd: int) -> _LustreFD:
+        entry = self._fds.get(fd)
+        if entry is None or not entry.open_:
+            raise BadFileDescriptor(f"fd {fd}")
+        return entry
+
+    def write(self, fd: int, data) -> Generator[Event, Any, int]:
+        entry = self._fd(fd)
+        if entry.mode == "r":
+            raise InvalidArgument(f"fd {fd} opened read-only")
+        nbytes = data.nbytes if isinstance(data, Payload) else (
+            len(data) if isinstance(data, bytes) else int(data)
+        )
+        entry.size += nbytes
+        entry.dirty = True
+        self.counters.add("app_bytes_written", nbytes)
+        yield self.env.timeout(0)  # buffered in the client page cache
+        return nbytes
+
+    def fsync(self, fd: int) -> Generator[Event, Any, None]:
+        entry = self._fd(fd)
+        if entry.dirty:
+            yield from self.cluster.write_file(entry.path, entry.size)
+            entry.dirty = False
+        else:
+            yield self.env.timeout(0)
+
+    def close(self, fd: int) -> Generator[Event, Any, None]:
+        entry = self._fd(fd)
+        if entry.dirty:  # close flushes what fsync did not
+            yield from self.cluster.write_file(entry.path, entry.size)
+            entry.dirty = False
+        else:
+            yield self.env.timeout(0)
+        entry.open_ = False
+        del self._fds[fd]
+
+    def read(self, fd: int, nbytes: int) -> Generator[Event, Any, List[Payload]]:
+        entry = self._fd(fd)
+        total = yield from self.cluster.read_file(entry.path)
+        got = min(nbytes, total)
+        self.counters.add("app_bytes_read", got)
+        return [Payload.synthetic(f"{entry.path}@0", got)] if got else []
+
+    def mkdir(self, path: str, mode: int = 0o755) -> Generator[Event, Any, None]:
+        if path in self.cluster.dirs:
+            raise FileExists(path)
+        yield from self.cluster.mds.serve(cal.LUSTRE_PER_REQUEST_COST)
+        self.cluster.dirs.add(path)
+
+    def unlink(self, path: str) -> Generator[Event, Any, None]:
+        if path not in self.cluster.files:
+            raise FileNotFound(path)
+        yield from self.cluster.mds.serve(cal.LUSTRE_PER_REQUEST_COST)
+        del self.cluster.files[path]
+
+    def stat(self, path: str) -> int:
+        nbytes = self.cluster.files.get(path)
+        if nbytes is None:
+            raise FileNotFound(path)
+        return nbytes

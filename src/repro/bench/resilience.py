@@ -1,0 +1,167 @@
+"""The resilience experiment: effective progress vs MTBF, per system.
+
+The paper motivates NVMe-CR with sub-30-minute exascale MTBFs (§I);
+this experiment closes that loop through the fault subsystem. For each
+(storage system, MTBF) cell it:
+
+1. probes the system's checkpoint cost with one measured dump,
+2. picks Daly's optimal interval for that cost and MTBF,
+3. runs a :class:`~repro.apps.mtbf.FailureCampaign` fed by an
+   injector-style failure schedule drawn once per MTBF from
+   :func:`~repro.faults.hazard.campaign_failure_times` — common random
+   numbers, so every system is hit by the *identical* fault sequence,
+4. reports effective progress with the run's
+   :class:`~repro.faults.timeline.FaultTimeline` summarised into a
+   :class:`~repro.metrics.collector.RunResult`'s ``extra`` dict.
+
+A faster checkpoint tier buys a shorter optimal interval and less lost
+work per strike — that difference, not raw bandwidth, is the resilience
+argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.apps.mtbf import CampaignConfig, FailureCampaign, daly_interval
+from repro.bench.harness import ResultTable
+from repro.errors import FileExists
+from repro.faults.hazard import campaign_failure_times
+from repro.faults.timeline import FaultTimeline
+from repro.metrics.collector import RunResult
+from repro.systems import build as build_system
+from repro.units import MiB
+
+__all__ = ["resilience"]
+
+
+def _provision(
+    name: str, nprocs: int, nbytes: int, seed: int, ckpt_estimate: int
+) -> Any:
+    """Build one system with enough space for a campaign's checkpoints.
+
+    Reclaiming systems (NVMe-CR, MicroFS) hold at most ~3 live
+    checkpoints; bump-allocating baselines never reuse space, so they
+    get the full estimated footprint.
+    """
+    spare = 4 * nbytes + MiB(128)
+    if name == "nvmecr":
+        return build_system(
+            name, nprocs=nprocs, seed=seed,
+            devices=max(1, min(8, nprocs)), bytes_per_device=spare,
+            job_name="resilience",
+        )
+    if name in ("microfs", "microfs-remote"):
+        return build_system(name, nprocs=nprocs, seed=seed, partition_bytes=spare)
+    if name == "lustre":
+        return build_system(name, nprocs=nprocs, seed=seed)
+    footprint = (ckpt_estimate + 6) * nbytes
+    if name in ("xfs", "ext4", "spdk"):
+        return build_system(name, nprocs=nprocs, seed=seed, bytes_per_client=footprint)
+    return build_system(
+        name, nprocs=nprocs, seed=seed, namespace_bytes=nprocs * footprint + MiB(64)
+    )
+
+
+def _probe_cost(name: str, nprocs: int, nbytes: int, seed: int) -> float:
+    """Measured cost of one checkpoint dump on a fresh instance."""
+    handle = _provision(name, nprocs, nbytes, seed, ckpt_estimate=4)
+
+    def rank_main(shim, comm):
+        env = shim.env
+        yield from comm.barrier()
+        try:
+            yield from shim.mkdir("/ckpt")
+        except FileExists:
+            pass
+        t0 = env.now
+        fd = yield from shim.open(f"/ckpt/probe{comm.rank:05d}.dat", "w")
+        yield from shim.write(fd, nbytes)
+        yield from shim.fsync(fd)
+        yield from shim.close(fd)
+        return env.now - t0
+
+    return max(handle.run_ranks(rank_main))
+
+
+def resilience(
+    mtbfs: Sequence[float] = (30.0, 60.0, 120.0),
+    systems: Sequence[str] = ("nvmecr", "lustre"),
+    total_compute: float = 240.0,
+    nbytes: int = MiB(64),
+    nprocs: int = 1,
+    seed: int = 41,
+    collect: Optional[List[RunResult]] = None,
+) -> ResultTable:
+    """Effective progress vs MTBF for each storage system.
+
+    ``collect``, when given, receives one :class:`RunResult` per cell
+    with the run's fault-timeline summary in ``extra``.
+    """
+    table = ResultTable(
+        f"Resilience: effective progress vs MTBF "
+        f"({int(total_compute)}s of compute, Daly-optimal intervals)",
+        ["system", "mtbf_s", "ckpt_cost_s", "interval_s", "progress",
+         "failures", "lost_work_s", "recoveries"],
+    )
+    costs = {name: _probe_cost(name, nprocs, nbytes, seed) for name in systems}
+    for mtbf in mtbfs:
+        horizon = max(10.0 * total_compute, 20.0 * mtbf)
+        # Drawn once per MTBF, before the system loop: every system sees
+        # the identical strike sequence (common random numbers).
+        fault_times = {
+            rank: campaign_failure_times(seed, mtbf, horizon, rank=rank)
+            for rank in range(nprocs)
+        }
+        for name in systems:
+            cost = costs[name]
+            interval = daly_interval(mtbf, max(cost, 1e-6))
+            est_ckpts = int(total_compute / interval) + 1
+            handle = _provision(name, nprocs, nbytes, seed, est_ckpts)
+            timeline = FaultTimeline()
+
+            def rank_main(shim, comm, interval=interval, mtbf=mtbf,
+                          fault_times=fault_times, timeline=timeline):
+                config = CampaignConfig(
+                    total_compute=total_compute,
+                    checkpoint_interval=interval,
+                    checkpoint_bytes=nbytes,
+                    mtbf=mtbf,
+                    restart_cost=2.0,
+                )
+                campaign = FailureCampaign(
+                    shim, config, seed=seed, rank=comm.rank,
+                    fault_times=list(fault_times[comm.rank]),
+                    timeline=timeline,
+                )
+                return (yield from campaign.run())
+
+            ranks = handle.run_ranks(rank_main)
+            progress = min(r.effective_progress for r in ranks)
+            failures = sum(r.failures for r in ranks)
+            lost = sum(r.lost_work for r in ranks)
+            summary = timeline.summary()
+            table.add(
+                name, mtbf, cost, interval, progress, failures, lost,
+                int(summary.get("faults_recovered", 0)),
+            )
+            if collect is not None:
+                collect.append(
+                    RunResult(
+                        system=name,
+                        nprocs=nprocs,
+                        checkpoint_time=max(r.checkpoint_time for r in ranks),
+                        restart_time=max(r.restart_time for r in ranks),
+                        compute_time=max(r.compute_done for r in ranks),
+                        total_bytes=sum(
+                            r.checkpoints_written for r in ranks
+                        ) * nbytes,
+                        progress=progress,
+                        extra=dict(summary, mtbf_s=mtbf, interval_s=interval),
+                    )
+                )
+    table.note(
+        "failure times drawn once per MTBF (common random numbers): every "
+        "system is struck by the identical sequence"
+    )
+    return table

@@ -18,6 +18,12 @@ from typing import Callable, Dict
 from repro.bench import experiments as E
 from repro.bench import extensions as X
 
+
+def _resilience(**kwargs):
+    from repro.bench.resilience import resilience
+
+    return resilience(**kwargs)
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "fig1": E.fig1_motivation,
     "fig7a": E.fig7a_hugeblock_sweep,
@@ -31,6 +37,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "tab1": E.tab1_metadata_overhead,
     "tab2": E.tab2_multilevel,
     "sysmatrix": E.sysmatrix,
+    "resilience": _resilience,
     "ablation-coalescing": E.ablation_coalescing,
     "ablation-distributors": E.ablation_distributors,
     "ext-cache": X.ext_cache_layer,
@@ -55,6 +62,7 @@ _DESCRIPTIONS: Dict[str, str] = {
     "tab1": "metadata storage overhead",
     "tab2": "multi-level checkpointing with Lustre tier",
     "sysmatrix": "one N-N pass over every registered storage system",
+    "resilience": "fault-injected campaigns: effective progress vs MTBF",
     "ablation-coalescing": "log record coalescing on/off",
     "ablation-distributors": "round-robin vs jump hash vs vnode ring",
     "ext-cache": "DRAM cache layer (the paper's future work)",
@@ -118,7 +126,7 @@ def main(argv=None) -> int:
         return 2
     kwargs = {}
     if args.procs:
-        if args.name in ("tab1", "tab2", "sysmatrix"):
+        if args.name in ("tab1", "tab2", "sysmatrix", "resilience"):
             kwargs["nprocs"] = args.procs[0]
         elif args.name in ("fig7a", "fig7c", "fig8a"):
             kwargs["nprocs"] = args.procs[0]
@@ -126,7 +134,7 @@ def main(argv=None) -> int:
             kwargs["procs"] = tuple(args.procs)
     if args.systems:
         takes_systems = {"fig1", "fig7b", "fig8b", "fig9weak", "fig9strong",
-                         "tab1", "tab2", "sysmatrix"}
+                         "tab1", "tab2", "sysmatrix", "resilience"}
         if args.name not in takes_systems:
             print(f"{args.name} does not take --systems "
                   f"(supported: {', '.join(sorted(takes_systems))})",

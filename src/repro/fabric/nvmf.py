@@ -40,11 +40,24 @@ class NVMfTarget:
         self.node_name = node_name
         self.ssd = ssd
         self.sessions = 0
+        self.alive = True
         self.counters = Counter()
 
     def subsystem_nqn(self) -> str:
         """NVMe Qualified Name for discovery."""
         return f"nqn.2021-01.repro:{self.node_name}:{self.ssd.name}"
+
+    def kill(self) -> None:
+        """Target daemon dies (fault injection): every session breaks.
+
+        Device data is untouched — this is a software failure; initiators
+        reconnect once a replacement daemon is up (:meth:`revive`).
+        """
+        self.alive = False
+        self.counters.add("deaths")
+
+    def revive(self) -> None:
+        self.alive = True
 
 
 class NVMfSession:
@@ -74,6 +87,12 @@ class NVMfSession:
         if not self.connected:
             raise FabricError(
                 f"session to {self.target.subsystem_nqn()} is disconnected"
+            )
+        if not self.target.alive:
+            # The daemon died under us: the QP is torn down too.
+            self.disconnect()
+            raise FabricError(
+                f"target {self.target.subsystem_nqn()} is dead (daemon fault)"
             )
 
     def disconnect(self) -> None:
@@ -127,8 +146,8 @@ class NVMfSession:
         else:
             # Run-to-completion over the fabric: each in-flight command
             # pays the round trip, so a session's stream is capped at
-            # command_size/rtt on top of the line rate.
-            cap = self.fabric.payload_cap()
+            # command_size/rtt on top of the (possibly degraded) line rate.
+            cap = self.fabric.payload_cap(self.initiator_node, self.target.node_name)
             if rtt > 0:
                 cap = min(cap, command_size / rtt)
         result = yield submit(cap)
@@ -155,6 +174,10 @@ class NVMfInitiator:
 
     def connect(self, target: NVMfTarget) -> NVMfSession:
         """Open (or reuse) a session to a target."""
+        if not target.alive:
+            raise FabricError(
+                f"cannot connect: target {target.subsystem_nqn()} is dead"
+            )
         nqn = target.subsystem_nqn()
         session = self._sessions.get(nqn)
         if session is None or not session.connected:

@@ -11,6 +11,7 @@ per-batch round trip amortises to the < 3.5 % the paper reports
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import FabricError
 from repro.topology.network import NetworkTopology
@@ -46,22 +47,61 @@ def edr_infiniband() -> RdmaSpec:
 
 
 class RdmaFabric:
-    """Topology-aware RDMA message timing."""
+    """Topology-aware RDMA message timing.
+
+    Hosts may carry a *degrade factor* (fault injection): a value in
+    ``(0, 1]`` scales the endpoint's usable link capacity — bandwidth
+    drops to ``factor`` of line rate and per-message latency stretches
+    by ``1/factor`` (flapping links retransmit). ``0`` severs the link.
+    """
 
     def __init__(self, topo: NetworkTopology, spec: RdmaSpec):
         self.topo = topo
         self.spec = spec
+        self._degraded: dict = {}  # host -> remaining capacity factor
+
+    # -- fault injection ----------------------------------------------------
+
+    def degrade(self, host: str, factor: float) -> None:
+        """Degrade ``host``'s link to ``factor`` of capacity (0 = dead)."""
+        if factor < 0 or factor > 1:
+            raise FabricError(f"degrade factor must be in [0, 1], got {factor}")
+        self._degraded[host] = factor
+
+    def restore(self, host: str) -> None:
+        self._degraded.pop(host, None)
+
+    def link_factor(self, src: str, dst: str) -> float:
+        """Remaining capacity along ``src -> dst`` (worst endpoint)."""
+        return min(
+            self._degraded.get(src, 1.0), self._degraded.get(dst, 1.0)
+        )
+
+    def is_severed(self, src: str, dst: str) -> bool:
+        return src != dst and self.link_factor(src, dst) == 0.0
+
+    # -- timing -------------------------------------------------------------
 
     def one_way_latency(self, src: str, dst: str) -> float:
         """Propagation + switching latency for one message (no payload)."""
         if src == dst:
             return 0.0
         hops = self.topo.hop_count(src, dst)
-        return self.spec.base_latency + hops * self.spec.per_hop_latency
+        latency = self.spec.base_latency + hops * self.spec.per_hop_latency
+        factor = self.link_factor(src, dst)
+        if factor <= 0.0:
+            raise FabricError(f"link {src} -> {dst} is severed")
+        return latency / factor
 
     def round_trip(self, src: str, dst: str) -> float:
         return 2.0 * self.one_way_latency(src, dst)
 
-    def payload_cap(self) -> float:
-        """Rate cap a single QP's data stream sees (the line rate)."""
-        return self.spec.link_bandwidth
+    def payload_cap(self, src: Optional[str] = None, dst: Optional[str] = None) -> float:
+        """Rate cap a single QP's data stream sees (the line rate,
+        scaled down when either endpoint's link is degraded)."""
+        factor = 1.0
+        if src is not None and dst is not None and src != dst:
+            factor = self.link_factor(src, dst)
+            if factor <= 0.0:
+                raise FabricError(f"link {src} -> {dst} is severed")
+        return self.spec.link_bandwidth * factor

@@ -1,0 +1,52 @@
+"""repro.faults — deterministic fault injection and recovery orchestration.
+
+The subsystem has four layers:
+
+* :mod:`repro.faults.model` — typed fault kinds and blast-radius
+  computation over the cluster's failure domains;
+* :mod:`repro.faults.hazard` — seeded renewal processes (exponential /
+  Weibull) drawn from named RNG streams, common across systems;
+* :mod:`repro.faults.injector` — the sim process that applies physical
+  effects to live devices, daemons, links, and the scheduler;
+* :mod:`repro.faults.recovery` — orchestration that exercises the real
+  recovery paths (requeue, log replay, level-2 fallback);
+* :mod:`repro.faults.timeline` — the observable record of all of it.
+"""
+
+from repro.faults.hazard import HazardSpec, campaign_failure_times, draw_arrival_times
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    BlastRadius,
+    Fault,
+    FaultKind,
+    LinkDegrade,
+    NodeCrash,
+    NVMfTargetDeath,
+    PDUFailure,
+    SSDPowerLoss,
+    SwitchFailure,
+    blast_radius,
+)
+from repro.faults.recovery import RecoveryOrchestrator, ResilientRunReport
+from repro.faults.timeline import FaultRecord, FaultTimeline
+
+__all__ = [
+    "BlastRadius",
+    "Fault",
+    "FaultKind",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultTimeline",
+    "HazardSpec",
+    "LinkDegrade",
+    "NodeCrash",
+    "NVMfTargetDeath",
+    "PDUFailure",
+    "RecoveryOrchestrator",
+    "ResilientRunReport",
+    "SSDPowerLoss",
+    "SwitchFailure",
+    "blast_radius",
+    "campaign_failure_times",
+    "draw_arrival_times",
+]

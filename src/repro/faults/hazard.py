@@ -1,0 +1,88 @@
+"""Seeded hazard processes: when does each component next fail?
+
+Fault arrival times are pre-drawn per component from named RNG streams
+(:class:`repro.sim.rng.RngHub` discipline), not sampled inside the
+simulation loop. That buys two properties the resilience experiments
+assert:
+
+* **Determinism** — the schedule depends only on ``(seed, component)``,
+  never on event interleaving, so the same seed always yields the same
+  :class:`~repro.faults.timeline.FaultTimeline`.
+* **Common random numbers** — comparing storage systems under the same
+  seed, every system is hit by the *same* fault sequence; measured
+  differences are the systems', not the dice's (the discipline
+  :class:`repro.apps.mtbf.FailureCampaign` already follows).
+
+Each component class gets its own hazard: exponential (memoryless, the
+classic MTBF model) or Weibull (``shape < 1`` infant mortality,
+``shape > 1`` wear-out — the SSD literature's usual fit).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.sim.rng import RngHub
+
+__all__ = ["HazardSpec", "draw_arrival_times", "campaign_failure_times"]
+
+
+@dataclass(frozen=True)
+class HazardSpec:
+    """Failure law for one component class.
+
+    ``mtbf`` is the per-component mean time between faults; ``shape`` is
+    the Weibull shape parameter (1.0 = exponential). The component class
+    names the RNG stream, so adding a hazard for one class can never
+    perturb another class's draws.
+    """
+
+    component_class: str
+    mtbf: float
+    shape: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0:
+            raise ValueError(f"{self.component_class}: mtbf must be positive")
+        if self.shape <= 0:
+            raise ValueError(f"{self.component_class}: shape must be positive")
+
+
+def draw_arrival_times(
+    seed: int, spec: HazardSpec, component_id: str, horizon: float
+) -> List[float]:
+    """All fault arrival times for one component in ``[0, horizon)``.
+
+    A renewal process: inter-arrival gaps are iid exponential(mtbf) or
+    Weibull scaled so the mean gap equals ``mtbf``.
+    """
+    rng = RngHub(seed).stream(f"faults.{spec.component_class}.{component_id}")
+    if spec.shape != 1.0:
+        # E[scale * W(shape)] = scale * Γ(1 + 1/shape)
+        scale = spec.mtbf / math.gamma(1.0 + 1.0 / spec.shape)
+    times: List[float] = []
+    t = 0.0
+    while True:
+        if spec.shape == 1.0:
+            gap = float(rng.exponential(spec.mtbf))
+        else:
+            gap = float(scale * rng.weibull(spec.shape))
+        t += gap
+        if t >= horizon:
+            return times
+        times.append(t)
+
+
+def campaign_failure_times(
+    seed: int, mtbf: float, horizon: float, rank: int = 0
+) -> List[float]:
+    """Per-rank failure times for an injector-fed failure campaign.
+
+    Streamed by ``(seed, rank)`` only — deliberately *not* by storage
+    system — so every system compared under one seed sees the identical
+    failure sequence (common random numbers).
+    """
+    spec = HazardSpec(component_class=f"campaign.mtbf{mtbf:g}", mtbf=mtbf)
+    return draw_arrival_times(seed, spec, f"rank{rank}", horizon)

@@ -1,0 +1,422 @@
+"""Recovery orchestration: faults exercising the *real* restart paths.
+
+The :class:`RecoveryOrchestrator` runs one checkpointing job on a
+:class:`~repro.apps.deployment.Deployment` while a
+:class:`~repro.faults.injector.FaultInjector` fires faults into it, and
+drives the same machinery a production stack would:
+
+* **compute-node crash** — the whole MPI world aborts (no
+  fault-tolerant MPI), the scheduler :meth:`requeue`\\ s the job onto
+  replacement nodes *preserving its namespace grants*, and every new
+  rank rebuilds its MicroFS from the partner-domain SSD partition via
+  log replay (:meth:`NVMeCRRuntime.recover`), then reads the newest
+  surviving checkpoint back;
+* **storage-tier loss** (SSD power gone under the job's grants) — the
+  level-1 tier is unrecoverable, so ranks fall back to the newest
+  level-2 checkpoint on the parallel filesystem
+  (:meth:`MultiLevelCheckpointer.recover_latest` with
+  ``level1_alive=False``) and run level-2-only from then on;
+* **target-daemon death / rack partition** — data is intact but
+  unreachable; the orchestrator waits out the repair (or respawns the
+  daemon), then takes the level-1 path.
+
+Every step lands in the injector's :class:`FaultTimeline` so tests and
+experiments can assert *which* path ran, from where, and how many bytes
+were replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional
+
+from repro.core.config import RuntimeConfig
+from repro.core.interception import PosixShim
+from repro.core.multilevel import MultiLevelCheckpointer
+from repro.errors import DeviceError, FabricError, FSError, RecoveryError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import BlastRadius, Fault, FaultKind
+from repro.faults.timeline import FaultRecord
+from repro.mpi.runtime import launch
+from repro.sim.engine import Event, Interrupt
+
+__all__ = ["RecoveryOrchestrator", "ResilientRunReport"]
+
+# Superblock read during log replay (mirrors microfs.layout).
+_SUPERBLOCK_BYTES = 4096
+
+
+@dataclass
+class ResilientRunReport:
+    """Outcome of one fault-injected run."""
+
+    rounds_target: int
+    rounds_completed: int
+    compute_time_per_round: float
+    wall_time: float
+    rounds_lost: int = 0  # rounds of compute redone after rollbacks
+    recoveries: int = 0
+    level2_mode: bool = False  # storage tier lost; finished on the PFS
+
+    @property
+    def effective_progress(self) -> float:
+        """Useful compute time over wall time (the resilience metric)."""
+        if self.wall_time <= 0:
+            return 1.0
+        return self.rounds_completed * self.compute_time_per_round / self.wall_time
+
+
+class RecoveryOrchestrator:
+    """Runs a compute/checkpoint loop under fault injection.
+
+    One instance manages one job. ``lustre`` (any object with
+    ``write_file``/``read_file``) enables the level-2 tier; without it a
+    storage-tier loss is fatal (:class:`RecoveryError`).
+    """
+
+    def __init__(
+        self,
+        deployment,
+        injector: FaultInjector,
+        *,
+        config: Optional[RuntimeConfig] = None,
+        lustre=None,
+        pfs_interval: int = 4,
+        detection_latency: float = 0.1,
+        requeue_cost: float = 2.0,
+        target_respawn: float = 1.0,
+    ):
+        self.dep = deployment
+        self.env = deployment.env
+        self.injector = injector
+        self.timeline = injector.timeline
+        self.config = config or RuntimeConfig()
+        self.lustre = lustre
+        self.pfs_interval = pfs_interval
+        self.detection_latency = detection_latency
+        self.requeue_cost = requeue_cost
+        self.target_respawn = target_respawn
+        self.job = None
+        self.plan = None
+        self.shims: List[PosixShim] = []
+        self.runtimes: List = []
+        self.ckpt_mgrs: List[MultiLevelCheckpointer] = []
+        self._pending: List[tuple] = []
+        self._signal: Optional[Event] = None
+        self._level2_only = False
+        injector.subscribe(self._on_fault)
+
+    # -- fault notification -------------------------------------------------
+
+    def _on_fault(self, record: FaultRecord, fault: Fault, radius: BlastRadius) -> None:
+        self._pending.append((record, fault, radius))
+        if self._signal is not None and not self._signal.triggered:
+            self._signal.succeed()
+
+    def _fault_signal(self) -> Event:
+        if self._signal is None or self._signal.triggered:
+            self._signal = self.env.event()
+        return self._signal
+
+    # -- public entry -------------------------------------------------------
+
+    def run(
+        self,
+        name: str = "resilient",
+        nprocs: int = 2,
+        rounds: int = 6,
+        bytes_per_rank: int = 8 * 1024**2,
+        compute_time: float = 1.0,
+        procs_per_node: int = 1,
+        devices: Optional[int] = None,
+        bytes_per_device: int = 2 * 1024**3,
+    ) -> ResilientRunReport:
+        """Run to completion (drives the simulation)."""
+        proc = self.env.process(
+            self.run_process(
+                name=name, nprocs=nprocs, rounds=rounds,
+                bytes_per_rank=bytes_per_rank, compute_time=compute_time,
+                procs_per_node=procs_per_node, devices=devices,
+                bytes_per_device=bytes_per_device,
+            )
+        )
+        report = self.env.run_until_complete(proc)
+        self.env.run()  # drain repairs and stragglers
+        return report
+
+    def run_process(
+        self,
+        name: str = "resilient",
+        nprocs: int = 2,
+        rounds: int = 6,
+        bytes_per_rank: int = 8 * 1024**2,
+        compute_time: float = 1.0,
+        procs_per_node: int = 1,
+        devices: Optional[int] = None,
+        bytes_per_device: int = 2 * 1024**3,
+    ) -> Generator[Event, Any, ResilientRunReport]:
+        env = self.env
+        self.job, self.plan = self.dep.submit(
+            name, nprocs=nprocs, procs_per_node=procs_per_node,
+            devices=devices, bytes_per_device=bytes_per_device,
+        )
+        start = env.now
+        yield from self._launch_ranks(recovering=False)
+        self.ckpt_mgrs = [
+            MultiLevelCheckpointer(
+                self.shims[rank], self.lustre,
+                pfs_interval=self.pfs_interval if self.lustre else 10**9,
+                rank=rank,
+            )
+            for rank in range(nprocs)
+        ]
+        report = ResilientRunReport(
+            rounds_target=rounds, rounds_completed=0,
+            compute_time_per_round=compute_time, wall_time=0.0,
+        )
+        completed = 0
+        while completed < rounds:
+            # -- compute phase ---------------------------------------------
+            fault = yield from self._phase(
+                [env.process(self._sleep(compute_time))]
+            )
+            if fault is not None:
+                before = completed
+                completed = yield from self._recover(fault, completed, report)
+                report.rounds_lost += max(0, before - completed)
+                continue
+            # -- checkpoint phase ------------------------------------------
+            step = completed
+            fault = yield from self._phase(
+                [
+                    env.process(self._write_ckpt(rank, step, bytes_per_rank))
+                    for rank in range(nprocs)
+                ]
+            )
+            if fault is not None:
+                before = completed + 1  # this round's compute is redone
+                completed = yield from self._recover(fault, completed, report)
+                report.rounds_lost += max(0, before - completed)
+                continue
+            completed += 1
+        report.rounds_completed = completed
+        report.wall_time = env.now - start
+        report.level2_mode = self._level2_only
+        self.dep.scheduler.complete(self.job)
+        return report
+
+    # -- phases -------------------------------------------------------------
+
+    def _sleep(self, duration: float) -> Generator[Event, Any, None]:
+        try:
+            yield self.env.timeout(duration)
+        except Interrupt:
+            pass
+
+    def _write_ckpt(
+        self, rank: int, step: int, nbytes: int
+    ) -> Generator[Event, Any, bool]:
+        mgr = self.ckpt_mgrs[rank]
+        try:
+            yield from mgr.write_checkpoint(step, nbytes)
+            return True
+        except (Interrupt, DeviceError, FabricError, FSError):
+            # The fault beat us; the orchestrator rolls this round back.
+            return False
+
+    def _phase(self, procs) -> Generator[Event, Any, Optional[tuple]]:
+        """Run ``procs`` to completion unless a fault fires first.
+
+        Returns the pending (record, fault, radius) tuple if one did,
+        else None. Interrupted/failed procs unwind before returning.
+        """
+        env = self.env
+        work = env.all_of(procs)
+        if self._pending:
+            # A fault fired between phases: abort before doing work.
+            for p in procs:
+                if p.is_alive:
+                    p.interrupt("fault pending")
+            yield work
+            return self._pending.pop(0)
+        yield env.any_of([work, self._fault_signal()])
+        if not work.triggered:
+            for p in procs:
+                if p.is_alive:
+                    p.interrupt("fault injected")
+            yield work
+        if self._pending:
+            return self._pending.pop(0)
+        return None
+
+    # -- rank lifecycle -----------------------------------------------------
+
+    def _launch_ranks(self, recovering: bool) -> Generator[Event, Any, List]:
+        """(Re)start every rank on ``job.rank_to_node`` placements.
+
+        With ``recovering=True`` each rank replays its partition's
+        operation log into a fresh MicroFS before the app resumes. The
+        background checkpointer stays off: the orchestrator owns the
+        checkpoint schedule, and a half-started daemon racing recovery
+        would clobber the superblock it is about to read.
+        """
+        nprocs = self.job.spec.nprocs
+        shims: List[Optional[PosixShim]] = [None] * nprocs
+        runtimes: List = [None] * nprocs
+        reports: List = [None] * nprocs
+
+        def main(comm):
+            runtime = self.dep.build_runtime(comm, self.job, self.plan, self.config)
+            yield from runtime.init(start_checkpointer=False)
+            if recovering:
+                reports[comm.rank] = yield from runtime.recover()
+            runtimes[comm.rank] = runtime
+            shims[comm.rank] = PosixShim(runtime)
+
+        mpi_job = launch(
+            self.env, nprocs, main, node_of_rank=self.job.rank_to_node
+        )
+        yield mpi_job.done
+        mpi_job.done.value  # re-raise rank failures
+        self.shims = shims  # type: ignore[assignment]
+        self.runtimes = runtimes
+        for rank, mgr in enumerate(self.ckpt_mgrs):
+            mgr.level1 = shims[rank]  # point existing bookkeeping at new shims
+        return reports
+
+    # -- recovery paths -----------------------------------------------------
+
+    def _recover(
+        self, pending: tuple, completed: int, report: ResilientRunReport
+    ) -> Generator[Event, Any, int]:
+        """Handle one fault; returns the new ``completed`` round count."""
+        record, fault, radius = pending
+        env = self.env
+        grant_nodes = {g.node_name for g in self.plan.grants}
+        storage_data_lost = bool(set(radius.ssds) & grant_nodes)
+        storage_unreachable = bool(set(radius.targets) & grant_nodes)
+        compute_hit = bool(set(radius.nodes) & set(self.job.compute_nodes))
+        yield env.timeout(self.detection_latency)
+        self.timeline.mark_detected(record, env.now)
+        if fault.kind is FaultKind.LINK_DEGRADE:
+            record.note = "degraded link; running slow, no recovery"
+            return completed
+        if not (storage_data_lost or storage_unreachable or compute_hit):
+            record.note = "outside job footprint"
+            return completed
+        report.recoveries += 1
+        if storage_data_lost:
+            return (yield from self._recover_level2(record, report))
+        if storage_unreachable and not compute_hit:
+            yield from self._await_storage(record)
+        return (yield from self._recover_level1(record, completed))
+
+    def _await_storage(self, record: FaultRecord) -> Generator[Event, Any, None]:
+        """Wait for dead target daemons / severed racks to come back.
+
+        If the injector scheduled a repair we ride it out; otherwise the
+        orchestrator respawns the daemons itself (systemd-style) after
+        ``target_respawn`` seconds.
+        """
+        deadline = self.env.now + self.target_respawn
+        while record.repaired_at is None and self.env.now < deadline:
+            yield self.env.timeout(min(0.05, self.target_respawn))
+        if record.repaired_at is None:
+            for node in record.targets:
+                for target in self.injector.targets_on(node):
+                    if not target.alive:
+                        target.revive()
+            record.note = "target daemons respawned by orchestrator"
+
+    def _recover_level1(
+        self, record: FaultRecord, completed: int
+    ) -> Generator[Event, Any, int]:
+        """Requeue (if nodes died) and log-replay from partner SSDs."""
+        env = self.env
+        lost_nodes = set(record.nodes) & set(self.job.compute_nodes)
+        if lost_nodes:
+            self.dep.scheduler.requeue(self.job, restart_cost=self.requeue_cost)
+            yield env.timeout(self.requeue_cost)
+        self._drain_ranks()
+        reports = yield from self._launch_ranks(recovering=True)
+        bytes_replayed = 0
+        records_replayed = 0
+        for rank, rep in enumerate(reports):
+            if rep is None:
+                continue
+            records_replayed += rep.records_replayed
+            bytes_replayed += _SUPERBLOCK_BYTES
+            if rep.state_loaded:
+                bytes_replayed += self.config.log_region_bytes
+        # Restart data: every rank reads its newest surviving checkpoint.
+        restored = completed
+        if completed > 0:
+            restored_steps = []
+            for rank in range(self.job.spec.nprocs):
+                rec = yield from self.ckpt_mgrs[rank].recover_latest(
+                    level1_alive=True
+                )
+                bytes_replayed += rec.nbytes
+                restored_steps.append(rec.step)
+            restored = min(restored_steps) + 1
+        self.timeline.mark_recovered(
+            record,
+            env.now,
+            level=1,
+            restored_from=self.plan.grant_of_rank(0).node_name,
+            bytes_replayed=bytes_replayed,
+            records_replayed=records_replayed,
+            ranks_restarted=self.job.spec.nprocs,
+            note=record.note or "log replay from partner-domain SSD",
+        )
+        return restored
+
+    def _recover_level2(
+        self, record: FaultRecord, report: ResilientRunReport
+    ) -> Generator[Event, Any, int]:
+        """The NVMe tier's data is gone: fall back to the PFS copy."""
+        env = self.env
+        if self.lustre is None:
+            record.note = "storage tier lost and no level-2 tier configured"
+            raise RecoveryError(record.note)
+        self._drain_ranks()
+        lost_nodes = set(record.nodes) & set(self.job.compute_nodes)
+        if lost_nodes:
+            # Co-located compute died too: reallocate for bookkeeping
+            # (the level-2-only loop needs no live runtimes).
+            self.dep.scheduler.requeue(self.job, restart_cost=self.requeue_cost)
+        yield env.timeout(self.requeue_cost)
+        bytes_replayed = 0
+        restored_steps = []
+        for rank in range(self.job.spec.nprocs):
+            try:
+                rec = yield from self.ckpt_mgrs[rank].recover_latest(
+                    level1_alive=False
+                )
+            except RecoveryError:
+                restored_steps.append(-1)  # no PFS checkpoint yet: from zero
+                continue
+            bytes_replayed += rec.nbytes
+            restored_steps.append(rec.step)
+        restored = max(0, min(restored_steps) + 1)
+        # The fast tier is gone for the rest of the run: every further
+        # checkpoint goes straight to the PFS.
+        self._level2_only = True
+        for mgr in self.ckpt_mgrs:
+            mgr.pfs_interval = 1
+        self.timeline.mark_recovered(
+            record,
+            env.now,
+            level=2,
+            restored_from="lustre",
+            bytes_replayed=bytes_replayed,
+            ranks_restarted=self.job.spec.nprocs,
+            note="level-1 tier lost; restored from parallel filesystem",
+        )
+        return restored
+
+    def _drain_ranks(self) -> None:
+        """Tear down transports of the dying world (best effort)."""
+        for runtime in self.runtimes:
+            if runtime is not None:
+                runtime.initiator.disconnect_all()

@@ -1,0 +1,155 @@
+"""FaultTimeline: the observability record of a fault campaign.
+
+Every injected fault becomes one :class:`FaultRecord` carrying the full
+injected / detected / recovered lifecycle, its blast radius, and what
+recovery actually did (which tier served the restore, bytes and log
+records replayed, ranks restarted). The timeline serialises to canonical
+JSON so two runs with the same seed can be compared bit-for-bit — the
+common-random-numbers acceptance check — and folds into a flat summary
+dict suitable for :attr:`repro.metrics.RunResult.extra`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.model import BlastRadius, Fault
+
+__all__ = ["FaultRecord", "FaultTimeline"]
+
+
+@dataclass
+class FaultRecord:
+    """One fault's lifecycle, from injection to (maybe) recovery."""
+
+    fault_id: int
+    kind: str
+    target: str
+    injected_at: float
+    nodes: Tuple[str, ...] = ()
+    ssds: Tuple[str, ...] = ()
+    targets: Tuple[str, ...] = ()
+    links: Tuple[str, ...] = ()
+    domains: Tuple[str, ...] = ()
+    detected_at: Optional[float] = None
+    recovered_at: Optional[float] = None
+    repaired_at: Optional[float] = None  # component back up (≠ app recovered)
+    recovery_level: Optional[int] = None  # 1 = partner-SSD replay, 2 = PFS tier
+    restored_from: Optional[str] = None  # storage node the restore read from
+    bytes_replayed: int = 0
+    records_replayed: int = 0
+    ranks_restarted: int = 0
+    note: str = ""
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_at is not None
+
+    def time_to_recover(self) -> Optional[float]:
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.injected_at
+
+
+class FaultTimeline:
+    """Ordered record of every fault injected into one simulation."""
+
+    def __init__(self) -> None:
+        self.records: List[FaultRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self, fault: Fault, at: float, radius: Optional[BlastRadius] = None
+    ) -> FaultRecord:
+        radius = radius or BlastRadius()
+        rec = FaultRecord(
+            fault_id=len(self.records),
+            kind=fault.kind.value,
+            target=fault.target,
+            injected_at=at,
+            nodes=radius.nodes,
+            ssds=radius.ssds,
+            targets=radius.targets,
+            links=radius.links,
+            domains=radius.domains,
+        )
+        self.records.append(rec)
+        return rec
+
+    def mark_detected(self, rec: FaultRecord, at: float) -> None:
+        rec.detected_at = at
+
+    def mark_repaired(self, rec: FaultRecord, at: float) -> None:
+        rec.repaired_at = at
+
+    def mark_recovered(
+        self,
+        rec: FaultRecord,
+        at: float,
+        level: int = 1,
+        restored_from: Optional[str] = None,
+        bytes_replayed: int = 0,
+        records_replayed: int = 0,
+        ranks_restarted: int = 0,
+        note: str = "",
+    ) -> None:
+        rec.recovered_at = at
+        rec.recovery_level = level
+        rec.restored_from = restored_from
+        rec.bytes_replayed += int(bytes_replayed)
+        rec.records_replayed += int(records_replayed)
+        rec.ranks_restarted += int(ranks_restarted)
+        if note:
+            rec.note = note
+
+    # -- export -------------------------------------------------------------
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        """Canonical JSON (sorted keys, fixed separators): bit-identical
+        for bit-identical campaigns."""
+        payload = [asdict(rec) for rec in self.records]
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical JSON; equal ⇔ identical timelines."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric summary for :attr:`RunResult.extra` / table rows."""
+        recovered = [r for r in self.records if r.recovered]
+        ttrs = [r.time_to_recover() for r in recovered]
+        out: Dict[str, float] = {
+            "faults_injected": float(len(self.records)),
+            "faults_recovered": float(len(recovered)),
+            "bytes_replayed": float(sum(r.bytes_replayed for r in self.records)),
+            "records_replayed": float(
+                sum(r.records_replayed for r in self.records)
+            ),
+            "ranks_restarted": float(
+                sum(r.ranks_restarted for r in self.records)
+            ),
+            "mean_ttr_s": (sum(ttrs) / len(ttrs)) if ttrs else 0.0,
+            "level2_recoveries": float(
+                sum(1 for r in recovered if r.recovery_level == 2)
+            ),
+        }
+        by_kind: Dict[str, int] = {}
+        for rec in self.records:
+            by_kind[rec.kind] = by_kind.get(rec.kind, 0) + 1
+        for kind, count in sorted(by_kind.items()):
+            out[f"faults[{kind}]"] = float(count)
+        return out

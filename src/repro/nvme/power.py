@@ -6,25 +6,52 @@ completely written checkpoint file will never hold corrupted data and
 can safely be used for recovery" (§III-E) — committed writes survive,
 in-flight writes vanish, and log replay reconstructs consistent
 metadata.
+
+Scheduling is delegated to :class:`repro.faults.injector.FaultInjector`
+(the controller predates the fault subsystem; it remains as the
+device-level convenience surface). Every controlled SSD is attached
+under one pseudo-node, so a ``fail_at`` is exactly one
+:class:`~repro.faults.model.SSDPowerLoss` fault whose blast radius is
+the controller's whole device set — and it lands in the injector's
+:class:`~repro.faults.timeline.FaultTimeline` like any other fault.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import List
 
 from repro.nvme.device import SSD
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment
 
 __all__ = ["PowerController"]
+
+# One pseudo-node groups all controlled devices into a single fault.
+_GROUP = "power-controller"
 
 
 class PowerController:
     """Schedules power loss (and optional restoration) on a set of SSDs."""
 
     def __init__(self, env: Environment, ssds: List[SSD]):
+        from repro.faults.injector import FaultInjector
+
         self.env = env
         self.ssds = list(ssds)
         self.events: List[tuple] = []  # (time, action)
+        self._injector = FaultInjector(env)
+        for ssd in self.ssds:
+            self._injector.attach_ssd(_GROUP, ssd)
+        self._injector.subscribe(
+            lambda rec, fault, radius: self.events.append((self.env.now, "fail"))
+        )
+        self._injector.subscribe_repair(
+            lambda rec, fault, radius: self.events.append((self.env.now, "restore"))
+        )
+
+    @property
+    def timeline(self):
+        """The injector's FaultTimeline for these devices."""
+        return self._injector.timeline
 
     def fail_at(self, t: float, restore_after: float = 0.0) -> None:
         """Cut power to all controlled SSDs at time ``t``.
@@ -32,17 +59,10 @@ class PowerController:
         If ``restore_after`` > 0, power returns that many seconds later
         (capacitors have flushed; committed data intact).
         """
-        self.env.process(self._run(t, restore_after))
+        from repro.faults.model import SSDPowerLoss
 
-    def _run(self, t: float, restore_after: float) -> Generator[Event, Any, None]:
-        delay = t - self.env.now
-        if delay > 0:
-            yield self.env.timeout(delay)
-        for ssd in self.ssds:
-            ssd.power_fail()
-        self.events.append((self.env.now, "fail"))
-        if restore_after > 0:
-            yield self.env.timeout(restore_after)
-            for ssd in self.ssds:
-                ssd.power_restore()
-            self.events.append((self.env.now, "restore"))
+        self._injector.fire_at(
+            t,
+            SSDPowerLoss(_GROUP),
+            repair_after=restore_after if restore_after > 0 else None,
+        )

@@ -155,6 +155,27 @@ def _build_crail(
 
 
 @register(
+    "lustre", title="Lustre", short="pfs", kind="distributed",
+    description="the level-2 PFS tier: 4 OSSes behind RAID, durable",
+)
+def _build_lustre(
+    *,
+    nprocs: int,
+    seed: int = 0,
+    namespace_bytes: int = 0,  # accepted for matrix parity; capacity-unbounded
+    servers: Optional[int] = None,
+    env: Optional[Environment] = None,
+) -> SystemHandle:
+    from repro.baselines.lustre import LustreCluster
+
+    env = env if env is not None else Environment()
+    kwargs = {} if servers is None else {"servers": servers}
+    cluster = LustreCluster(env, **kwargs)
+    clients = [cluster.client(f"r{i}") for i in range(nprocs)]
+    return SystemHandle(env=env, cluster=cluster, clients=clients)
+
+
+@register(
     "burstfs", title="BurstFS", short="bb", kind="distributed",
     description="node-local burst buffers + PFS drain (BurstFS/UnifyFS-class)",
 )

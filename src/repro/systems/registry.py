@@ -124,6 +124,8 @@ class SystemHandle:
         ssds = self.extras.get("ssds")
         if ssds:
             return sum(ssd.spec.write_bandwidth for ssd in ssds)
+        if self.cluster is not None and hasattr(self.cluster, "aggregate_bandwidth"):
+            return self.cluster.aggregate_bandwidth()  # PFS tier: RAID pipes
         raise UnknownSystem(f"{self.name}: no device inventory")
 
     def aggregate_read_bandwidth(self) -> float:
@@ -132,6 +134,8 @@ class SystemHandle:
         ssds = self.extras.get("ssds")
         if ssds:
             return sum(ssd.spec.read_bandwidth for ssd in ssds)
+        if self.cluster is not None and hasattr(self.cluster, "aggregate_bandwidth"):
+            return self.cluster.aggregate_bandwidth()
         raise UnknownSystem(f"{self.name}: no device inventory")
 
 

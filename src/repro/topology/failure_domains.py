@@ -16,7 +16,7 @@ greedy mapping stays deterministic).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.topology.cluster import ClusterSpec, Node
 from repro.topology.network import NetworkTopology
@@ -52,12 +52,31 @@ def derive_failure_domains(cluster: ClusterSpec) -> List[FailureDomain]:
 
 
 def _domain_distance(
-    topo: NetworkTopology, a: FailureDomain, b: FailureDomain
+    topo: NetworkTopology,
+    a: FailureDomain,
+    b: FailureDomain,
+    cache: Optional[Dict[Tuple[str, str], int]] = None,
 ) -> int:
-    """Minimum switch hops between any node pair across two domains."""
-    return min(
-        topo.hop_count(na.name, nb.name) for na in a.nodes for nb in b.nodes
+    """Minimum switch hops between any node pair across two domains.
+
+    Distances are symmetric, so with a ``cache`` each unordered domain
+    pair is computed once; per-node lookups ride the topology's
+    single-source tables (:meth:`NetworkTopology.hops_from`) instead of
+    issuing one shortest-path query per node pair.
+    """
+    key = (
+        (a.domain_id, b.domain_id)
+        if a.domain_id <= b.domain_id
+        else (b.domain_id, a.domain_id)
     )
+    if cache is not None and key in cache:
+        return cache[key]
+    distance = min(
+        topo.hops_from(na.name)[nb.name] for na in a.nodes for nb in b.nodes
+    )
+    if cache is not None:
+        cache[key] = distance
+    return distance
 
 
 def partner_domains(
@@ -71,10 +90,11 @@ def partner_domains(
     on the closest (fewest hops away) available partner domain").
     """
     partners: Dict[str, List[FailureDomain]] = {}
+    cache: Dict[Tuple[str, str], int] = {}
     for domain in domains:
         others = [d for d in domains if d.domain_id != domain.domain_id]
         others.sort(
-            key=lambda d: (_domain_distance(topo, domain, d), d.domain_id)
+            key=lambda d: (_domain_distance(topo, domain, d, cache), d.domain_id)
         )
         partners[domain.domain_id] = others
     return partners

@@ -35,6 +35,25 @@ class NetworkTopology:
                 self.graph.add_node(node.name, kind="host")
                 self.graph.add_edge(node.name, tor)
         self._hops: Dict[tuple, int] = {}
+        self._from: Dict[str, Dict[str, int]] = {}
+
+    def hops_from(self, a: str) -> Dict[str, int]:
+        """Hop counts from ``a`` to every reachable node, computed by one
+        cached single-source BFS.
+
+        Pairwise queries over a whole domain (the balancer's partner
+        sort touches every domain pair) collapse to one traversal per
+        source instead of one per pair.
+        """
+        table = self._from.get(a)
+        if table is None:
+            lengths = nx.single_source_shortest_path_length(self.graph, a)
+            table = {
+                b: (0 if b == a else length - 1)
+                for b, length in lengths.items()
+            }
+            self._from[a] = table
+        return table
 
     def hop_count(self, a: str, b: str) -> int:
         """Number of switch hops between hosts ``a`` and ``b``.
@@ -48,8 +67,7 @@ class NetworkTopology:
         key = (a, b) if a <= b else (b, a)
         hops = self._hops.get(key)
         if hops is None:
-            length = nx.shortest_path_length(self.graph, a, b)
-            hops = length - 1
+            hops = self.hops_from(key[0])[key[1]]
             self._hops[key] = hops
         return hops
 

@@ -128,3 +128,67 @@ def test_config_validation():
     with pytest.raises(ValueError):
         CampaignConfig(total_compute=1, checkpoint_interval=1,
                        checkpoint_bytes=0, mtbf=1)
+
+
+# -- refactored failure/rollback path ----------------------------------------
+
+
+def _deployment_campaign(fault_times=None, timeline=None):
+    """One campaign rank on the paper testbed (full NVMe-oF data path)."""
+    from repro.apps.deployment import Deployment
+
+    dep = Deployment(seed=3, deterministic_devices=True)
+    job, plan = dep.submit("camp", nprocs=1, procs_per_node=1)
+    out = {}
+
+    def main(shim, comm):
+        config = CampaignConfig(
+            total_compute=120.0, checkpoint_interval=6.0,
+            checkpoint_bytes=MiB(4), mtbf=40.0, restart_cost=2.0,
+        )
+        campaign = FailureCampaign(
+            shim, config, seed=11, rank=comm.rank,
+            fault_times=fault_times, timeline=timeline,
+        )
+        out[comm.rank] = yield from campaign.run()
+
+    dep.run_job(job, plan, main)
+    return out[0]
+
+
+def test_campaign_output_pinned_for_fixed_seed():
+    """Regression pin: the fail/rollback/restore dedup must not move a
+    single float for a fixed seed. Captured before the refactor."""
+    result = _deployment_campaign()
+    got = (
+        result.wall_time, result.compute_done, result.failures,
+        result.checkpoints_written, result.restarts, result.lost_work,
+        result.checkpoint_time, result.restart_time,
+    )
+    assert got == (
+        135.28233316929362, 120.0, 3, 19, 3,
+        9.236233356566075, 0.039839130909305354, 0.005562380000014855,
+    )
+
+
+def test_injector_fed_fault_times_override_the_hazard_draw():
+    # Strikes at fixed absolute times replace the campaign's own clock.
+    quiet = _deployment_campaign(fault_times=[])
+    assert quiet.failures == 0 and quiet.lost_work == 0.0
+    busy = _deployment_campaign(fault_times=[10.0, 30.0, 55.0])
+    assert busy.failures == 3
+    assert busy.restarts == 3
+
+
+def test_injector_fed_campaign_records_a_timeline():
+    from repro.faults.timeline import FaultTimeline
+
+    timeline = FaultTimeline()
+    result = _deployment_campaign(fault_times=[10.0, 30.0], timeline=timeline)
+    assert result.failures == 2
+    assert len(timeline.records) == 2
+    for record in timeline.records:
+        assert record.kind == "node-crash"
+        assert record.recovery_level == 1
+        assert record.bytes_replayed == MiB(4)
+        assert record.recovered_at is not None

@@ -1,0 +1,145 @@
+"""End-to-end recovery orchestration: the acceptance paths.
+
+* a compute-node crash requeues the job and restarts ranks that restore
+  from the partner-domain SSD via MicroFS log replay (level 1);
+* a fault taking the storage domain's power falls back to the level-2
+  Lustre tier;
+* the whole run is bit-identical under a fixed seed.
+
+All asserted through the injector's FaultTimeline.
+"""
+
+import pytest
+
+from repro.apps.deployment import Deployment
+from repro.baselines.lustre import LustreCluster
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    NodeCrash,
+    NVMfTargetDeath,
+    PDUFailure,
+    RecoveryOrchestrator,
+)
+from repro.units import MiB
+
+
+def build(seed=7, pfs_interval=3, lustre=True):
+    dep = Deployment(seed=seed, deterministic_devices=True)
+    inj = FaultInjector.for_deployment(dep, seed=seed)
+    tier2 = LustreCluster(dep.env) if lustre else None
+    orch = RecoveryOrchestrator(dep, inj, lustre=tier2, pfs_interval=pfs_interval)
+    return dep, inj, orch
+
+
+def domain_of(dep, node_name):
+    node = dep.cluster.node(node_name)
+    return f"{node.rack}/{node.pdu}"
+
+
+def test_compute_crash_requeues_and_replays_from_partner_ssd():
+    dep, inj, orch = build()
+    inj.at(2.5, NodeCrash("comp00"))
+    inj.start()
+    report = orch.run(nprocs=2, rounds=5, bytes_per_rank=MiB(4), compute_time=1.0)
+
+    assert report.rounds_completed == 5
+    assert report.recoveries == 1
+    rec = inj.timeline.records[0]
+    assert rec.kind is FaultKind.NODE_CRASH.value or rec.kind == "node-crash"
+    assert rec.detected_at is not None and rec.detected_at > rec.injected_at
+    # Level-1 path: MicroFS log replay from the granted partner SSD.
+    assert rec.recovery_level == 1
+    assert rec.records_replayed > 0
+    assert rec.bytes_replayed > 0
+    assert rec.ranks_restarted == 2
+    # The checkpoint came back from a *partner* failure domain: the SSD
+    # holding it shares no rack/PDU with the crashed compute node.
+    assert rec.restored_from in {g.node_name for g in orch.plan.grants}
+    assert domain_of(dep, rec.restored_from) != domain_of(dep, "comp00")
+    # Scheduler really requeued: fresh nodes, grants preserved.
+    assert orch.job.requeues == 1
+    assert "comp00" not in orch.job.compute_nodes
+    assert dep.scheduler.grants_of(orch.job) == []  # released on completion
+
+
+def test_storage_domain_loss_falls_back_to_level2():
+    dep, inj, orch = build()
+    # Kill the whole storage PDU: every granted SSD loses power.
+    inj.at(4.2, PDUFailure("rack-storage/pdu-storage"))
+    inj.start()
+    report = orch.run(nprocs=2, rounds=6, bytes_per_rank=MiB(4), compute_time=1.0)
+
+    assert report.rounds_completed == 6
+    assert report.level2_mode  # finished the run on the PFS tier
+    rec = inj.timeline.records[0]
+    assert rec.recovery_level == 2
+    assert rec.restored_from == "lustre"
+    assert rec.bytes_replayed > 0
+    summary = inj.timeline.summary()
+    assert summary["level2_recoveries"] == 1
+
+
+def test_storage_loss_without_level2_tier_is_fatal():
+    from repro.errors import RecoveryError
+
+    dep, inj, orch = build(lustre=False)
+    inj.at(2.2, PDUFailure("rack-storage/pdu-storage"))
+    inj.start()
+    with pytest.raises(RecoveryError):
+        orch.run(nprocs=2, rounds=4, bytes_per_rank=MiB(2))
+
+
+def test_target_death_respawns_and_recovers_level1():
+    dep, inj, orch = build()
+    holder = {}
+    inj.subscribe(lambda rec, fault, radius: holder.setdefault("rec", rec))
+    # Kill the daemon on every storage node so the grant is surely hit.
+    for i in range(8):
+        inj.at(3.1, NVMfTargetDeath(f"stor{i:02d}"))
+    inj.start()
+    report = orch.run(nprocs=2, rounds=5, bytes_per_rank=MiB(2), compute_time=1.0)
+    assert report.rounds_completed == 5
+    recovered = [r for r in inj.timeline.records if r.recovered_at is not None]
+    assert recovered and recovered[0].recovery_level == 1
+    # Data was on media the whole time; daemons were respawned.
+    assert all(t.alive for t in dep.targets[orch.plan.grants[0].node_name])
+
+
+def test_fault_outside_job_footprint_is_noted_not_recovered():
+    dep, inj, orch = build()
+    inj.at(2.0, NodeCrash("comp15"))  # job uses comp00/comp01
+    inj.start()
+    report = orch.run(nprocs=2, rounds=3, bytes_per_rank=MiB(2), compute_time=1.0)
+    assert report.rounds_completed == 3
+    assert report.recoveries == 0
+    assert inj.timeline.records[0].note == "outside job footprint"
+    assert inj.timeline.records[0].recovered_at is None
+
+
+def _timeline_fingerprint(seed):
+    dep, inj, orch = build(seed=seed)
+    inj.at(2.5, NodeCrash("comp00"))
+    inj.at(7.3, NodeCrash("comp01"))
+    inj.start()
+    report = orch.run(nprocs=2, rounds=6, bytes_per_rank=MiB(4), compute_time=1.0)
+    return inj.timeline.fingerprint(), report.wall_time, report.rounds_completed
+
+
+def test_same_seed_is_bit_identical_across_runs():
+    assert _timeline_fingerprint(11) == _timeline_fingerprint(11)
+
+
+def test_timeline_json_round_trips(tmp_path):
+    dep, inj, orch = build()
+    inj.at(2.5, NodeCrash("comp00"))
+    inj.start()
+    orch.run(nprocs=2, rounds=4, bytes_per_rank=MiB(2))
+    out = tmp_path / "timeline.json"
+    text = inj.timeline.to_json(str(out))
+    assert out.read_text() == text
+    import json
+
+    payload = json.loads(text)
+    assert payload[0]["kind"] == "node-crash"
+    assert payload[0]["recovery_level"] == 1

@@ -17,6 +17,7 @@ BUILD_ARGS = {
     "orangefs": dict(namespace_bytes=8 * NBYTES + MiB(64)),
     "glusterfs": dict(namespace_bytes=8 * NBYTES + MiB(64)),
     "crail": dict(namespace_bytes=8 * NBYTES + MiB(64)),
+    "lustre": dict(),
     "burstfs": dict(namespace_bytes=4 * NBYTES + MiB(64)),
     "xfs": dict(bytes_per_client=2 * NBYTES + MiB(64)),
     "ext4": dict(bytes_per_client=2 * NBYTES + MiB(64)),

@@ -116,3 +116,59 @@ def test_partner_domains_closest_first_with_three_racks():
     domains = derive_failure_domains(cluster)
     partners = partner_domains(topo, domains)
     assert [d.domain_id for d in partners["r0/p0"]] == ["r1/p1", "r2/p2"]
+
+
+def _many_domain_cluster():
+    """3 racks x 4 PDUs: 12 domains, enough to exercise the cache."""
+    racks = []
+    for r in range(3):
+        nodes = []
+        for i in range(8):
+            kind = NodeKind.STORAGE if i % 2 else NodeKind.COMPUTE
+            nodes.append(Node(
+                f"n{r}{i}", kind, f"r{r}", f"p{r}{i % 4}", 4, GiB(1),
+                ssd_count=1 if kind is NodeKind.STORAGE else 0,
+            ))
+        racks.append(Rack(f"r{r}", nodes))
+    return ClusterSpec(racks)
+
+
+def test_hops_from_matches_pairwise_hop_count():
+    topo = NetworkTopology(paper_testbed())
+    names = [n.name for n in paper_testbed().nodes]
+    table = topo.hops_from("comp00")
+    for other in names:
+        assert table[other] == topo.hop_count("comp00", other)
+
+
+def test_domain_distance_cache_preserves_partner_ordering():
+    """The pairwise hop cache is an optimisation only: cached and
+    uncached distances agree, and partner lists come out identical."""
+    from repro.topology.failure_domains import _domain_distance
+
+    cluster = _many_domain_cluster()
+    topo = NetworkTopology(cluster)
+    domains = derive_failure_domains(cluster)
+
+    cache = {}
+    for a in domains:
+        for b in domains:
+            cached = _domain_distance(topo, a, b, cache)
+            uncached = _domain_distance(topo, a, b, cache=None)
+            brute = min(
+                topo.hop_count(na.name, nb.name)
+                for na in a.nodes for nb in b.nodes
+            )
+            assert cached == uncached == brute
+    # Symmetric keys: n*(n+1)/2 unordered pairs, not n^2.
+    n = len(domains)
+    assert len(cache) == n * (n + 1) // 2
+
+    partners = partner_domains(topo, domains)
+    for domain in domains:
+        expected = sorted(
+            (d for d in domains if d.domain_id != domain.domain_id),
+            key=lambda d: (_domain_distance(topo, domain, d), d.domain_id),
+        )
+        got = [d.domain_id for d in partners[domain.domain_id]]
+        assert got == [d.domain_id for d in expected]
