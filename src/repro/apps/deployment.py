@@ -53,7 +53,7 @@ class Deployment:
             cores_per_node=cores_per_node,
         )
         self.topo = NetworkTopology(self.cluster)
-        self.fabric = RdmaFabric(self.topo, edr_infiniband())
+        self.fabric = RdmaFabric(self.topo, edr_infiniband(), env=self.env)
         self.scheduler = SlurmScheduler(self.env, self.cluster, self.topo)
         spec = ssd_spec or intel_p4800x()
         if deterministic_devices:

@@ -73,7 +73,7 @@ class MicroFSFleet:
         )
         if remote:
             topo = NetworkTopology(paper_testbed())
-            fabric = RdmaFabric(topo, edr_infiniband())
+            fabric = RdmaFabric(topo, edr_infiniband(), env=self.env)
             target = NVMfTarget(self.env, "stor00", self.ssd)
 
             def make_transport(i):

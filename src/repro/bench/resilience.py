@@ -157,7 +157,12 @@ def resilience(
                             r.checkpoints_written for r in ranks
                         ) * nbytes,
                         progress=progress,
-                        extra=dict(summary, mtbf_s=mtbf, interval_s=interval),
+                        extra=dict(
+                            summary,
+                            mtbf_s=mtbf,
+                            interval_s=interval,
+                            **(handle.obs.flat_extra() if handle.obs else {}),
+                        ),
                     )
                 )
     table.note(

@@ -6,6 +6,9 @@
     python -m repro run all --fast        # everything, reduced scale
     python -m repro run tab2 --procs 448  # paper scale where supported
     python -m repro run fig8b --systems nvmecr crail   # swap comparisons
+    python -m repro run fig8a --trace trace.json       # Perfetto trace
+    python -m repro run fig8a --metrics                # counters + latency
+    python -m repro trace fig8a                        # shorthand for --trace
 """
 
 from __future__ import annotations
@@ -92,7 +95,33 @@ def main(argv=None) -> int:
                       help="storage systems to compare (see 'repro systems')")
     runp.add_argument("--export", metavar="DIR", default=None,
                       help="also write the table(s) as CSV + JSON to DIR")
+    runp.add_argument("--trace", metavar="FILE", default=None,
+                      help="record spans and write a Chrome/Perfetto trace")
+    runp.add_argument("--trace-jsonl", metavar="FILE", default=None,
+                      help="also write the spans as flat JSONL")
+    runp.add_argument("--metrics", action="store_true",
+                      help="print the metrics/span summary after the run")
+    runp.add_argument("--profile", action="store_true",
+                      help="wall-clock self-profile of the simulator itself")
+    tracep = sub.add_parser(
+        "trace", help="run one experiment with tracing on; write the trace"
+    )
+    tracep.add_argument("name", help="experiment id")
+    tracep.add_argument("--out", metavar="FILE", default=None,
+                        help="trace path (default: <name>.trace.json)")
+    tracep.add_argument("--procs", type=int, nargs="+", default=None)
+    tracep.add_argument("--systems", nargs="+", default=None, metavar="NAME")
+    tracep.add_argument("--metrics", action="store_true",
+                        help="print the metrics/span summary too")
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        # Shorthand: `repro trace fig8a` == `repro run fig8a --trace ...`.
+        args.trace = args.out or f"{args.name}.trace.json"
+        args.trace_jsonl = None
+        args.profile = False
+        args.fast = False
+        args.export = None
 
     if args.command == "list":
         for name in _EXPERIMENTS:
@@ -106,7 +135,15 @@ def main(argv=None) -> int:
             print(f"  {spec.name:<16} [{spec.kind:<11}] {spec.description}")
         return 0
 
+    want_obs = bool(
+        args.trace or args.trace_jsonl or args.metrics or args.profile
+    )
+
     if args.name == "all":
+        if want_obs:
+            print("--trace/--metrics apply to single experiments, not 'all'",
+                  file=sys.stderr)
+            return 2
         tables = E.run_all(fast=args.fast)
         for ext in (X.ext_cache_layer, X.ext_incremental, X.ext_compression,
                     X.ext_burst_buffer, X.ext_mtbf_campaign, X.ext_n1_pattern):
@@ -151,8 +188,24 @@ def main(argv=None) -> int:
             return 2
         kwargs["systems"] = tuple(args.systems)
     started = time.time()
-    table = fn(**kwargs)
+    if want_obs:
+        from repro import obs
+
+        with obs.capture(trace=bool(args.trace or args.trace_jsonl),
+                         profile=args.profile) as cap:
+            table = fn(**kwargs)
+    else:
+        cap = None
+        table = fn(**kwargs)
     table.show()
+    if cap is not None:
+        if args.trace:
+            print(f"wrote {cap.write_chrome(args.trace)} "
+                  f"({cap.n_spans()} spans; open in ui.perfetto.dev)")
+        if args.trace_jsonl:
+            print(f"wrote {cap.write_jsonl(args.trace_jsonl)}")
+        if args.metrics or args.profile:
+            print(cap.report())
     if args.export:
         from repro.bench.report import export
 

@@ -21,6 +21,7 @@ from repro.core.config import RuntimeConfig
 from repro.errors import InvalidArgument
 from repro.fabric.transport import Transport
 from repro.nvme.commands import Payload
+from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event
 from repro.sim.trace import Counter
 
@@ -43,6 +44,18 @@ class DataPlane:
         self.nsid = nsid
         self.config = config
         self.counters = counters if counters is not None else Counter()
+        # Span track; the owning MicroFS overwrites this with its
+        # instance name so data-plane spans nest under its syscalls.
+        self.obs_track = "dataplane"
+
+    def _begin(self, name: str, tr, **attrs):
+        """Open a data-plane span: handoff parent wins, else the track's
+        innermost open span (the intercepted syscall)."""
+        parent = tr.take_handoff()
+        if parent is None:
+            parent = tr.current(self.obs_track)
+        return tr.begin(name, cat="dataplane", track=self.obs_track,
+                        parent=parent, **attrs)
 
     # -- cost model ----------------------------------------------------------------
 
@@ -80,6 +93,9 @@ class DataPlane:
         command_size = command_size or self.config.effective_block_bytes
         total = sum(p.nbytes for _off, p in runs)
         n_cmds = sum(max(1, math.ceil(p.nbytes / command_size)) for _off, p in runs)
+        tr = tracer_of(self.env)
+        span = None if tr is None else self._begin(
+            "dataplane.write", tr=tr, bytes=total, cmds=n_cmds)
         charge = self._charge(n_cmds, total)
         if charge is not None:
             yield charge
@@ -87,9 +103,13 @@ class DataPlane:
         # this instance's queue; commands inside a batch are pipelined.
         for offset, payload in runs:
             for chunk_offset, chunk in self._chunk(offset, payload):
+                if tr is not None:
+                    tr.handoff(span)
                 yield self.transport.write(self.nsid, chunk_offset, chunk, command_size)
         self.counters.add("data_bytes_written", total)
         self.counters.add("data_commands", n_cmds)
+        if tr is not None:
+            tr.end(span)
         return total
 
     def read_runs(
@@ -99,6 +119,9 @@ class DataPlane:
         command_size = command_size or self.config.effective_block_bytes
         total = sum(n for _off, n in runs)
         n_cmds = sum(max(1, math.ceil(n / command_size)) for _off, n in runs)
+        tr = tracer_of(self.env)
+        span = None if tr is None else self._begin(
+            "dataplane.read", tr=tr, bytes=total, cmds=n_cmds)
         charge = self._charge(n_cmds, total)
         if charge is not None:
             yield charge
@@ -108,11 +131,15 @@ class DataPlane:
             remaining = nbytes
             while remaining > 0:
                 size = min(remaining, self.config.max_batch_bytes)
+                if tr is not None:
+                    tr.handoff(span)
                 result = yield self.transport.read(self.nsid, at, size, command_size)
                 extents.extend(result.extra["extents"])
                 at += size
                 remaining -= size
         self.counters.add("data_bytes_read", total)
+        if tr is not None:
+            tr.end(span)
         return extents
 
     def write_log_page(
@@ -123,34 +150,59 @@ class DataPlane:
         ``wire_bytes`` may exceed the page for physical-logging mode —
         the extra traffic the provenance design eliminates.
         """
+        tr = tracer_of(self.env)
+        span = None if tr is None else self._begin(
+            "dataplane.log_page", tr=tr, bytes=wire_bytes)
         charge = self._charge(1, wire_bytes)
         if charge is not None:
             yield charge
         payload = Payload.of_bytes(page.ljust(wire_bytes, b"\x00"))
+        if tr is not None:
+            tr.handoff(span)
         yield self.transport.write(self.nsid, region_offset, payload, max(4096, wire_bytes))
+        if tr is not None:
+            tr.handoff(span)
         yield self.transport.flush(self.nsid)
         self.counters.add("log_bytes_written", wire_bytes)
         self.counters.add("log_flushes", 1)
+        if tr is not None:
+            tr.end(span)
 
     def write_state(self, region_offset: int, data: bytes) -> Generator[Event, Any, None]:
         """Persist an internal-state checkpoint blob (page-padded)."""
         padded = data.ljust(-(-len(data) // 4096) * 4096, b"\x00")
         n_cmds = max(1, len(padded) // self.config.effective_block_bytes)
+        tr = tracer_of(self.env)
+        span = None if tr is None else self._begin(
+            "dataplane.state", tr=tr, bytes=len(padded))
         charge = self._charge(n_cmds, len(padded))
         if charge is not None:
             yield charge
+        if tr is not None:
+            tr.handoff(span)
         yield self.transport.write(
             self.nsid, region_offset, Payload.of_bytes(padded),
             self.config.effective_block_bytes,
         )
+        if tr is not None:
+            tr.handoff(span)
         yield self.transport.flush(self.nsid)
         self.counters.add("state_bytes_written", len(padded))
+        if tr is not None:
+            tr.end(span)
 
     def read_bytes(self, region_offset: int, nbytes: int) -> Generator[Event, Any, bytes]:
         """Read real bytes back (recovery path), zero-filling gaps."""
+        tr = tracer_of(self.env)
+        span = None if tr is None else self._begin(
+            "dataplane.read", tr=tr, bytes=nbytes, recovery=True)
+        if tr is not None:
+            tr.handoff(span)
         result = yield self.transport.read(
             self.nsid, region_offset, nbytes, self.config.effective_block_bytes
         )
+        if tr is not None:
+            tr.end(span)
         out = bytearray(nbytes)
         for extent in result.extra["extents"]:
             if extent.payload.is_synthetic:

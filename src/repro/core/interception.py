@@ -19,6 +19,7 @@ from repro.core.microfs.fs import FileHandle
 from repro.core.runtime import NVMeCRRuntime
 from repro.errors import BadFileDescriptor, InvalidArgument
 from repro.nvme.commands import Payload
+from repro.obs.tracer import NULL_CONTEXT
 from repro.sim.engine import Event
 
 __all__ = ["PosixShim"]
@@ -57,12 +58,32 @@ class PosixShim:
     def _fs(self):
         return self.runtime.microfs
 
+    def _obs(self, name: str, **attrs):
+        """(ObsContext, span context-manager) for one intercepted call.
+
+        The disabled path returns shared singletons — no allocation per
+        syscall when observability is off.
+        """
+        ctx = self.env.obs
+        if ctx is None:
+            return None, NULL_CONTEXT
+        ctx.metrics.counter("fs.syscalls").add(1)
+        tr = ctx.tracer
+        if not tr.enabled:
+            return ctx, NULL_CONTEXT
+        return ctx, tr.span(name, cat="fs", track=self._fs.instance_name, **attrs)
+
     def open(self, path: str, mode: str = "r") -> Generator[Event, Any, int]:
         """``open(2)``-flavoured; returns an integer fd."""
         flags = _MODES.get(mode)
         if flags is None:
             raise InvalidArgument(f"unsupported open mode {mode!r}")
-        handle = yield from self._fs.open(path, **flags)
+        ctx, cm = self._obs("fs.open", path=path, mode=mode)
+        t0 = self.env.now
+        with cm:
+            handle = yield from self._fs.open(path, **flags)
+        if ctx is not None:
+            ctx.metrics.histogram("fs.open_latency_s").observe(self.env.now - t0)
         if mode == "a":
             handle.pos = self._fs.inodes[handle.ino].size
         self._fds[handle.fd] = handle
@@ -70,7 +91,12 @@ class PosixShim:
 
     def creat(self, path: str, mode: int = 0o644) -> Generator[Event, Any, int]:
         """``creat(2)``: create-or-truncate; returns an integer fd."""
-        handle = yield from self._fs.open(path, create=True, truncate=True, mode=mode)
+        ctx, cm = self._obs("fs.creat", path=path)
+        t0 = self.env.now
+        with cm:
+            handle = yield from self._fs.open(path, create=True, truncate=True, mode=mode)
+        if ctx is not None:
+            ctx.metrics.histogram("fs.open_latency_s").observe(self.env.now - t0)
         self._fds[handle.fd] = handle
         return handle.fd
 
@@ -82,19 +108,43 @@ class PosixShim:
 
     def write(self, fd: int, data: Union[bytes, int, Payload]) -> Generator[Event, Any, int]:
         """``write(2)`` at the fd position; int data means synthetic bulk bytes."""
-        return (yield from self._fs.write(self._handle(fd), data))
+        ctx, cm = self._obs("fs.write")
+        t0 = self.env.now
+        with cm:
+            written = yield from self._fs.write(self._handle(fd), data)
+        if ctx is not None:
+            ctx.metrics.histogram("fs.write_latency_s").observe(self.env.now - t0)
+        return written
 
     def pwrite(self, fd: int, data, offset: int) -> Generator[Event, Any, int]:
         """``pwrite(2)``: positional write, fd position unchanged."""
-        return (yield from self._fs.pwrite(self._handle(fd), data, offset))
+        ctx, cm = self._obs("fs.pwrite")
+        t0 = self.env.now
+        with cm:
+            written = yield from self._fs.pwrite(self._handle(fd), data, offset)
+        if ctx is not None:
+            ctx.metrics.histogram("fs.write_latency_s").observe(self.env.now - t0)
+        return written
 
     def read(self, fd: int, nbytes: int) -> Generator[Event, Any, List[Payload]]:
         """``read(2)`` at the fd position; returns stored payload pieces."""
-        return (yield from self._fs.read(self._handle(fd), nbytes))
+        ctx, cm = self._obs("fs.read")
+        t0 = self.env.now
+        with cm:
+            pieces = yield from self._fs.read(self._handle(fd), nbytes)
+        if ctx is not None:
+            ctx.metrics.histogram("fs.read_latency_s").observe(self.env.now - t0)
+        return pieces
 
     def pread(self, fd: int, nbytes: int, offset: int) -> Generator[Event, Any, List[Payload]]:
         """``pread(2)``: positional read, fd position unchanged."""
-        return (yield from self._fs.pread(self._handle(fd), nbytes, offset))
+        ctx, cm = self._obs("fs.pread")
+        t0 = self.env.now
+        with cm:
+            pieces = yield from self._fs.pread(self._handle(fd), nbytes, offset)
+        if ctx is not None:
+            ctx.metrics.histogram("fs.read_latency_s").observe(self.env.now - t0)
+        return pieces
 
     def lseek(self, fd: int, offset: int) -> int:
         """``lseek(2)`` (SEEK_SET only): move the fd position."""
@@ -106,29 +156,41 @@ class PosixShim:
 
     def fsync(self, fd: int) -> Generator[Event, Any, None]:
         """``fsync(2)``: device flush (data is already unbuffered)."""
-        yield from self._fs.fsync(self._handle(fd))
+        _ctx, cm = self._obs("fs.fsync")
+        with cm:
+            yield from self._fs.fsync(self._handle(fd))
 
     def close(self, fd: int) -> Generator[Event, Any, None]:
         """``close(2)``: release the descriptor."""
         handle = self._handle(fd)
-        yield from self._fs.close(handle)
+        _ctx, cm = self._obs("fs.close")
+        with cm:
+            yield from self._fs.close(handle)
         del self._fds[fd]
 
     def mkdir(self, path: str, mode: int = 0o755) -> Generator[Event, Any, None]:
         """``mkdir(2)`` in the private namespace."""
-        yield from self._fs.mkdir(path, mode)
+        _ctx, cm = self._obs("fs.mkdir", path=path)
+        with cm:
+            yield from self._fs.mkdir(path, mode)
 
     def unlink(self, path: str) -> Generator[Event, Any, None]:
         """``unlink(2)``: remove a file or empty directory."""
-        yield from self._fs.unlink(path)
+        _ctx, cm = self._obs("fs.unlink", path=path)
+        with cm:
+            yield from self._fs.unlink(path)
 
     def rename(self, old: str, new: str) -> Generator[Event, Any, None]:
         """``rename(2)`` within the private namespace (journaled)."""
-        yield from self._fs.rename(old, new)
+        _ctx, cm = self._obs("fs.rename", old=old, new=new)
+        with cm:
+            yield from self._fs.rename(old, new)
 
     def truncate(self, path: str, size: int) -> Generator[Event, Any, None]:
         """``truncate(2)``: shrink a file, freeing tail hugeblocks."""
-        yield from self._fs.truncate(path, size)
+        _ctx, cm = self._obs("fs.truncate", path=path)
+        with cm:
+            yield from self._fs.truncate(path, size)
 
     def stat(self, path: str):
         """``stat(2)``: the path's inode."""

@@ -46,6 +46,7 @@ from repro.errors import (
 )
 from repro.nvme.commands import Payload
 from repro.nvme.namespace import Partition
+from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event
 from repro.sim.trace import Counter
 
@@ -111,6 +112,9 @@ class MicroFS:
         self.data_plane = data_plane
         self.partition = partition
         self.instance_name = instance_name
+        # Data-plane spans share this instance's track so they nest
+        # under the intercepted syscall that issued them.
+        data_plane.obs_track = instance_name
         self.uid = uid
         self.global_namespace = global_namespace if not config.private_namespace else None
         self.counters = counters if counters is not None else Counter()
@@ -214,14 +218,25 @@ class MicroFS:
 
     def _journal(self, op: LogOp, **fields) -> Generator[Event, Any, None]:
         """Append a log record and flush it to the SSD (WAL barrier)."""
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "microfs.journal", cat="fs", track=self.instance_name,
+            parent=tr.current(self.instance_name), op=op.name)
         yield self.env.timeout(cal.LOG_APPEND_CPU)
         result = self.oplog.append(op, **fields)
         self.counters.add("log_records_coalesced" if result.coalesced else "log_records_new")
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter("microfs.log_records").add(1)
+        if span is not None:
+            tr.handoff(span)
         yield from self.data_plane.write_log_page(
             self._log_offset + result.region_offset,
             result.page_bytes,
             result.wire_bytes,
         )
+        if span is not None:
+            tr.end(span, coalesced=result.coalesced)
 
     def _permission_check(self, inode: Inode, uid: int, write: bool) -> None:
         """§III-F: "The control plane performs access control checks for
@@ -527,6 +542,9 @@ class MicroFS:
         """Data is unbuffered and the log is flushed per-op, so fsync is
         just a device FLUSH — the stronger-than-POSIX durability of §III-E."""
         self._handle(handle)
+        tr = tracer_of(self.env)
+        if tr is not None:
+            tr.handoff(tr.current(self.instance_name))
         yield self.data_plane.transport.flush(self.data_plane.nsid)
         self.counters.add("fsyncs")
 
@@ -600,11 +618,21 @@ class MicroFS:
             raise InvalidArgument(
                 f"state blob of {len(blob)} bytes exceeds slot of {slot_bytes}"
             )
+        # The background checkpointer interleaves with app ops, so its
+        # spans live on a dedicated track (no shared span stack).
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "microfs.state_ckpt", cat="fs",
+            track=f"{self.instance_name}.ckpt", bytes=len(blob))
         slot = self._state_slot ^ 1
         slot_offset = self._state_offset + slot * slot_bytes
+        if tr is not None:
+            tr.handoff(span)
         yield from self.data_plane.write_state(slot_offset, blob)
         state_lsn = self.oplog.next_lsn - 1
         superblock = _SB.pack(slot, len(blob), state_lsn, self.oplog.epoch + 1, _SB_MAGIC)
+        if tr is not None:
+            tr.handoff(span)
         yield from self.data_plane.write_log_page(
             self._sb_offset, superblock.ljust(_SUPERBLOCK_BYTES, b"\x00"), _SUPERBLOCK_BYTES
         )
@@ -613,6 +641,11 @@ class MicroFS:
         self.state_lsn = state_lsn
         self.state_checkpoints += 1
         self.counters.add("state_checkpoints")
+        if span is not None:
+            tr.end(span)
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter("microfs.state_checkpoints").add(1)
         return len(blob)
 
     def _signal_checkpointer(self) -> None:

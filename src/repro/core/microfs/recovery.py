@@ -30,6 +30,7 @@ from repro.core.microfs.inode import DirEntry, FileType, Inode
 from repro.core.microfs.oplog import LogOp, LogRecord, OperationLog
 from repro.errors import RecoveryError
 from repro.nvme.namespace import Partition
+from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event
 from repro.sim.trace import Counter
 
@@ -69,7 +70,13 @@ def recover(
         instance_name=instance_name, uid=uid,
         global_namespace=global_namespace, counters=counters,
     )
+    tr = tracer_of(env)
+    span = None if tr is None else tr.begin(
+        "microfs.recover", cat="fs", track=instance_name,
+        parent=tr.take_handoff())
     # 1. Superblock -> latest committed internal-state checkpoint.
+    if tr is not None:
+        tr.handoff(span)
     raw_sb = yield from data_plane.read_bytes(fs._sb_offset, _SUPERBLOCK_BYTES)
     superblock = MicroFS.decode_superblock(raw_sb)
     state_loaded = False
@@ -78,12 +85,16 @@ def recover(
     if superblock is not None:
         slot_bytes = config.state_region_bytes // 2
         slot_offset = fs._state_offset + superblock["slot"] * slot_bytes
+        if tr is not None:
+            tr.handoff(span)
         blob = yield from data_plane.read_bytes(slot_offset, superblock["state_len"])
         _load_state(fs, blob)
         state_loaded = True
         state_lsn = superblock["state_lsn"]
         expect_epoch = superblock["log_epoch"]
     # 2. Log region -> replayable records.
+    if tr is not None:
+        tr.handoff(span)
     region_bytes = yield from data_plane.read_bytes(
         fs._log_offset, config.log_region_bytes
     )
@@ -106,6 +117,10 @@ def recover(
             1 for i in fs.inodes.values() if i.ftype is FileType.FILE
         ),
     )
+    if tr is not None:
+        tr.end(span, records_replayed=report.records_replayed,
+               records_scanned=report.records_scanned,
+               state_loaded=state_loaded)
     return fs, report
 
 

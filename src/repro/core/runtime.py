@@ -29,6 +29,8 @@ from repro.fabric.nvmf import NVMfInitiator, NVMfTarget
 from repro.fabric.rdma import RdmaFabric
 from repro.fabric.transport import FabricTransport, LocalPCIeTransport, Transport
 from repro.mpi.comm import Communicator
+from repro.obs.context import tracer_of
+from repro.obs.tracer import NULL_CONTEXT
 from repro.sim.engine import Environment, Event
 from repro.sim.trace import Counter
 
@@ -69,12 +71,26 @@ class NVMeCRRuntime:
         self._ckpt_stop: Optional[Event] = None
         self._initialized = False
 
+    @property
+    def _track(self) -> str:
+        return f"{self.plan.job.spec.name}.r{self.comm.rank}"
+
+    def _span(self, name: str, **attrs):
+        tr = tracer_of(self.env)
+        if tr is None:
+            return NULL_CONTEXT
+        return tr.span(name, cat="runtime", track=self._track, **attrs)
+
     # -- lifecycle -------------------------------------------------------------------
 
     def init(self, start_checkpointer: bool = True) -> Generator[Event, Any, None]:
         """The work behind the intercepted ``MPI_Init`` (§III-C)."""
         if self._initialized:
             raise SimulationError("runtime already initialized")
+        with self._span("runtime.init"):
+            yield from self._init(start_checkpointer)
+
+    def _init(self, start_checkpointer: bool) -> Generator[Event, Any, None]:
         rank = self.comm.rank
         grant = self.plan.grant_of_rank(rank)
         # 1. MPI_COMM_CR: all processes sharing this SSD.
@@ -118,11 +134,12 @@ class NVMeCRRuntime:
         """The work behind the intercepted ``MPI_Finalize``: retire the
         background thread, drop sessions, and rendezvous."""
         self._require_init()
-        if self._ckpt_stop is not None and not self._ckpt_stop.triggered:
-            self._ckpt_stop.succeed()
-        yield from self.comm.barrier()
-        self.initiator.disconnect_all()
-        self._initialized = False
+        with self._span("runtime.finalize"):
+            if self._ckpt_stop is not None and not self._ckpt_stop.triggered:
+                self._ckpt_stop.succeed()
+            yield from self.comm.barrier()
+            self.initiator.disconnect_all()
+            self._initialized = False
 
     def recover(self) -> Generator[Event, Any, RecoveryReport]:
         """Rebuild this rank's MicroFS from its partition after a crash.
@@ -134,14 +151,20 @@ class NVMeCRRuntime:
             raise SimulationError("recover() before init()")
         rank = self.comm.rank
         partition = self.plan.partition_for(rank, self.config.effective_block_bytes)
-        fs, report = yield from recover(
-            self.env, self.config, self.data_plane, partition,
-            instance_name=f"{self.plan.job.spec.name}.r{rank}",
-            uid=self.uid,
-            global_namespace=self.global_namespace,
-            counters=self.counters,
-        )
+        with self._span("runtime.recover"):
+            fs, report = yield from recover(
+                self.env, self.config, self.data_plane, partition,
+                instance_name=f"{self.plan.job.spec.name}.r{rank}",
+                uid=self.uid,
+                global_namespace=self.global_namespace,
+                counters=self.counters,
+            )
         self.fs = fs
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter("runtime.recoveries").add(1)
+            ctx.metrics.histogram("runtime.recovery_replayed_records",
+                                  unit="1").observe(report.records_replayed)
         return report
 
     # -- helpers ------------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.errors import FabricError
 from repro.fabric.rdma import RdmaFabric
 from repro.nvme.commands import CommandResult, Payload
 from repro.nvme.device import SSD
+from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event
 from repro.sim.trace import Counter
 from repro.units import us
@@ -55,6 +56,9 @@ class NVMfTarget:
         """
         self.alive = False
         self.counters.add("deaths")
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter("nvmf.target.deaths").add(1)
 
     def revive(self) -> None:
         self.alive = True
@@ -102,11 +106,19 @@ class NVMfSession:
 
     # -- IO ----------------------------------------------------------------------
 
+    def _track(self) -> str:
+        return f"nvmf.{self.initiator_node}>{self.target.node_name}"
+
     def write(
         self, nsid: int, offset: int, payload: Payload, command_size: int
     ) -> Event:
         """Batched remote write; event value is the device CommandResult."""
         self._require_connected()
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "nvmf.write", cat="fabric", track=self._track(),
+            parent=tr.take_handoff(), bytes=payload.nbytes,
+            local=self.is_local)
         return self.env.process(
             self._io(
                 lambda cap: self.target.ssd.write(
@@ -114,11 +126,16 @@ class NVMfSession:
                 ),
                 payload.nbytes,
                 command_size,
+                span,
             )
         )
 
     def read(self, nsid: int, offset: int, nbytes: int, command_size: int) -> Event:
         self._require_connected()
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "nvmf.read", cat="fabric", track=self._track(),
+            parent=tr.take_handoff(), bytes=nbytes, local=self.is_local)
         return self.env.process(
             self._io(
                 lambda cap: self.target.ssd.read(
@@ -126,21 +143,36 @@ class NVMfSession:
                 ),
                 nbytes,
                 command_size,
+                span,
             )
         )
 
     def flush(self, nsid: int) -> Event:
         self._require_connected()
-        return self.env.process(self._flush(nsid))
+        # Claim the handoff here (synchronously) so a stale parent never
+        # leaks to an unrelated later span.
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "nvmf.flush", cat="fabric", track=self._track(),
+            parent=tr.take_handoff(), local=self.is_local)
+        return self.env.process(self._flush(nsid, span))
 
     def _io(
-        self, submit, nbytes: int, command_size: int
+        self, submit, nbytes: int, command_size: int, span=None
     ) -> Generator[Event, Any, CommandResult]:
+        tr = tracer_of(self.env) if span is not None else None
         n_cmds = max(1, -(-nbytes // command_size))
         rtt = self.fabric.round_trip(self.initiator_node, self.target.node_name)
         cpu = self.fabric.spec.per_message_cpu + n_cmds * _TARGET_PER_COMMAND
         if rtt + cpu > 0:
+            hop = None if tr is None else tr.begin(
+                "nvmf.rtt", cat="fabric", track=self._track(), parent=span,
+                rtt_s=rtt, cpu_s=cpu,
+                hops=0 if self.is_local else self.fabric.topo.hop_count(
+                    self.initiator_node, self.target.node_name))
             yield self.env.timeout(rtt + cpu)
+            if hop is not None:
+                tr.end(hop)
         if self.is_local:
             cap = None
         else:
@@ -150,17 +182,38 @@ class NVMfSession:
             cap = self.fabric.payload_cap(self.initiator_node, self.target.node_name)
             if rtt > 0:
                 cap = min(cap, command_size / rtt)
+        if tr is not None:
+            tr.handoff(span)
         result = yield submit(cap)
         self.counters.add("bytes", nbytes)
         self.counters.add("commands", n_cmds)
         self.target.counters.add("bytes", nbytes)
+        ctx = self.env.obs
+        if ctx is not None:
+            m = ctx.metrics
+            m.counter("nvmf.bytes", unit="B").add(nbytes)
+            m.counter("nvmf.commands").add(n_cmds)
+            m.counter("nvmf.target.bytes", unit="B").add(nbytes)
+            if not self.is_local:
+                m.counter("nvmf.remote_bytes", unit="B").add(nbytes)
+                m.counter("nvmf.fabric_wait_s", unit="s").add(rtt + cpu)
+        if tr is not None:
+            tr.end(span)
         return result
 
-    def _flush(self, nsid: int) -> Generator[Event, Any, None]:
+    def _flush(self, nsid: int, span=None) -> Generator[Event, Any, None]:
+        tr = tracer_of(self.env) if span is not None else None
         rtt = self.fabric.round_trip(self.initiator_node, self.target.node_name)
         if rtt > 0:
             yield self.env.timeout(rtt)
+            ctx = self.env.obs
+            if ctx is not None and not self.is_local:
+                ctx.metrics.counter("nvmf.fabric_wait_s", unit="s").add(rtt)
+        if tr is not None:
+            tr.handoff(span)
         yield self.target.ssd.flush(nsid)
+        if tr is not None:
+            tr.end(span)
 
 
 class NVMfInitiator:

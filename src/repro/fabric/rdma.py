@@ -55,9 +55,10 @@ class RdmaFabric:
     by ``1/factor`` (flapping links retransmit). ``0`` severs the link.
     """
 
-    def __init__(self, topo: NetworkTopology, spec: RdmaSpec):
+    def __init__(self, topo: NetworkTopology, spec: RdmaSpec, env=None):
         self.topo = topo
         self.spec = spec
+        self.env = env  # optional: enables per-message metrics via env.obs
         self._degraded: dict = {}  # host -> remaining capacity factor
 
     # -- fault injection ----------------------------------------------------
@@ -91,7 +92,15 @@ class RdmaFabric:
         factor = self.link_factor(src, dst)
         if factor <= 0.0:
             raise FabricError(f"link {src} -> {dst} is severed")
-        return latency / factor
+        latency = latency / factor
+        if self.env is not None:
+            ctx = self.env.obs
+            if ctx is not None:
+                m = ctx.metrics
+                m.counter("rdma.messages").add(1)
+                m.counter("rdma.hops").add(hops)
+                m.histogram("rdma.one_way_latency_s").observe(latency)
+        return latency
 
     def round_trip(self, src: str, dst: str) -> float:
         return 2.0 * self.one_way_latency(src, dst)

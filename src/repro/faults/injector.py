@@ -26,6 +26,7 @@ from repro.faults.model import (
     blast_radius,
 )
 from repro.faults.timeline import FaultRecord, FaultTimeline
+from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event, Process
 from repro.topology.failure_domains import derive_failure_domains
 
@@ -187,6 +188,13 @@ class FaultInjector:
         radius = blast_radius(fault, self.cluster, self.domains or None)
         self._apply(fault, radius)
         record = self.timeline.record(fault, self.env.now, radius)
+        tr = tracer_of(self.env)
+        if tr is not None:
+            tr.instant("fault.inject", cat="fault", track="faults",
+                       kind=fault.kind.value, target=fault.target)
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter("faults.injected").add(1)
         for handler in self._handlers:
             handler(record, fault, radius)
         if repair_after is not None and repair_after > 0:
@@ -235,5 +243,12 @@ class FaultInjector:
             if self.scheduler is not None:
                 self.scheduler.mark_node_up(node)
         self.timeline.mark_repaired(record, self.env.now)
+        tr = tracer_of(self.env)
+        if tr is not None:
+            tr.instant("fault.repair", cat="fault", track="faults",
+                       kind=fault.kind.value, target=fault.target)
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter("faults.repaired").add(1)
         for handler in self._repair_handlers:
             handler(record, fault, radius)

@@ -38,6 +38,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.model import BlastRadius, Fault, FaultKind
 from repro.faults.timeline import FaultRecord
 from repro.mpi.runtime import launch
+from repro.obs.context import tracer_of
 from repro.sim.engine import Event, Interrupt
 
 __all__ = ["RecoveryOrchestrator", "ResilientRunReport"]
@@ -298,6 +299,13 @@ class RecoveryOrchestrator:
         compute_hit = bool(set(radius.nodes) & set(self.job.compute_nodes))
         yield env.timeout(self.detection_latency)
         self.timeline.mark_detected(record, env.now)
+        tr = tracer_of(env)
+        if tr is not None:
+            tr.instant("fault.detect", cat="fault", track="faults",
+                       kind=fault.kind.value, target=fault.target)
+        ctx = env.obs
+        if ctx is not None:
+            ctx.metrics.counter("faults.detected").add(1)
         if fault.kind is FaultKind.LINK_DEGRADE:
             record.note = "degraded link; running slow, no recovery"
             return completed
@@ -369,6 +377,7 @@ class RecoveryOrchestrator:
             ranks_restarted=self.job.spec.nprocs,
             note=record.note or "log replay from partner-domain SSD",
         )
+        self._obs_recovered(record, level=1, bytes_replayed=bytes_replayed)
         return restored
 
     def _recover_level2(
@@ -413,7 +422,19 @@ class RecoveryOrchestrator:
             ranks_restarted=self.job.spec.nprocs,
             note="level-1 tier lost; restored from parallel filesystem",
         )
+        self._obs_recovered(record, level=2, bytes_replayed=bytes_replayed)
         return restored
+
+    def _obs_recovered(self, record: FaultRecord, level: int,
+                       bytes_replayed: int) -> None:
+        tr = tracer_of(self.env)
+        if tr is not None:
+            tr.instant("fault.recover", cat="fault", track="faults",
+                       kind=record.kind, target=record.target,
+                       level=level, bytes_replayed=bytes_replayed)
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter("faults.recovered").add(1)
 
     def _drain_ranks(self) -> None:
         """Tear down transports of the dying world (best effort)."""

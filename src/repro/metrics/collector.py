@@ -29,12 +29,14 @@ class RunResult:
 
 
 def summarize_stats(
-    system: str, nprocs: int, per_rank: List[CheckpointStats]
+    system: str, nprocs: int, per_rank: List[CheckpointStats], obs=None
 ) -> RunResult:
     """Fold per-rank CheckpointStats into one row.
 
     Checkpoint/restart times are barrier-delimited, so every rank holds
     the same phase durations; the max across ranks is used defensively.
+    Passing the run's :class:`~repro.obs.ObsContext` as ``obs`` merges
+    its metric summaries (counters, latency percentiles) into ``extra``.
     """
     if not per_rank:
         raise ValueError("no per-rank stats")
@@ -42,7 +44,7 @@ def summarize_stats(
     rest = max(s.restart_time for s in per_rank)
     compute = float(np.mean([s.compute_time for s in per_rank]))
     total_bytes = sum(s.bytes_written for s in per_rank)
-    return RunResult(
+    result = RunResult(
         system=system,
         nprocs=nprocs,
         checkpoint_time=ckpt,
@@ -50,3 +52,6 @@ def summarize_stats(
         compute_time=compute,
         total_bytes=total_bytes,
     )
+    if obs is not None:
+        result.extra.update(obs.flat_extra())
+    return result

@@ -14,6 +14,7 @@ import math
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event
 from repro.units import us
 
@@ -89,31 +90,41 @@ class Communicator:
             coll.event.succeed(list(coll.values))
         return coll, seq
 
-    def _collective(self, value: Any) -> Generator[Event, Any, List[Any]]:
+    def _collective(self, value: Any, op: str = "collective") -> Generator[Event, Any, List[Any]]:
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            f"mpi.{op}", cat="mpi",
+            track=f"mpi.{self.name}.r{self.rank}", size=self.size)
         coll, _seq = self._arrive(value)
         values = yield coll.event
         latency = _MESSAGE_LATENCY * max(1, math.ceil(math.log2(max(2, self.size))))
         yield self.env.timeout(latency)
+        if tr is not None:
+            tr.end(span)
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter("mpi.collectives").add(1)
         return values
 
     # -- collectives ------------------------------------------------------------------
 
     def barrier(self) -> Generator[Event, Any, None]:
         """All ranks wait for the last arrival."""
-        yield from self._collective(None)
+        yield from self._collective(None, op="barrier")
 
     def allgather(self, value: Any) -> Generator[Event, Any, List[Any]]:
         """Every rank receives the list of all ranks' values."""
-        return (yield from self._collective(value))
+        return (yield from self._collective(value, op="allgather"))
 
     def gather(self, value: Any, root: int = 0) -> Generator[Event, Any, Optional[List[Any]]]:
         """Root receives all values; other ranks receive None."""
-        values = yield from self._collective(value)
+        values = yield from self._collective(value, op="gather")
         return values if self.rank == root else None
 
     def bcast(self, value: Any, root: int = 0) -> Generator[Event, Any, Any]:
         """Root's value is delivered to every rank."""
-        values = yield from self._collective(value if self.rank == root else None)
+        values = yield from self._collective(
+            value if self.rank == root else None, op="bcast")
         return values[root]
 
     def split(

@@ -42,6 +42,7 @@ from repro.errors import DeviceError, DevicePoweredOff, InvalidCommand, OutOfSpa
 from repro.nvme.commands import Command, CommandResult, Opcode, Payload
 from repro.nvme.extents import Extent
 from repro.nvme.namespace import Namespace
+from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event
 from repro.sim.fairshare import FairShareServer
 from repro.sim.trace import Counter
@@ -269,7 +270,14 @@ class SSD:
         ``rate_cap`` lets the fabric layer impose the network link limit.
         """
         self._check_io(nsid, offset, payload.nbytes, command_size)
-        return self.env.process(self._do_write(nsid, offset, payload, command_size, rate_cap))
+        # Claim the caller's handoff parent here, while still inside the
+        # caller's synchronous frame (the generator body runs later).
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "nvme.write", cat="device", track=self.name,
+            parent=tr.take_handoff(), nsid=nsid, bytes=payload.nbytes)
+        return self.env.process(
+            self._do_write(nsid, offset, payload, command_size, rate_cap, span))
 
     def _do_write(
         self,
@@ -278,23 +286,36 @@ class SSD:
         payload: Payload,
         command_size: int,
         rate_cap: Optional[float],
+        span=None,
     ) -> Generator[Event, Any, CommandResult]:
         self._check_io(nsid, offset, payload.nbytes, command_size)
         ns = self._namespaces[nsid]
         epoch = self._power_epoch
         started = self.env.now
+        tr = tracer_of(self.env) if span is not None else None
         n_cmds = max(1, math.ceil(payload.nbytes / command_size))
         jitter = self._arbitration_jitter(command_size, self._write_server)
         bucket_delay = self._take_tokens(payload.nbytes)
         delay = jitter + bucket_delay
         if delay > 0:
+            wait = None if tr is None else tr.begin(
+                "nvme.wait", cat="device", track=self.name, parent=span,
+                jitter_s=jitter, ram_bucket_s=bucket_delay)
             yield self.env.timeout(delay)
+            if wait is not None:
+                tr.end(wait)
         self._check_power(epoch)
         cap = self._qd1_cap(command_size, rate_cap)
-        yield self.env.all_of([
-            self._write_server.transfer(payload.nbytes, cap=cap),
-            self._cmd_server.transfer(n_cmds),
-        ])
+        media_ev = self._write_server.transfer(payload.nbytes, cap=cap)
+        cmd_ev = self._cmd_server.transfer(n_cmds)
+        if tr is not None:
+            media = tr.begin("nvme.media", cat="device", track=self.name,
+                             parent=span, bytes=payload.nbytes)
+            cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
+                               parent=span, cmds=n_cmds)
+            media_ev.callbacks.append(lambda _ev: tr.end(media))
+            cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
+        yield self.env.all_of([media_ev, cmd_ev])
         self._check_power(epoch)
         ns.store.write(offset, payload)
         self.counters.add("bytes_written", payload.nbytes)
@@ -303,7 +324,13 @@ class SSD:
             Opcode.WRITE, nsid, slba=offset // self.spec.lba_size,
             nblocks=max(1, payload.nbytes // self.spec.lba_size), payload=payload,
         )
-        return CommandResult(cmd, latency=self.env.now - started)
+        latency = self.env.now - started
+        if tr is not None:
+            tr.end(span)
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.histogram("nvme.write_latency_s").observe(latency)
+        return CommandResult(cmd, latency=latency)
 
     def read(
         self,
@@ -316,7 +343,12 @@ class SSD:
         """Batch read; the event's value is a :class:`CommandResult` whose
         ``extra['extents']`` holds the overlapping stored extents."""
         self._check_io(nsid, offset, nbytes, command_size)
-        return self.env.process(self._do_read(nsid, offset, nbytes, command_size, rate_cap))
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "nvme.read", cat="device", track=self.name,
+            parent=tr.take_handoff(), nsid=nsid, bytes=nbytes)
+        return self.env.process(
+            self._do_read(nsid, offset, nbytes, command_size, rate_cap, span))
 
     def _do_read(
         self,
@@ -325,21 +357,34 @@ class SSD:
         nbytes: int,
         command_size: int,
         rate_cap: Optional[float],
+        span=None,
     ) -> Generator[Event, Any, CommandResult]:
         self._check_io(nsid, offset, nbytes, command_size)
         ns = self._namespaces[nsid]
         epoch = self._power_epoch
         started = self.env.now
+        tr = tracer_of(self.env) if span is not None else None
         n_cmds = max(1, math.ceil(nbytes / command_size))
         jitter = self._arbitration_jitter(command_size, self._read_server)
         if jitter > 0:
+            wait = None if tr is None else tr.begin(
+                "nvme.wait", cat="device", track=self.name, parent=span,
+                jitter_s=jitter)
             yield self.env.timeout(jitter)
+            if wait is not None:
+                tr.end(wait)
         self._check_power(epoch)
         cap = self._qd1_cap(command_size, rate_cap)
-        yield self.env.all_of([
-            self._read_server.transfer(nbytes, cap=cap),
-            self._cmd_server.transfer(n_cmds),
-        ])
+        media_ev = self._read_server.transfer(nbytes, cap=cap)
+        cmd_ev = self._cmd_server.transfer(n_cmds)
+        if tr is not None:
+            media = tr.begin("nvme.media", cat="device", track=self.name,
+                             parent=span, bytes=nbytes)
+            cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
+                               parent=span, cmds=n_cmds)
+            media_ev.callbacks.append(lambda _ev: tr.end(media))
+            cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
+        yield self.env.all_of([media_ev, cmd_ev])
         self._check_power(epoch)
         extents: List[Extent] = ns.store.read(offset, nbytes)
         self.counters.add("bytes_read", nbytes)
@@ -348,7 +393,13 @@ class SSD:
             Opcode.READ, nsid, slba=offset // self.spec.lba_size,
             nblocks=max(1, nbytes // self.spec.lba_size),
         )
-        return CommandResult(cmd, latency=self.env.now - started, extra={"extents": extents})
+        latency = self.env.now - started
+        if tr is not None:
+            tr.end(span)
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.histogram("nvme.read_latency_s").observe(latency)
+        return CommandResult(cmd, latency=latency, extra={"extents": extents})
 
     def flush(self, nsid: int) -> Event:
         """FLUSH: cheap — committed data is already capacitor-protected."""
@@ -356,11 +407,19 @@ class SSD:
             raise DevicePoweredOff(f"{self.name} is powered off")
         self.namespace(nsid)  # validates nsid
         self.counters.add("flushes")
-        return self.env.process(self._do_flush(nsid))
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "nvme.flush", cat="device", track=self.name,
+            parent=tr.take_handoff(), nsid=nsid)
+        return self.env.process(self._do_flush(nsid, span))
 
-    def _do_flush(self, nsid: int) -> Generator[Event, Any, CommandResult]:
+    def _do_flush(self, nsid: int, span=None) -> Generator[Event, Any, CommandResult]:
         started = self.env.now
         yield self.env.timeout(self.spec.flush_cost)
+        if span is not None:
+            tr = tracer_of(self.env)
+            if tr is not None:
+                tr.end(span)
         return CommandResult(
             Command(Opcode.FLUSH, nsid), latency=self.env.now - started
         )

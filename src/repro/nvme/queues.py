@@ -21,6 +21,7 @@ from typing import Any, Deque, Generator, List, Optional
 from repro.errors import DeviceError
 from repro.nvme.commands import Command, CommandResult
 from repro.nvme.device import SSD
+from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event
 
 __all__ = ["QueuePair"]
@@ -47,6 +48,15 @@ class QueuePair:
             raise DeviceError(f"queue {self.qid} full (depth {self.depth})")
         slot = {"done": False, "result": None, "error": None}
         self._inflight.append(slot)
+        tr = tracer_of(self.env)
+        if tr is not None:
+            # Span covers SQ post -> CQ entry; the device span (which
+            # claims the handoff) nests inside it via the parent link.
+            qspan = tr.begin(f"nvme.qp.{command.opcode.name.lower()}",
+                             cat="device", track=f"{self.ssd.name}.q{self.qid}",
+                             parent=tr.take_handoff(), depth=len(self._inflight))
+            slot["span"] = qspan
+            tr.handoff(qspan)
         event = self.ssd.submit(command, rate_cap=rate_cap)
         event.callbacks.append(lambda ev: self._on_device_done(slot, ev))
 
@@ -56,6 +66,11 @@ class QueuePair:
             slot["result"] = event.value
         else:
             slot["error"] = event._exc
+        span = slot.get("span")
+        if span is not None:
+            tr = tracer_of(self.env)
+            if tr is not None:
+                tr.end(span)
         self._drain_in_order()
 
     def _drain_in_order(self) -> None:

@@ -1,0 +1,75 @@
+"""repro.obs — end-to-end observability for the simulated stack.
+
+Three pieces, usable separately or together:
+
+* :mod:`repro.obs.tracer` — span tracing stamped with *simulated* time.
+  Spans carry parent/child links so one checkpoint write can be followed
+  app -> MicroFS -> data plane -> NVMf -> RDMA -> NVMe queue -> media.
+* :mod:`repro.obs.metrics` — a typed instrument registry (monotonic
+  counters, gauges, fixed-bucket latency histograms) that subsumes the
+  old ad-hoc ``Counter``/``TraceRecorder`` (kept as aliases in
+  :mod:`repro.sim.trace`).
+* :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``), a flat JSONL span log, and a text
+  summary.
+
+An :class:`ObsContext` bundles one simulation environment's tracer +
+registry and hangs off ``Environment.obs``; the system registry attaches
+one to every built backend, so ``repro run fig8a --trace out.json``
+traces any system with no experiment changes.
+
+Determinism rules: span *ordering* and timestamps use only simulated
+time and creation sequence — never the wall clock. Wall-clock
+self-profiling of the simulator itself lives in the separate, clearly
+labelled :attr:`ObsContext.selfprof` channel and never enters spans.
+
+Tracing is near-zero-cost when disabled: ``tracer_of(env)`` returns
+``None`` (one attribute read + one truth test), and the no-op
+:data:`NULL_TRACER` singleton returns shared immutable objects — no
+per-event allocation on the disabled path.
+"""
+
+from repro.obs.context import (
+    Capture,
+    ObsContext,
+    attach,
+    capture,
+    tracer_of,
+)
+from repro.obs.export import (
+    chrome_trace,
+    span_sequence,
+    summary_text,
+    total_duration,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    InstrumentMeta,
+    MetricsRegistry,
+    TraceRecorder,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Capture",
+    "Counter",
+    "InstrumentMeta",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsContext",
+    "Span",
+    "TraceRecorder",
+    "Tracer",
+    "attach",
+    "capture",
+    "chrome_trace",
+    "span_sequence",
+    "summary_text",
+    "total_duration",
+    "tracer_of",
+    "write_chrome_trace",
+    "write_jsonl",
+]

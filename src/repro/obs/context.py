@@ -1,0 +1,172 @@
+"""Per-run observability context and the CLI capture session.
+
+One :class:`ObsContext` per :class:`~repro.sim.engine.Environment`,
+stored on ``env.obs`` and on the system registry's ``SystemHandle`` so
+every backend built through :mod:`repro.systems` is observable with no
+experiment changes.
+
+:func:`capture` opens a process-wide session: every context attached
+while it is active inherits the session's tracing/profiling switches and
+registers itself, so a CLI run that builds several environments (e.g.
+fig8a builds three fleets) exports them all into one trace file, one
+Perfetto process row per environment.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["ObsContext", "SelfProfile", "Capture", "attach", "capture",
+           "tracer_of"]
+
+
+class SelfProfile:
+    """Wall-clock self-profiling of the *simulator* (host time).
+
+    This is the one place wall-clock time is allowed: it measures how
+    long the Python event loop spends executing each event class, so hot
+    paths of the simulator itself can be found.  It never feeds into
+    spans, metrics, or anything else that must be deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.wall_s: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, key: str, wall: float, count: int = 1) -> None:
+        self.wall_s[key] = self.wall_s.get(key, 0.0) + wall
+        self.calls[key] = self.calls.get(key, 0) + count
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {k: {"wall_s": self.wall_s[k], "calls": self.calls[k]}
+                for k in sorted(self.wall_s)}
+
+
+class ObsContext:
+    """Tracer + metrics registry + self-profile for one environment."""
+
+    def __init__(self, env, label: str = "run", tracing: bool = False,
+                 profile: bool = False):
+        self.env = env
+        self.label = label
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(env) if tracing else NULL_TRACER
+        self.profile = profile
+        self.selfprof = SelfProfile()
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def enable_tracing(self) -> Tracer:
+        if not self.tracer.enabled:
+            self.tracer = Tracer(self.env)
+        return self.tracer
+
+    def flat_extra(self) -> Dict[str, float]:
+        """Flat metric summaries for ``RunResult.extra``."""
+        return self.metrics.flat()
+
+
+# ---------------------------------------------------------------------------
+# module-level session
+
+_SESSION: Optional["Capture"] = None
+
+
+class Capture:
+    """Collects every ObsContext attached while the session is active."""
+
+    def __init__(self, trace: bool = False, profile: bool = False):
+        self.trace = trace
+        self.profile = profile
+        self.contexts: List[ObsContext] = []
+        self.started_wall = _time.perf_counter()
+
+    def register(self, ctx: ObsContext) -> None:
+        self.contexts.append(ctx)
+
+    # Export helpers delegate to repro.obs.export (imported lazily to
+    # keep context -> export -> context import cycles out).
+    def write_chrome(self, path: str) -> str:
+        from repro.obs.export import write_chrome_trace
+
+        return write_chrome_trace(self.contexts, path)
+
+    def write_jsonl(self, path: str) -> str:
+        from repro.obs.export import write_jsonl
+
+        return write_jsonl(self.contexts, path)
+
+    def report(self) -> str:
+        from repro.obs.export import summary_text
+
+        return summary_text(self.contexts,
+                            wall_s=_time.perf_counter() - self.started_wall)
+
+    def n_spans(self) -> int:
+        return sum(len(c.tracer.spans) + len(c.tracer.instants)
+                   for c in self.contexts)
+
+
+@contextmanager
+def capture(trace: bool = False, profile: bool = False):
+    """Session scope: contexts attached inside inherit these switches."""
+    global _SESSION
+    prev = _SESSION
+    session = Capture(trace=trace, profile=profile)
+    _SESSION = session
+    try:
+        yield session
+    finally:
+        _SESSION = prev
+        for ctx in session.contexts:
+            if ctx.tracer.enabled:
+                ctx.tracer.close_open_spans()
+
+
+def attach(env, label: str = "run", tracing: Optional[bool] = None,
+           profile: Optional[bool] = None) -> ObsContext:
+    """Get or create the ObsContext for ``env`` (idempotent).
+
+    Inside a :func:`capture` session the session's switches apply and
+    the context is registered for export; explicit keyword arguments
+    win over the session defaults.
+    """
+    ctx = getattr(env, "obs", None)
+    if ctx is None:
+        session = _SESSION
+        want_trace = tracing if tracing is not None else (
+            session.trace if session is not None else False)
+        want_profile = profile if profile is not None else (
+            session.profile if session is not None else False)
+        ctx = ObsContext(env, label=label, tracing=want_trace,
+                         profile=want_profile)
+        env.obs = ctx
+        if session is not None:
+            session.register(ctx)
+    else:
+        if tracing:
+            ctx.enable_tracing()
+        if profile:
+            ctx.profile = True
+    return ctx
+
+
+def tracer_of(env) -> Optional[Tracer]:
+    """The enabled tracer for ``env``, or None — the hot-path guard.
+
+    Cost when observability is off: one attribute read and one None
+    test.  Callers must guard with ``if tr is not None`` before creating
+    spans, so the disabled path allocates nothing.
+    """
+    ctx = getattr(env, "obs", None)
+    if ctx is None:
+        return None
+    tr = ctx.tracer
+    return tr if tr.enabled else None

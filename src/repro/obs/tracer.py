@@ -1,0 +1,249 @@
+"""Span tracing stamped with simulated time.
+
+Spans record *simulated* wall-clock intervals (``Environment.now``) and
+never schedule simulation events, so a traced run is bit-identical to an
+untraced one.  Two usage styles:
+
+* ``with tracer.span("fs.write", cat="fs", track=name):`` — for
+  sequential code.  Each *track* (roughly: one rank, one device, one
+  service) keeps its own stack, so nesting is correct even though many
+  coroutines interleave on the global event loop.
+* ``s = tracer.begin(...); ...; tracer.end(s)`` — for coroutine code
+  where begin and end happen in different callbacks (device commands,
+  fabric messages).  These take an explicit ``parent``.
+
+Cross-layer parent links use the *handoff slot*: a caller that is about
+to make a synchronous call into a lower layer stores its span with
+:meth:`Tracer.handoff`; the callee claims it with
+:meth:`Tracer.take_handoff` before its first yield.  Because there is no
+simulation yield between store and claim, the link is unambiguous.
+
+When tracing is disabled, code paths either get ``None`` from
+``obs.tracer_of(env)`` (explicit guard) or the :data:`NULL_TRACER`
+singleton whose methods return shared immutable no-op objects — no
+allocation per call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "NULL_SPAN"]
+
+
+class Span:
+    """One traced interval (or instant) in simulated time."""
+
+    __slots__ = ("id", "name", "cat", "track", "parent", "begin", "end", "attrs")
+
+    def __init__(self, sid, name, cat, track, parent, begin, attrs):
+        self.id = sid
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.parent = parent  # parent span id, or None
+        self.begin = begin
+        self.end = None  # None while open; == begin for instants at close
+        self.attrs = attrs  # dict or None
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.begin) - self.begin
+
+    @property
+    def is_instant(self) -> bool:
+        return self.end == self.begin and self.cat.startswith("!")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.id}, {self.name!r}, cat={self.cat!r}, "
+                f"track={self.track!r}, [{self.begin}, {self.end}])")
+
+
+class _SpanContext:
+    """Context manager closing one stack-tracked span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Collects spans for one simulation environment.
+
+    ``env`` only needs a ``now`` attribute (simulated seconds).  Span
+    ids are allocated from a private sequence, so ordering is fully
+    deterministic: same seed, same code path => same span sequence.
+    """
+
+    __slots__ = ("env", "enabled", "spans", "instants", "_stacks", "_seq",
+                 "_handoff")
+
+    def __init__(self, env):
+        self.env = env
+        self.enabled = True
+        self.spans: List[Span] = []
+        self.instants: List[Span] = []
+        self._stacks: Dict[str, List[Span]] = {}
+        self._seq = 0
+        self._handoff: Optional[Span] = None
+
+    # -- sequential (stack-tracked) spans --------------------------------
+    def span(self, name: str, cat: str, track: str,
+             parent: Optional[Span] = None, **attrs) -> _SpanContext:
+        """Open a nested span on ``track``; close it with the ``with`` block.
+
+        If ``parent`` is not given, the innermost open span on the same
+        track becomes the parent.
+        """
+        stack = self._stacks.get(track)
+        if stack is None:
+            stack = self._stacks[track] = []
+        if parent is None and stack:
+            pid = stack[-1].id
+        else:
+            pid = parent.id if parent is not None else None
+        s = self._new(name, cat, track, pid, attrs)
+        stack.append(s)
+        return _SpanContext(self, s)
+
+    def _pop(self, span: Span) -> None:
+        span.end = self.env.now
+        stack = self._stacks.get(span.track)
+        # Spans on one track close LIFO; tolerate a missed close above us.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+            if top.end is None:
+                top.end = self.env.now
+
+    def current(self, track: str) -> Optional[Span]:
+        stack = self._stacks.get(track)
+        return stack[-1] if stack else None
+
+    # -- explicit begin/end (coroutine-safe, no stack) -------------------
+    def begin(self, name: str, cat: str, track: str,
+              parent: Optional[Span] = None, **attrs) -> Span:
+        return self._new(name, cat, track,
+                         parent.id if parent is not None else None, attrs)
+
+    def end(self, span: Span, **attrs) -> Span:
+        span.end = self.env.now
+        if attrs:
+            if span.attrs is None:
+                span.attrs = attrs
+            else:
+                span.attrs.update(attrs)
+        return span
+
+    # -- instants --------------------------------------------------------
+    def instant(self, name: str, cat: str, track: str, **attrs) -> Span:
+        now = self.env.now
+        self._seq += 1
+        s = Span(self._seq, name, cat, track, None, now, attrs or None)
+        s.end = now
+        self.instants.append(s)
+        return s
+
+    # -- cross-layer handoff ---------------------------------------------
+    def handoff(self, span: Optional[Span]) -> None:
+        """Offer ``span`` as the parent for the next synchronous callee."""
+        self._handoff = span
+
+    def take_handoff(self) -> Optional[Span]:
+        """Claim (and clear) the handoff parent, if any."""
+        s = self._handoff
+        if s is not None:
+            self._handoff = None
+        return s
+
+    # -- internals -------------------------------------------------------
+    def _new(self, name, cat, track, pid, attrs) -> Span:
+        self._seq += 1
+        s = Span(self._seq, name, cat, track, pid, self.env.now, attrs or None)
+        self.spans.append(s)
+        return s
+
+    def close_open_spans(self) -> None:
+        """Clamp any still-open spans to the current simulated time."""
+        for s in self.spans:
+            if s.end is None:
+                s.end = self.env.now
+        self._stacks.clear()
+
+
+class _NullSpanContext:
+    """Shared no-op ``with`` target; never allocates."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+class _NullSpan:
+    __slots__ = ()
+    id = None
+    name = cat = track = ""
+    parent = None
+    begin = end = 0.0
+    attrs = None
+    duration = 0.0
+
+
+NULL_SPAN = _NullSpan()
+_NULL_CTX = _NullSpanContext()
+#: Shared no-op ``with`` target for guarded instrumentation sites.
+NULL_CONTEXT = _NULL_CTX
+
+
+class NullTracer:
+    """Disabled tracer: every method returns a shared singleton.
+
+    ``enabled`` is False so guarded sites can skip even the call; sites
+    that do call it pay one method dispatch and zero allocations.
+    """
+
+    __slots__ = ()
+    enabled = False
+    spans: List[Span] = []
+    instants: List[Span] = []
+
+    def span(self, name, cat, track, parent=None, **attrs):
+        return _NULL_CTX
+
+    def begin(self, name, cat, track, parent=None, **attrs):
+        return NULL_SPAN
+
+    def end(self, span, **attrs):
+        return span
+
+    def instant(self, name, cat, track, **attrs):
+        return NULL_SPAN
+
+    def handoff(self, span):
+        return None
+
+    def take_handoff(self):
+        return None
+
+    def current(self, track):
+        return None
+
+    def close_open_spans(self):
+        return None
+
+
+NULL_TRACER = NullTracer()

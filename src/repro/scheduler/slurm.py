@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from repro.errors import AllocationError, SchedulerError
 from repro.nvme.device import SSD
 from repro.nvme.namespace import Namespace
+from repro.obs.context import tracer_of
 from repro.scheduler.jobs import JobRecord, JobSpec, JobState
 from repro.sim.engine import Environment
 from repro.topology.cluster import ClusterSpec, NodeKind
@@ -50,6 +51,27 @@ class SlurmScheduler:
         self._grants: Dict[int, List[StorageGrant]] = {}
         self._down: set = set()
         self.jobs: Dict[int, JobRecord] = {}
+
+    # -- observability ------------------------------------------------------------
+
+    def _obs_instant(self, name: str, **attrs) -> None:
+        """Scheduler decisions are instants on the shared ``scheduler`` track."""
+        tr = tracer_of(self.env)
+        if tr is not None:
+            tr.instant(name, cat="sched", track="scheduler", **attrs)
+        ctx = self.env.obs
+        if ctx is not None:
+            ctx.metrics.counter(name.replace("sched.", "sched.events.")).add(1)
+
+    def _obs_queue_wait(self, record: JobRecord) -> None:
+        """Queue-wait span: submitted_at -> granted (backdated begin)."""
+        tr = tracer_of(self.env)
+        if tr is None:
+            return
+        span = tr.begin("sched.queue_wait", cat="sched", track="scheduler",
+                        parent=None, job=record.spec.name, job_id=record.job_id)
+        span.begin = record.submitted_at
+        tr.end(span)
 
     # -- inventory ----------------------------------------------------------------
 
@@ -116,6 +138,10 @@ class SlurmScheduler:
             record.compute_nodes = [self._free_compute.pop(0) for _ in range(needed)]
             record.state = JobState.RUNNING
             record.started_at = self.env.now
+        self._obs_instant("sched.submit", job=spec.name, job_id=record.job_id,
+                          nodes=needed, granted=record.state is JobState.RUNNING)
+        if record.state is JobState.RUNNING:
+            self._obs_queue_wait(record)
         return record
 
     def grant_storage(
@@ -146,6 +172,8 @@ class SlurmScheduler:
             ns = ssd.create_namespace(quota, owner_job=job.spec.name)
             grants.append(StorageGrant(node_name, ssd, ns))
         self._grants.setdefault(job.job_id, []).extend(grants)
+        self._obs_instant("sched.grant", job=job.spec.name,
+                          nodes=",".join(node_names), bytes_per_device=quota)
         return grants
 
     def grants_of(self, job: JobRecord) -> List[StorageGrant]:
@@ -162,6 +190,7 @@ class SlurmScheduler:
         )
         for grant in self._grants.pop(job.job_id, []):
             grant.ssd.delete_namespace(grant.namespace.nsid)
+        self._obs_instant("sched.complete", job=job.spec.name, failed=failed)
 
     def requeue(self, job: JobRecord, restart_cost: float = 0.0) -> JobRecord:
         """Reallocate a running job's compute after a node loss,
@@ -190,4 +219,6 @@ class SlurmScheduler:
         job.compute_nodes = [self._free_compute.pop(0) for _ in range(needed)]
         job.requeues += 1
         job.started_at = self.env.now + restart_cost
+        self._obs_instant("sched.requeue", job=job.spec.name,
+                          requeues=job.requeues, restart_cost_s=restart_cost)
         return job

@@ -298,7 +298,7 @@ class AllOf(_Condition):
 class Environment:
     """The simulation clock and event queue."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_failures", "_active")
+    __slots__ = ("_now", "_queue", "_seq", "_failures", "_active", "obs")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -306,6 +306,7 @@ class Environment:
         self._seq = 0
         self._failures: List[tuple] = []
         self._active = 0  # events scheduled but not yet processed
+        self.obs = None  # ObsContext, attached by repro.obs.attach()
 
     @property
     def now(self) -> float:
@@ -354,7 +355,16 @@ class Environment:
         if time < self._now - 1e-12:
             raise SimulationError("time went backwards (scheduler bug)")
         self._now = max(self._now, time)
-        event._run_callbacks()
+        obs = self.obs
+        if obs is not None and obs.profile:
+            import time as _time
+
+            t0 = _time.perf_counter()
+            event._run_callbacks()
+            obs.selfprof.add(type(event).__name__, _time.perf_counter() - t0)
+            obs.metrics.counter("sim.events").add(1)
+        else:
+            event._run_callbacks()
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches ``until``.
@@ -363,6 +373,9 @@ class Environment:
         waiting on it — silent process death would corrupt results.
         Returns the final simulation time.
         """
+        obs = self.obs
+        if obs is not None and obs.profile:
+            return self._run_profiled(until, obs)
         # Hot loop: the pop/dispatch below is step() inlined (identical
         # ordering), with the orphan check guarded so the common case
         # costs one truth test instead of a call per event.
@@ -381,6 +394,47 @@ class Environment:
             event._run_callbacks()
             if self._failures:
                 self._raise_orphans()
+        if self._failures:
+            self._raise_orphans()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def _run_profiled(self, until: Optional[float], obs) -> float:
+        """run() with per-event-class wall-clock self-profiling.
+
+        Taken only when ``env.obs.profile`` is set (the ``--metrics``
+        CLI flag).  Event *ordering* and the final clock are identical
+        to :meth:`run`; the only additions are a step counter in the
+        metrics registry and HOST wall-clock attribution per event
+        class in ``obs.selfprof`` — a separate channel that never feeds
+        back into simulated time.
+        """
+        import time as _time
+
+        queue = self._queue
+        pop = heapq.heappop
+        perf = _time.perf_counter
+        selfprof = obs.selfprof
+        steps = obs.metrics.counter("sim.events")
+        loop_t0 = perf()
+        while queue:
+            time = queue[0][0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            if time < self._now - 1e-12:
+                raise SimulationError("time went backwards (scheduler bug)")
+            event = pop(queue)[2]
+            if time > self._now:
+                self._now = time
+            t0 = perf()
+            event._run_callbacks()
+            selfprof.add(type(event).__name__, perf() - t0)
+            steps.add(1)
+            if self._failures:
+                self._raise_orphans()
+        selfprof.add("Environment.run", perf() - loop_t0)
         if self._failures:
             self._raise_orphans()
         if until is not None and self._now < until:

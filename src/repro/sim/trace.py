@@ -1,62 +1,14 @@
-"""Lightweight measurement collection for simulation runs.
+"""Back-compat aliases for the old measurement helpers.
 
-:class:`Counter` accumulates named scalar counters (bytes written, log
-records emitted, syscalls trapped). :class:`TraceRecorder` records
-timestamped samples for time-series analysis (per-server load, queue
-depth). Both are intentionally simple — results flow into
-:mod:`repro.metrics.collector` for aggregation.
+The ad-hoc :class:`Counter` / :class:`TraceRecorder` pair grew into the
+typed instrument registry in :mod:`repro.obs.metrics`; both classes now
+live there (``TraceRecorder`` with a consistent lookup contract —
+``series()`` and ``last()`` both raise :class:`KeyError` for unknown
+names).  Import from :mod:`repro.obs` for new code.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Tuple
+from repro.obs.metrics import Counter, TraceRecorder
 
 __all__ = ["Counter", "TraceRecorder"]
-
-
-class Counter:
-    """A bag of named, additive scalar counters."""
-
-    def __init__(self) -> None:
-        self._values: Dict[str, float] = defaultdict(float)
-
-    def add(self, name: str, amount: float = 1.0) -> None:
-        self._values[name] += amount
-
-    def get(self, name: str) -> float:
-        return self._values.get(name, 0.0)
-
-    def as_dict(self) -> Dict[str, float]:
-        return dict(self._values)
-
-    def merge(self, other: "Counter") -> None:
-        """Fold another counter's totals into this one."""
-        for name, value in other._values.items():
-            self._values[name] += value
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
-        return f"Counter({inner})"
-
-
-class TraceRecorder:
-    """Timestamped (t, value) samples per named series."""
-
-    def __init__(self) -> None:
-        self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
-
-    def sample(self, name: str, t: float, value: float) -> None:
-        self._series[name].append((t, value))
-
-    def series(self, name: str) -> List[Tuple[float, float]]:
-        return list(self._series.get(name, []))
-
-    def names(self) -> List[str]:
-        return sorted(self._series)
-
-    def last(self, name: str) -> Tuple[float, float]:
-        samples = self._series.get(name)
-        if not samples:
-            raise KeyError(f"no samples recorded for series {name!r}")
-        return samples[-1]

@@ -39,6 +39,9 @@ class SystemSpec:
     def build(self, **kwargs: Any) -> "SystemHandle":
         handle = self.builder(**kwargs)
         handle.spec = self
+        from repro.obs.context import attach
+
+        handle.obs = attach(handle.env, label=self.name)
         return handle
 
 
@@ -59,6 +62,7 @@ class SystemHandle:
     spec: Optional[SystemSpec] = None
     _run_ranks: Optional[Callable[[Callable], List[Any]]] = None
     extras: Dict[str, Any] = field(default_factory=dict)
+    obs: Any = None  # repro.obs.ObsContext, attached by SystemSpec.build()
 
     # -- drivers ----------------------------------------------------------
 

@@ -1,0 +1,154 @@
+"""Tracer unit tests: stacks, handoff, instants, and the null path."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer, tracer_of
+from repro.obs.context import ObsContext, attach, capture
+from repro.obs.tracer import NULL_CONTEXT, NULL_SPAN
+from repro.sim import Environment
+
+
+class Clock:
+    """Minimal env stand-in: the tracer only needs ``now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_stack_nesting_sets_parents():
+    clk = Clock()
+    tr = Tracer(clk)
+    with tr.span("outer", cat="t", track="a") as outer:
+        clk.now = 1.0
+        with tr.span("inner", cat="t", track="a") as inner:
+            clk.now = 2.0
+        clk.now = 3.0
+    assert outer.parent is None
+    assert inner.parent == outer.id
+    assert (inner.begin, inner.end) == (1.0, 2.0)
+    assert (outer.begin, outer.end) == (0.0, 3.0)
+
+
+def test_tracks_are_independent_stacks():
+    tr = Tracer(Clock())
+    with tr.span("a1", cat="t", track="a"):
+        with tr.span("b1", cat="t", track="b") as b1:
+            pass
+    # b1 opened while a1 was open, but on its own track: no parent.
+    assert b1.parent is None
+
+
+def test_explicit_parent_overrides_stack():
+    tr = Tracer(Clock())
+    root = tr.begin("root", cat="t", track="x")
+    with tr.span("child", cat="t", track="other", parent=root) as child:
+        pass
+    assert child.parent == root.id
+
+
+def test_begin_end_merges_attrs():
+    clk = Clock()
+    tr = Tracer(clk)
+    s = tr.begin("io", cat="t", track="a", nbytes=4096)
+    clk.now = 2.5
+    tr.end(s, coalesced=True)
+    assert s.end == 2.5
+    assert s.attrs == {"nbytes": 4096, "coalesced": True}
+
+
+def test_handoff_is_claim_once():
+    tr = Tracer(Clock())
+    s = tr.begin("caller", cat="t", track="a")
+    tr.handoff(s)
+    assert tr.take_handoff() is s
+    assert tr.take_handoff() is None
+
+
+def test_missed_close_is_tolerated():
+    clk = Clock()
+    tr = Tracer(clk)
+    outer = tr.span("outer", cat="t", track="a")
+    tr.span("forgotten", cat="t", track="a")  # never closed
+    clk.now = 5.0
+    outer.__exit__(None, None, None)
+    forgotten = tr.spans[1]
+    assert forgotten.end == 5.0  # clamped when the outer span popped past it
+    assert tr.current("a") is None
+
+
+def test_instants_are_zero_width():
+    clk = Clock()
+    clk.now = 7.0
+    tr = Tracer(clk)
+    i = tr.instant("fault.inject", cat="fault", track="faults", kind="x")
+    assert i.begin == i.end == 7.0
+    assert tr.instants == [i]
+    assert tr.spans == []
+
+
+def test_close_open_spans_clamps_to_now():
+    clk = Clock()
+    tr = Tracer(clk)
+    s = tr.begin("open", cat="t", track="a")
+    clk.now = 9.0
+    tr.close_open_spans()
+    assert s.end == 9.0
+
+
+def test_span_ids_are_deterministic():
+    def run():
+        tr = Tracer(Clock())
+        with tr.span("a", cat="t", track="x"):
+            tr.begin("b", cat="t", track="y")
+        return [(s.id, s.name, s.parent) for s in tr.spans]
+
+    assert run() == run()
+
+
+# -- disabled path ---------------------------------------------------------
+
+
+def test_null_tracer_returns_shared_singletons():
+    assert NULL_TRACER.enabled is False
+    # No per-call allocation: every call returns the same object.
+    cm1 = NULL_TRACER.span("x", cat="t", track="a", big=1)
+    cm2 = NULL_TRACER.span("y", cat="t", track="b")
+    assert cm1 is cm2 is NULL_CONTEXT
+    assert NULL_TRACER.begin("x", cat="t", track="a") is NULL_SPAN
+    assert NULL_TRACER.instant("x", cat="t", track="a") is NULL_SPAN
+    with cm1 as s:
+        assert s is NULL_SPAN
+    assert NULL_TRACER.take_handoff() is None
+    assert NULL_TRACER.spans == [] and NULL_TRACER.instants == []
+
+
+def test_tracer_of_guard():
+    env = Environment()
+    assert tracer_of(env) is None  # no context attached
+    ctx = attach(env, label="t")
+    assert ctx.tracer is NULL_TRACER
+    assert tracer_of(env) is None  # attached but tracing off
+    ctx.enable_tracing()
+    assert tracer_of(env) is ctx.tracer
+    assert tracer_of(env).enabled
+
+
+def test_attach_is_idempotent_and_session_scoped():
+    env = Environment()
+    with capture(trace=True) as cap:
+        ctx = attach(env, label="run")
+        assert ctx.tracing  # session switch inherited
+        assert attach(env) is ctx  # idempotent
+        assert cap.contexts == [ctx]
+    env2 = Environment()
+    ctx2 = attach(env2)
+    assert not ctx2.tracing  # outside a session: off by default
+
+
+def test_obscontext_flat_extra_roundtrip():
+    ctx = ObsContext(Environment(), tracing=False)
+    ctx.metrics.counter("x.bytes", unit="B").add(10)
+    ctx.metrics.histogram("x.lat").observe(0.5)
+    flat = ctx.flat_extra()
+    assert flat["x.bytes"] == 10
+    assert flat["x.lat.count"] == 1.0
