@@ -26,11 +26,12 @@ from typing import Any, Dict, Generator, List, Optional, Set
 from repro.baselines.lustre import LustreCluster
 from repro.bench import calibration as cal
 from repro.errors import BadFileDescriptor, FileNotFound, OutOfSpace, RecoveryError
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.nvme.device import SSD, SSDSpec, generic_nand_ssd
 from repro.sim.engine import Environment, Event
 from repro.sim.rng import RngHub
-from repro.sim.trace import Counter
+from repro.obs.metrics import Counter
 from repro.units import GiB, KiB
 
 __all__ = ["BurstBufferCluster", "BurstBufferClient"]
@@ -159,7 +160,7 @@ class BurstBufferClient:
         offset = self.cluster.allocate(self.node, max(nbytes, 1))
         if entry.file.offset < 0:
             entry.file.offset = offset
-        yield self.ssd.write(self.nsid, offset, payload, KiB(128))
+        yield self.ssd.write(self.nsid, offset, payload, KiB(128), qos=QoSClass.CKPT_DATA)
         entry.pos += nbytes
         entry.file.size = max(entry.file.size, entry.pos)
         entry.file.drained = False
@@ -184,7 +185,10 @@ class BurstBufferClient:
                     )
                 yield from self.cluster.pfs.read_file(file.path)
             elif file.node == self.node:
-                yield self.ssd.read(self.nsid, max(file.offset, 0), nbytes, KiB(128))
+                yield self.ssd.read(
+                    self.nsid, max(file.offset, 0), nbytes, KiB(128),
+                    qos=QoSClass.BEST_EFFORT,
+                )
             else:
                 # Cross-node read: remote ranks pull via the PFS copy.
                 if not file.drained:
@@ -230,7 +234,10 @@ class BurstBufferClient:
     def drain(self, path: str) -> Generator[Event, Any, None]:
         """Push one file's data from the local buffer to the PFS."""
         file = self.stat(path)
-        yield self.ssd.read(self.nsid, max(file.offset, 0), file.size, KiB(128))
+        yield self.ssd.read(
+            self.nsid, max(file.offset, 0), file.size, KiB(128),
+            qos=QoSClass.BEST_EFFORT,
+        )
         yield from self.cluster.pfs.write_file(path, file.size)
         file.drained = True
         self.cluster.counters.add("drained_bytes", file.size)

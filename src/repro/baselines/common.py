@@ -18,13 +18,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.errors import BadFileDescriptor, FileExists, FileNotFound, InvalidArgument, OutOfSpace
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.nvme.device import SSD
 from repro.nvme.namespace import Namespace
 from repro.bench import calibration as cal
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
-from repro.sim.trace import Counter
+from repro.obs.metrics import Counter
 
 __all__ = ["StorageServer", "BaselineFile", "BaselineClient"]
 
@@ -61,31 +62,41 @@ class StorageServer:
         return offset
 
     def write_chunk(
-        self, payload: Payload, command_size: Optional[int] = None
+        self,
+        payload: Payload,
+        command_size: Optional[int] = None,
+        qos: QoSClass = QoSClass.CKPT_DATA,
     ) -> Generator[Event, Any, int]:
         """Serve one chunk through the server stack, then hit the device.
 
         The service resource is held for the software time only; device
         transfers from different requests overlap (the device itself is
         the shared fair-share resource). Returns the device offset.
+        Baselines speak the envelope's traffic classes too, so the qos
+        experiment's per-class accounting covers every system.
         """
         n_chunks = max(1, -(-payload.nbytes // self.io_chunk_bytes))
         yield from self.io_resource.serve(n_chunks * self.io_service_time)
         offset = self._allocate(payload.nbytes)
         yield self.ssd.write(
             self.namespace.nsid, offset, payload,
-            command_size or self.io_chunk_bytes,
+            command_size or self.io_chunk_bytes, qos=qos,
         )
         self.counters.add("bytes", payload.nbytes)
         return offset
 
     def read_chunk(
-        self, offset: int, nbytes: int, command_size: Optional[int] = None
+        self,
+        offset: int,
+        nbytes: int,
+        command_size: Optional[int] = None,
+        qos: QoSClass = QoSClass.BEST_EFFORT,
     ) -> Generator[Event, Any, None]:
         n_chunks = max(1, -(-nbytes // self.io_chunk_bytes))
         yield from self.io_resource.serve(n_chunks * self.io_service_time)
         yield self.ssd.read(
-            self.namespace.nsid, offset, nbytes, command_size or self.io_chunk_bytes
+            self.namespace.nsid, offset, nbytes,
+            command_size or self.io_chunk_bytes, qos=qos,
         )
 
 

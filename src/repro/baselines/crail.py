@@ -19,10 +19,11 @@ from repro.apps.deployment import Deployment
 from repro.bench import calibration as cal
 from repro.errors import BadFileDescriptor, FileNotFound, OutOfSpace
 from repro.fabric.nvmf import NVMfInitiator
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.sim.engine import Event
 from repro.sim.resources import Resource
-from repro.sim.trace import Counter
+from repro.obs.metrics import Counter
 from repro.units import KiB
 
 __all__ = ["CrailCluster", "CrailClient"]
@@ -143,7 +144,10 @@ class CrailClient:
         n_cmds = max(1, math.ceil(nbytes / KiB(128)))
         yield self.env.timeout(n_cmds * cal.SPDK_SUBMIT_COST)
         offset = self.cluster.allocate(max(nbytes, 1))
-        yield self.session.write(self.cluster.namespace.nsid, offset, payload, KiB(128))
+        yield self.session.write(
+            self.cluster.namespace.nsid, offset, payload, KiB(128),
+            qos=QoSClass.CKPT_DATA,
+        )
         entry.pos += nbytes
         entry.file.size = max(entry.file.size, entry.pos)
         self.counters.add("app_bytes_written", nbytes)
@@ -162,7 +166,10 @@ class CrailClient:
             yield from self._mds_rpc(cal.CRAIL_INODE_WIRE_BYTES)
             n_cmds = max(1, math.ceil(nbytes / KiB(128)))
             yield self.env.timeout(n_cmds * cal.SPDK_SUBMIT_COST)
-            yield self.session.read(self.cluster.namespace.nsid, 0, nbytes, KiB(128))
+            yield self.session.read(
+                self.cluster.namespace.nsid, 0, nbytes, KiB(128),
+                qos=QoSClass.BEST_EFFORT,
+            )
         entry.pos += nbytes
         self.counters.add("app_bytes_read", nbytes)
         return [Payload.synthetic(entry.file.path, nbytes)] if nbytes else []

@@ -22,6 +22,7 @@ from repro.apps.deployment import Deployment
 from repro.bench import calibration as cal
 from repro.baselines.common import BaselineClient, BaselineFile, StorageServer
 from repro.hashing.jump import jump_hash
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.sim.engine import Event
 from repro.sim.resources import Resource
@@ -112,7 +113,10 @@ class GlusterFSClient(BaselineClient):
         n_chunks = max(1, -(-nbytes // chunk_bytes))
         yield self.env.timeout(n_chunks * cal.GLUSTERFS_PER_REQUEST_COST)
         yield from server.io_resource.serve(n_chunks * cal.GLUSTERFS_SERVER_READ_SERVICE)
-        yield server.ssd.read(server.namespace.nsid, 0, nbytes, chunk_bytes)
+        yield server.ssd.read(
+            server.namespace.nsid, 0, nbytes, chunk_bytes,
+            qos=QoSClass.BEST_EFFORT,
+        )
 
     def _do_fsync(self, file: BaselineFile) -> Generator[Event, Any, None]:
         yield self.env.timeout(cal.GLUSTERFS_PER_REQUEST_COST)

@@ -19,7 +19,7 @@ from repro.bench import calibration as cal
 from repro.nvme.commands import Payload
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
-from repro.sim.trace import Counter
+from repro.obs.metrics import Counter
 from repro.errors import (
     BadFileDescriptor,
     FileExists,

@@ -21,6 +21,7 @@ from repro.apps.deployment import Deployment
 from repro.bench import calibration as cal
 from repro.baselines.common import BaselineClient, BaselineFile, StorageServer
 from repro.hashing.jump import jump_hash
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.sim.engine import Event
 from repro.sim.resources import Resource
@@ -161,7 +162,10 @@ class OrangeFSClient(BaselineClient):
         # journal on the backend FS) — Figure 9's recovery efficiencies.
         n_chunks = max(1, -(-nbytes // server.io_chunk_bytes))
         yield from server.io_resource.serve(n_chunks * cal.ORANGEFS_SERVER_READ_SERVICE)
-        yield server.ssd.read(server.namespace.nsid, 0, nbytes, server.io_chunk_bytes)
+        yield server.ssd.read(
+            server.namespace.nsid, 0, nbytes, server.io_chunk_bytes,
+            qos=QoSClass.BEST_EFFORT,
+        )
 
     def _do_fsync(self, file: BaselineFile) -> Generator[Event, Any, None]:
         # Servers persist on write; fsync is a round trip per dfile server.

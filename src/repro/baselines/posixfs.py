@@ -31,7 +31,8 @@ from repro.nvme.device import SSD
 from repro.nvme.namespace import Namespace
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
-from repro.sim.trace import Counter
+from repro.io.qos import QoSClass
+from repro.obs.metrics import Counter
 from repro.units import MiB
 
 __all__ = ["KernelFilesystem", "KernelFSClient"]
@@ -199,7 +200,8 @@ class KernelFSClient:
             payload = Payload.synthetic(f"{self.name}:{file.path}:{offset}", dirty)
             write_start = self.env.now
             yield self.kfs.ssd.write(
-                self.kfs.namespace.nsid, offset, payload, cal.KERNEL_MAX_BIO_BYTES
+                self.kfs.namespace.nsid, offset, payload, cal.KERNEL_MAX_BIO_BYTES,
+                qos=QoSClass.CKPT_DATA,
             )
             # Blocked in the kernel for the whole device wait.
             self.counters.add("kernel_time", self.env.now - write_start)
@@ -232,7 +234,8 @@ class KernelFSClient:
             )
             read_start = self.env.now
             yield self.kfs.ssd.read(
-                self.kfs.namespace.nsid, 0, nbytes, cal.KERNEL_MAX_BIO_BYTES
+                self.kfs.namespace.nsid, 0, nbytes, cal.KERNEL_MAX_BIO_BYTES,
+                qos=QoSClass.BEST_EFFORT,
             )
             self.counters.add("kernel_time", self.env.now - read_start)
         entry.pos += nbytes

@@ -18,9 +18,10 @@ from typing import Any, Dict, Generator, List
 from repro.bench import calibration as cal
 from repro.errors import BadFileDescriptor, FileNotFound, OutOfSpace
 from repro.fabric.transport import Transport
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.sim.engine import Environment, Event
-from repro.sim.trace import Counter
+from repro.obs.metrics import Counter
 from repro.units import KiB
 
 __all__ = ["RawSPDKClient"]
@@ -114,7 +115,9 @@ class RawSPDKClient:
         offset = self._allocate(max(nbytes, 1))
         if entry.file.offset < 0:
             entry.file.offset = offset
-        yield self.transport.write(self.nsid, offset, payload, self.io_size)
+        yield self.transport.write(
+            self.nsid, offset, payload, self.io_size, qos=QoSClass.CKPT_DATA
+        )
         entry.pos += nbytes
         entry.file.size = max(entry.file.size, entry.pos)
         self.counters.add("app_bytes_written", nbytes)
@@ -131,7 +134,10 @@ class RawSPDKClient:
         if nbytes:
             n_cmds = max(1, math.ceil(nbytes / self.io_size))
             yield self.env.timeout(n_cmds * cal.SPDK_SUBMIT_COST)
-            yield self.transport.read(self.nsid, max(entry.file.offset, 0), nbytes, self.io_size)
+            yield self.transport.read(
+                self.nsid, max(entry.file.offset, 0), nbytes, self.io_size,
+                qos=QoSClass.BEST_EFFORT,
+            )
         entry.pos += nbytes
         self.counters.add("app_bytes_read", nbytes)
         return [Payload.synthetic(entry.file.path, nbytes)] if nbytes else []

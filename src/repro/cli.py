@@ -27,6 +27,12 @@ def _resilience(**kwargs):
 
     return resilience(**kwargs)
 
+
+def _qos(**kwargs):
+    from repro.bench.qos import qos
+
+    return qos(**kwargs)
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "fig1": E.fig1_motivation,
     "fig7a": E.fig7a_hugeblock_sweep,
@@ -41,6 +47,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "tab2": E.tab2_multilevel,
     "sysmatrix": E.sysmatrix,
     "resilience": _resilience,
+    "qos": _qos,
     "ablation-coalescing": E.ablation_coalescing,
     "ablation-distributors": E.ablation_distributors,
     "ext-cache": X.ext_cache_layer,
@@ -66,6 +73,7 @@ _DESCRIPTIONS: Dict[str, str] = {
     "tab2": "multi-level checkpointing with Lustre tier",
     "sysmatrix": "one N-N pass over every registered storage system",
     "resilience": "fault-injected campaigns: effective progress vs MTBF",
+    "qos": "per-class latency under FCFS vs WRR arbitration (+ batching)",
     "ablation-coalescing": "log record coalescing on/off",
     "ablation-distributors": "round-robin vs jump hash vs vnode ring",
     "ext-cache": "DRAM cache layer (the paper's future work)",
@@ -103,6 +111,11 @@ def main(argv=None) -> int:
                       help="print the metrics/span summary after the run")
     runp.add_argument("--profile", action="store_true",
                       help="wall-clock self-profile of the simulator itself")
+    runp.add_argument("--qos", choices=("wrr", "fcfs", "both"), default=None,
+                      help="arbitration mode(s) for the qos experiment")
+    runp.add_argument("--batching", action="store_true",
+                      help="qos experiment: also compare NVMf round trips "
+                           "with doorbell batching off vs on")
     tracep = sub.add_parser(
         "trace", help="run one experiment with tracing on; write the trace"
     )
@@ -122,6 +135,8 @@ def main(argv=None) -> int:
         args.profile = False
         args.fast = False
         args.export = None
+        args.qos = None
+        args.batching = False
 
     if args.command == "list":
         for name in _EXPERIMENTS:
@@ -163,7 +178,7 @@ def main(argv=None) -> int:
         return 2
     kwargs = {}
     if args.procs:
-        if args.name in ("tab1", "tab2", "sysmatrix", "resilience"):
+        if args.name in ("tab1", "tab2", "sysmatrix", "resilience", "qos"):
             kwargs["nprocs"] = args.procs[0]
         elif args.name in ("fig7a", "fig7c", "fig8a"):
             kwargs["nprocs"] = args.procs[0]
@@ -171,7 +186,7 @@ def main(argv=None) -> int:
             kwargs["procs"] = tuple(args.procs)
     if args.systems:
         takes_systems = {"fig1", "fig7b", "fig8b", "fig9weak", "fig9strong",
-                         "tab1", "tab2", "sysmatrix", "resilience"}
+                         "tab1", "tab2", "sysmatrix", "resilience", "qos"}
         if args.name not in takes_systems:
             print(f"{args.name} does not take --systems "
                   f"(supported: {', '.join(sorted(takes_systems))})",
@@ -187,6 +202,15 @@ def main(argv=None) -> int:
             print(exc, file=sys.stderr)
             return 2
         kwargs["systems"] = tuple(args.systems)
+    if args.qos or args.batching:
+        if args.name != "qos":
+            print("--qos/--batching only apply to the qos experiment",
+                  file=sys.stderr)
+            return 2
+        if args.qos and args.qos != "both":
+            kwargs["modes"] = (args.qos,)
+        if args.batching:
+            kwargs["batching"] = True
     started = time.time()
     if want_obs:
         from repro import obs

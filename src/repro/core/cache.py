@@ -28,7 +28,7 @@ from repro.core.microfs.fs import FileHandle, MicroFS
 from repro.errors import InvalidArgument
 from repro.nvme.commands import Payload
 from repro.sim.engine import Event
-from repro.sim.trace import Counter
+from repro.obs.metrics import Counter
 
 __all__ = ["CachedMicroFS"]
 

@@ -18,6 +18,7 @@ from typing import Any, Dict, Generator, List, Union
 from repro.core.microfs.fs import FileHandle
 from repro.core.runtime import NVMeCRRuntime
 from repro.errors import BadFileDescriptor, InvalidArgument
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.obs.tracer import NULL_CONTEXT
 from repro.sim.engine import Event
@@ -106,42 +107,54 @@ class PosixShim:
             raise BadFileDescriptor(f"fd {fd}")
         return handle
 
-    def write(self, fd: int, data: Union[bytes, int, Payload]) -> Generator[Event, Any, int]:
+    def write(
+        self, fd: int, data: Union[bytes, int, Payload],
+        qos: QoSClass = QoSClass.CKPT_DATA,
+    ) -> Generator[Event, Any, int]:
         """``write(2)`` at the fd position; int data means synthetic bulk bytes."""
         ctx, cm = self._obs("fs.write")
         t0 = self.env.now
         with cm:
-            written = yield from self._fs.write(self._handle(fd), data)
+            written = yield from self._fs.write(self._handle(fd), data, qos=qos)
         if ctx is not None:
             ctx.metrics.histogram("fs.write_latency_s").observe(self.env.now - t0)
         return written
 
-    def pwrite(self, fd: int, data, offset: int) -> Generator[Event, Any, int]:
+    def pwrite(
+        self, fd: int, data, offset: int,
+        qos: QoSClass = QoSClass.CKPT_DATA,
+    ) -> Generator[Event, Any, int]:
         """``pwrite(2)``: positional write, fd position unchanged."""
         ctx, cm = self._obs("fs.pwrite")
         t0 = self.env.now
         with cm:
-            written = yield from self._fs.pwrite(self._handle(fd), data, offset)
+            written = yield from self._fs.pwrite(self._handle(fd), data, offset, qos=qos)
         if ctx is not None:
             ctx.metrics.histogram("fs.write_latency_s").observe(self.env.now - t0)
         return written
 
-    def read(self, fd: int, nbytes: int) -> Generator[Event, Any, List[Payload]]:
+    def read(
+        self, fd: int, nbytes: int,
+        qos: QoSClass = QoSClass.RECOVERY,
+    ) -> Generator[Event, Any, List[Payload]]:
         """``read(2)`` at the fd position; returns stored payload pieces."""
         ctx, cm = self._obs("fs.read")
         t0 = self.env.now
         with cm:
-            pieces = yield from self._fs.read(self._handle(fd), nbytes)
+            pieces = yield from self._fs.read(self._handle(fd), nbytes, qos=qos)
         if ctx is not None:
             ctx.metrics.histogram("fs.read_latency_s").observe(self.env.now - t0)
         return pieces
 
-    def pread(self, fd: int, nbytes: int, offset: int) -> Generator[Event, Any, List[Payload]]:
+    def pread(
+        self, fd: int, nbytes: int, offset: int,
+        qos: QoSClass = QoSClass.RECOVERY,
+    ) -> Generator[Event, Any, List[Payload]]:
         """``pread(2)``: positional read, fd position unchanged."""
         ctx, cm = self._obs("fs.pread")
         t0 = self.env.now
         with cm:
-            pieces = yield from self._fs.pread(self._handle(fd), nbytes, offset)
+            pieces = yield from self._fs.pread(self._handle(fd), nbytes, offset, qos=qos)
         if ctx is not None:
             ctx.metrics.histogram("fs.read_latency_s").observe(self.env.now - t0)
         return pieces

@@ -44,11 +44,12 @@ from repro.errors import (
     IsADirectory,
     PermissionDenied,
 )
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.nvme.namespace import Partition
 from repro.obs.context import tracer_of
+from repro.obs.metrics import Counter
 from repro.sim.engine import Environment, Event
-from repro.sim.trace import Counter
 
 __all__ = ["MicroFS", "FileHandle", "normalize_path", "split_path"]
 
@@ -270,8 +271,10 @@ class MicroFS:
             f"{self.instance_name}:dirfile:{directory.ino}:{len(directory.entries)}",
             block,
         )
+        # Directory files are metadata: they ride the journal class.
         yield from self.data_plane.write_runs(
-            [(self._data_offset + self.pool.offset_of(tail), payload)]
+            [(self._data_offset + self.pool.offset_of(tail), payload)],
+            qos=QoSClass.JOURNAL,
         )
 
     # ------------------------------------------------------------------------
@@ -427,18 +430,27 @@ class MicroFS:
             return Payload.synthetic(tag, data)
         raise InvalidArgument(f"unsupported write data {type(data)!r}")
 
-    def write(self, handle: FileHandle, data: WriteData) -> Generator[Event, Any, int]:
+    def write(
+        self,
+        handle: FileHandle,
+        data: WriteData,
+        qos: QoSClass = QoSClass.CKPT_DATA,
+    ) -> Generator[Event, Any, int]:
         """Write at the handle's position (advances it). ``data`` may be
         real bytes, a Payload, or an int byte-count (synthetic bulk)."""
         inode = self._handle(handle)
         inode.require_file()
         payload = self._as_payload(data, inode.ino, handle.pos)
-        written = yield from self.pwrite(handle, payload, handle.pos)
+        written = yield from self.pwrite(handle, payload, handle.pos, qos=qos)
         handle.pos += written
         return written
 
     def pwrite(
-        self, handle: FileHandle, data: WriteData, offset: int
+        self,
+        handle: FileHandle,
+        data: WriteData,
+        offset: int,
+        qos: QoSClass = QoSClass.CKPT_DATA,
     ) -> Generator[Event, Any, int]:
         """Positional write: allocate blocks, journal (WAL), move the data."""
         inode = self._handle(handle)
@@ -467,7 +479,7 @@ class MicroFS:
             LogOp.WRITE, ino=inode.ino, a=offset, b=nbytes, physical_weight=weight
         )
         runs = self._block_runs(inode, offset, payload)
-        yield from self.data_plane.write_runs(runs)
+        yield from self.data_plane.write_runs(runs, qos=qos)
         inode.size = max(inode.size, end)
         inode.mtime = self.env.now
         self.counters.add("app_bytes_written", nbytes)
@@ -502,14 +514,23 @@ class MicroFS:
             consumed += take
         return runs
 
-    def read(self, handle: FileHandle, nbytes: int) -> Generator[Event, Any, List[Payload]]:
+    def read(
+        self,
+        handle: FileHandle,
+        nbytes: int,
+        qos: QoSClass = QoSClass.RECOVERY,
+    ) -> Generator[Event, Any, List[Payload]]:
         """Read from the handle position; returns stored payload pieces."""
-        pieces = yield from self.pread(handle, nbytes, handle.pos)
+        pieces = yield from self.pread(handle, nbytes, handle.pos, qos=qos)
         handle.pos += sum(p.nbytes for p in pieces)
         return pieces
 
     def pread(
-        self, handle: FileHandle, nbytes: int, offset: int
+        self,
+        handle: FileHandle,
+        nbytes: int,
+        offset: int,
+        qos: QoSClass = QoSClass.RECOVERY,
     ) -> Generator[Event, Any, List[Payload]]:
         """Positional read of stored payload pieces (clipped at EOF)."""
         inode = self._handle(handle)
@@ -534,7 +555,7 @@ class MicroFS:
             else:
                 runs.append((device_offset, take))
             consumed += take
-        extents = yield from self.data_plane.read_runs(runs)
+        extents = yield from self.data_plane.read_runs(runs, qos=qos)
         self.counters.add("app_bytes_read", nbytes)
         return [e.payload for e in extents]
 

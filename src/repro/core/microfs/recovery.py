@@ -32,7 +32,7 @@ from repro.errors import RecoveryError
 from repro.nvme.namespace import Partition
 from repro.obs.context import tracer_of
 from repro.sim.engine import Environment, Event
-from repro.sim.trace import Counter
+from repro.obs.metrics import Counter
 
 __all__ = ["RecoveryReport", "recover"]
 

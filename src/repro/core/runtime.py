@@ -32,7 +32,7 @@ from repro.mpi.comm import Communicator
 from repro.obs.context import tracer_of
 from repro.obs.tracer import NULL_CONTEXT
 from repro.sim.engine import Environment, Event
-from repro.sim.trace import Counter
+from repro.obs.metrics import Counter
 
 __all__ = ["NVMeCRRuntime"]
 
@@ -125,7 +125,13 @@ class NVMeCRRuntime:
         candidates = entry if isinstance(entry, (list, tuple)) else [entry]
         for target in candidates:
             if target.ssd is grant.ssd:
-                return FabricTransport(self.initiator.connect(target))
+                # Bind initiator+target so the unified pipeline's retry
+                # path can reconnect after a target daemon restart.
+                return FabricTransport(
+                    self.initiator.connect(target),
+                    initiator=self.initiator,
+                    target=target,
+                )
         raise SimulationError(
             f"no NVMf target on {grant.node_name} exports {grant.ssd.name}"
         )

@@ -15,15 +15,17 @@ the data stream.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import FabricError
 from repro.fabric.rdma import RdmaFabric
+from repro.io.envelope import merge_adjacent_extents
+from repro.io.qos import QoSClass
 from repro.nvme.commands import CommandResult, Payload
 from repro.nvme.device import SSD
 from repro.obs.context import tracer_of
+from repro.obs.metrics import Counter
 from repro.sim.engine import Environment, Event
-from repro.sim.trace import Counter
 from repro.units import us
 
 __all__ = ["NVMfTarget", "NVMfInitiator", "NVMfSession"]
@@ -110,7 +112,12 @@ class NVMfSession:
         return f"nvmf.{self.initiator_node}>{self.target.node_name}"
 
     def write(
-        self, nsid: int, offset: int, payload: Payload, command_size: int
+        self,
+        nsid: int,
+        offset: int,
+        payload: Payload,
+        command_size: int,
+        qos: Optional[QoSClass] = None,
     ) -> Event:
         """Batched remote write; event value is the device CommandResult."""
         self._require_connected()
@@ -122,15 +129,23 @@ class NVMfSession:
         return self.env.process(
             self._io(
                 lambda cap: self.target.ssd.write(
-                    nsid, offset, payload, command_size, rate_cap=cap
+                    nsid, offset, payload, command_size, rate_cap=cap, qos=qos
                 ),
                 payload.nbytes,
                 command_size,
                 span,
+                qos,
             )
         )
 
-    def read(self, nsid: int, offset: int, nbytes: int, command_size: int) -> Event:
+    def read(
+        self,
+        nsid: int,
+        offset: int,
+        nbytes: int,
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
         self._require_connected()
         tr = tracer_of(self.env)
         span = None if tr is None else tr.begin(
@@ -139,15 +154,41 @@ class NVMfSession:
         return self.env.process(
             self._io(
                 lambda cap: self.target.ssd.read(
-                    nsid, offset, nbytes, command_size, rate_cap=cap
+                    nsid, offset, nbytes, command_size, rate_cap=cap, qos=qos
                 ),
                 nbytes,
                 command_size,
                 span,
+                qos,
             )
         )
 
-    def flush(self, nsid: int) -> Event:
+    def write_batch(
+        self,
+        nsid: int,
+        chunks: List[Tuple[int, Payload]],
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
+        """Doorbell-batched write: coalesce adjacent extents, ring once.
+
+        The whole batch shares a *single* fabric round trip (one
+        ``nvmf.rtt`` span) and the per-command QD-1 round-trip cap is
+        lifted — pipelined submissions keep the wire full, which is the
+        point of batching. Event value is the list of device
+        CommandResults, one per (possibly merged) extent.
+        """
+        self._require_connected()
+        merged = merge_adjacent_extents(list(chunks))
+        total = sum(p.nbytes for _off, p in merged)
+        tr = tracer_of(self.env)
+        span = None if tr is None else tr.begin(
+            "nvmf.write", cat="fabric", track=self._track(),
+            parent=tr.take_handoff(), bytes=total, batch=len(merged),
+            local=self.is_local)
+        return self.env.process(self._io_batch(nsid, merged, command_size, span, qos))
+
+    def flush(self, nsid: int, qos: Optional[QoSClass] = None) -> Event:
         self._require_connected()
         # Claim the handoff here (synchronously) so a stale parent never
         # leaks to an unrelated later span.
@@ -155,14 +196,16 @@ class NVMfSession:
         span = None if tr is None else tr.begin(
             "nvmf.flush", cat="fabric", track=self._track(),
             parent=tr.take_handoff(), local=self.is_local)
-        return self.env.process(self._flush(nsid, span))
+        return self.env.process(self._flush(nsid, span, qos))
 
     def _io(
-        self, submit, nbytes: int, command_size: int, span=None
+        self, submit, nbytes: int, command_size: int, span=None,
+        qos: Optional[QoSClass] = None,
     ) -> Generator[Event, Any, CommandResult]:
         tr = tracer_of(self.env) if span is not None else None
         n_cmds = max(1, -(-nbytes // command_size))
-        rtt = self.fabric.round_trip(self.initiator_node, self.target.node_name)
+        rtt = self.fabric.round_trip(
+            self.initiator_node, self.target.node_name, qos=qos)
         cpu = self.fabric.spec.per_message_cpu + n_cmds * _TARGET_PER_COMMAND
         if rtt + cpu > 0:
             hop = None if tr is None else tr.begin(
@@ -201,9 +244,73 @@ class NVMfSession:
             tr.end(span)
         return result
 
-    def _flush(self, nsid: int, span=None) -> Generator[Event, Any, None]:
+    def _io_batch(
+        self,
+        nsid: int,
+        merged: List[Tuple[int, Payload]],
+        command_size: int,
+        span=None,
+        qos: Optional[QoSClass] = None,
+    ) -> Generator[Event, Any, List[CommandResult]]:
         tr = tracer_of(self.env) if span is not None else None
-        rtt = self.fabric.round_trip(self.initiator_node, self.target.node_name)
+        total = sum(p.nbytes for _off, p in merged)
+        n_cmds = sum(
+            max(1, -(-p.nbytes // command_size)) for _off, p in merged
+        )
+        rtt = self.fabric.round_trip(
+            self.initiator_node, self.target.node_name, qos=qos)
+        cpu = self.fabric.spec.per_message_cpu + n_cmds * _TARGET_PER_COMMAND
+        if rtt + cpu > 0:
+            hop = None if tr is None else tr.begin(
+                "nvmf.rtt", cat="fabric", track=self._track(), parent=span,
+                rtt_s=rtt, cpu_s=cpu, batch=len(merged),
+                hops=0 if self.is_local else self.fabric.topo.hop_count(
+                    self.initiator_node, self.target.node_name))
+            yield self.env.timeout(rtt + cpu)
+            if hop is not None:
+                tr.end(hop)
+        if self.is_local:
+            cap = None
+        else:
+            # Doorbell batching pipelines submissions behind one ring:
+            # the per-command command_size/rtt QD-1 ceiling of _io does
+            # not apply; only the (possibly degraded) line rate does.
+            cap = self.fabric.payload_cap(self.initiator_node, self.target.node_name)
+        events = []
+        for offset, payload in merged:
+            if tr is not None:
+                tr.handoff(span)
+            events.append(
+                self.target.ssd.write(
+                    nsid, offset, payload, command_size, rate_cap=cap, qos=qos
+                )
+            )
+        yield self.env.all_of(events)
+        results = [ev.value for ev in events]
+        self.counters.add("bytes", total)
+        self.counters.add("commands", n_cmds)
+        self.counters.add("batches")
+        self.target.counters.add("bytes", total)
+        ctx = self.env.obs
+        if ctx is not None:
+            m = ctx.metrics
+            m.counter("nvmf.bytes", unit="B").add(total)
+            m.counter("nvmf.commands").add(n_cmds)
+            m.counter("nvmf.batches").add(1)
+            m.counter("nvmf.target.bytes", unit="B").add(total)
+            if not self.is_local:
+                m.counter("nvmf.remote_bytes", unit="B").add(total)
+                m.counter("nvmf.fabric_wait_s", unit="s").add(rtt + cpu)
+        if tr is not None:
+            tr.end(span)
+        return results
+
+    def _flush(
+        self, nsid: int, span=None, qos: Optional[QoSClass] = None
+    ) -> Generator[Event, Any, None]:
+        tr = tracer_of(self.env) if span is not None else None
+        rtt = self.fabric.round_trip(
+            self.initiator_node, self.target.node_name, qos=qos)
         if rtt > 0:
             yield self.env.timeout(rtt)
             ctx = self.env.obs

@@ -83,8 +83,12 @@ class RdmaFabric:
 
     # -- timing -------------------------------------------------------------
 
-    def one_way_latency(self, src: str, dst: str) -> float:
-        """Propagation + switching latency for one message (no payload)."""
+    def one_way_latency(self, src: str, dst: str, qos=None) -> float:
+        """Propagation + switching latency for one message (no payload).
+
+        ``qos`` (a :class:`~repro.io.qos.QoSClass` from the envelope) only
+        labels the per-class message counter; the wire is class-blind.
+        """
         if src == dst:
             return 0.0
         hops = self.topo.hop_count(src, dst)
@@ -100,10 +104,12 @@ class RdmaFabric:
                 m.counter("rdma.messages").add(1)
                 m.counter("rdma.hops").add(hops)
                 m.histogram("rdma.one_way_latency_s").observe(latency)
+                if qos is not None:
+                    m.counter(f"rdma.{qos.value}.messages").add(1)
         return latency
 
-    def round_trip(self, src: str, dst: str) -> float:
-        return 2.0 * self.one_way_latency(src, dst)
+    def round_trip(self, src: str, dst: str, qos=None) -> float:
+        return 2.0 * self.one_way_latency(src, dst, qos=qos)
 
     def payload_cap(self, src: Optional[str] = None, dst: Optional[str] = None) -> float:
         """Rate cap a single QP's data stream sees (the line rate,

@@ -2,14 +2,20 @@
 
 The microfs data plane does not care whether its SSD partition is local
 (Figure 7(c)'s local experiments) or remote over NVMf (everything else);
-both are exposed through :class:`Transport`.
+both are exposed through :class:`Transport`. Every operation accepts the
+envelope's QoS class, and :meth:`Transport.write_batch` is the
+doorbell-batched submission the unified pipeline uses when
+``RuntimeConfig.batching`` is on.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import List, Optional, Tuple
 
-from repro.fabric.nvmf import NVMfSession
+from repro.errors import FabricError
+from repro.fabric.nvmf import NVMfInitiator, NVMfSession, NVMfTarget
+from repro.io.qos import QoSClass
 from repro.nvme.commands import Payload
 from repro.nvme.device import SSD
 from repro.sim.engine import Environment, Event
@@ -21,16 +27,45 @@ class Transport(abc.ABC):
     """Byte-addressed IO to one namespace of one SSD."""
 
     @abc.abstractmethod
-    def write(self, nsid: int, offset: int, payload: Payload, command_size: int) -> Event:
+    def write(
+        self,
+        nsid: int,
+        offset: int,
+        payload: Payload,
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
         """Batched write; completion event yields a CommandResult."""
 
     @abc.abstractmethod
-    def read(self, nsid: int, offset: int, nbytes: int, command_size: int) -> Event:
+    def write_batch(
+        self,
+        nsid: int,
+        chunks: List[Tuple[int, Payload]],
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
+        """Doorbell-batched write of many extents; the event yields the
+        list of CommandResults. On the fabric this costs one round trip
+        for the whole batch."""
+
+    @abc.abstractmethod
+    def read(
+        self,
+        nsid: int,
+        offset: int,
+        nbytes: int,
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
         """Batched read; result's ``extra['extents']`` holds stored data."""
 
     @abc.abstractmethod
-    def flush(self, nsid: int) -> Event:
+    def flush(self, nsid: int, qos: Optional[QoSClass] = None) -> Event:
         """Durability barrier."""
+
+    def reconnect(self) -> None:
+        """Re-establish the transport after a failure (no-op locally)."""
 
     @property
     @abc.abstractmethod
@@ -45,13 +80,42 @@ class LocalPCIeTransport(Transport):
         self.env = env
         self.ssd = ssd
 
-    def write(self, nsid: int, offset: int, payload: Payload, command_size: int) -> Event:
-        return self.ssd.write(nsid, offset, payload, command_size)
+    def write(
+        self,
+        nsid: int,
+        offset: int,
+        payload: Payload,
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
+        return self.ssd.write(nsid, offset, payload, command_size, qos=qos)
 
-    def read(self, nsid: int, offset: int, nbytes: int, command_size: int) -> Event:
-        return self.ssd.read(nsid, offset, nbytes, command_size)
+    def write_batch(
+        self,
+        nsid: int,
+        chunks: List[Tuple[int, Payload]],
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
+        # No fabric round trip to amortise locally: issue all extents
+        # concurrently and complete when the last one does.
+        events = [
+            self.ssd.write(nsid, offset, payload, command_size, qos=qos)
+            for offset, payload in chunks
+        ]
+        return self.env.all_of(events)
 
-    def flush(self, nsid: int) -> Event:
+    def read(
+        self,
+        nsid: int,
+        offset: int,
+        nbytes: int,
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
+        return self.ssd.read(nsid, offset, nbytes, command_size, qos=qos)
+
+    def flush(self, nsid: int, qos: Optional[QoSClass] = None) -> Event:
         return self.ssd.flush(nsid)
 
     @property
@@ -60,19 +124,63 @@ class LocalPCIeTransport(Transport):
 
 
 class FabricTransport(Transport):
-    """Remote access through an NVMf session."""
+    """Remote access through an NVMf session.
 
-    def __init__(self, session: NVMfSession):
+    When built with its ``initiator``/``target`` pair, :meth:`reconnect`
+    can replace a dead session after a target daemon restart — the
+    retry path of the unified pipeline's envelope budgets.
+    """
+
+    def __init__(
+        self,
+        session: NVMfSession,
+        initiator: Optional[NVMfInitiator] = None,
+        target: Optional[NVMfTarget] = None,
+    ):
         self.session = session
+        self.initiator = initiator
+        self.target = target
 
-    def write(self, nsid: int, offset: int, payload: Payload, command_size: int) -> Event:
-        return self.session.write(nsid, offset, payload, command_size)
+    def reconnect(self) -> None:
+        if self.session.connected and self.session.target.alive:
+            return
+        if self.initiator is None or self.target is None:
+            raise FabricError(
+                f"cannot reconnect {self.description}: no initiator/target bound"
+            )
+        self.session = self.initiator.connect(self.target)
 
-    def read(self, nsid: int, offset: int, nbytes: int, command_size: int) -> Event:
-        return self.session.read(nsid, offset, nbytes, command_size)
+    def write(
+        self,
+        nsid: int,
+        offset: int,
+        payload: Payload,
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
+        return self.session.write(nsid, offset, payload, command_size, qos=qos)
 
-    def flush(self, nsid: int) -> Event:
-        return self.session.flush(nsid)
+    def write_batch(
+        self,
+        nsid: int,
+        chunks: List[Tuple[int, Payload]],
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
+        return self.session.write_batch(nsid, chunks, command_size, qos=qos)
+
+    def read(
+        self,
+        nsid: int,
+        offset: int,
+        nbytes: int,
+        command_size: int,
+        qos: Optional[QoSClass] = None,
+    ) -> Event:
+        return self.session.read(nsid, offset, nbytes, command_size, qos=qos)
+
+    def flush(self, nsid: int, qos: Optional[QoSClass] = None) -> Event:
+        return self.session.flush(nsid, qos=qos)
 
     @property
     def description(self) -> str:

@@ -1,0 +1,29 @@
+"""Unified I/O request pipeline: typed envelopes + QoS classes.
+
+Every hop of the write path — app shim, MicroFS, data plane, NVMf
+session, NVMe device — consumes and produces one typed envelope:
+:class:`~repro.io.envelope.IORequest` going down, and
+:class:`~repro.io.envelope.IOCompletion` coming back up. The envelope
+carries the traffic class (:class:`~repro.io.qos.QoSClass`), the
+deadline/retry budget, and the span link the observability layer needs
+to stitch cross-layer traces.
+"""
+
+from repro.io.envelope import (
+    IOCompletion,
+    IORequest,
+    iter_read_chunks,
+    iter_write_chunks,
+    merge_adjacent_extents,
+)
+from repro.io.qos import DEFAULT_WRR_WEIGHTS, QoSClass
+
+__all__ = [
+    "DEFAULT_WRR_WEIGHTS",
+    "IOCompletion",
+    "IORequest",
+    "QoSClass",
+    "iter_read_chunks",
+    "iter_write_chunks",
+    "merge_adjacent_extents",
+]

@@ -34,7 +34,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 import numpy as np
 
@@ -43,10 +43,13 @@ from repro.nvme.commands import Command, CommandResult, Opcode, Payload
 from repro.nvme.extents import Extent
 from repro.nvme.namespace import Namespace
 from repro.obs.context import tracer_of
+from repro.obs.metrics import Counter
 from repro.sim.engine import Environment, Event
 from repro.sim.fairshare import FairShareServer
-from repro.sim.trace import Counter
 from repro.units import GB_per_s, GiB, KiB, us
+
+if TYPE_CHECKING:
+    from repro.io.qos import QoSClass
 
 __all__ = ["SSDSpec", "SSD", "intel_p4800x", "generic_nand_ssd"]
 
@@ -162,6 +165,11 @@ class SSD:
         self._tokens = float(spec.ram_buffer_bytes)
         self._tokens_at = env.now
         self.counters = Counter()
+        #: Optional front-end QoS arbiter (see
+        #: :class:`repro.nvme.queues.WrrArbiter`). ``None`` — the default
+        #: — keeps the admission path yield-free and the pinned-seed
+        #: timelines bit-identical.
+        self.arbiter = None
 
     def _ingest_bandwidth(self) -> float:
         if self.spec.ram_buffer_bytes > 0:
@@ -262,12 +270,15 @@ class SSD:
         payload: Payload,
         command_size: int,
         rate_cap: Optional[float] = None,
+        qos: Optional["QoSClass"] = None,
     ) -> Event:
         """Batch write: ``payload`` at byte ``offset``, split into
         ``command_size``-byte commands. Returns a completion event whose
         value is a :class:`CommandResult`.
 
-        ``rate_cap`` lets the fabric layer impose the network link limit.
+        ``rate_cap`` lets the fabric layer impose the network link limit;
+        ``qos`` is the envelope's traffic class, consulted by the
+        optional front-end arbiter.
         """
         self._check_io(nsid, offset, payload.nbytes, command_size)
         # Claim the caller's handoff parent here, while still inside the
@@ -277,7 +288,7 @@ class SSD:
             "nvme.write", cat="device", track=self.name,
             parent=tr.take_handoff(), nsid=nsid, bytes=payload.nbytes)
         return self.env.process(
-            self._do_write(nsid, offset, payload, command_size, rate_cap, span))
+            self._do_write(nsid, offset, payload, command_size, rate_cap, span, qos))
 
     def _do_write(
         self,
@@ -287,6 +298,7 @@ class SSD:
         command_size: int,
         rate_cap: Optional[float],
         span=None,
+        qos: Optional["QoSClass"] = None,
     ) -> Generator[Event, Any, CommandResult]:
         self._check_io(nsid, offset, payload.nbytes, command_size)
         ns = self._namespaces[nsid]
@@ -294,35 +306,44 @@ class SSD:
         started = self.env.now
         tr = tracer_of(self.env) if span is not None else None
         n_cmds = max(1, math.ceil(payload.nbytes / command_size))
-        jitter = self._arbitration_jitter(command_size, self._write_server)
-        bucket_delay = self._take_tokens(payload.nbytes)
-        delay = jitter + bucket_delay
-        if delay > 0:
-            wait = None if tr is None else tr.begin(
-                "nvme.wait", cat="device", track=self.name, parent=span,
-                jitter_s=jitter, ram_bucket_s=bucket_delay)
-            yield self.env.timeout(delay)
-            if wait is not None:
-                tr.end(wait)
-        self._check_power(epoch)
-        cap = self._qd1_cap(command_size, rate_cap)
-        media_ev = self._write_server.transfer(payload.nbytes, cap=cap)
-        cmd_ev = self._cmd_server.transfer(n_cmds)
-        if tr is not None:
-            media = tr.begin("nvme.media", cat="device", track=self.name,
-                             parent=span, bytes=payload.nbytes)
-            cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
-                               parent=span, cmds=n_cmds)
-            media_ev.callbacks.append(lambda _ev: tr.end(media))
-            cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
-        yield self.env.all_of([media_ev, cmd_ev])
-        self._check_power(epoch)
+        # QoS arbitration happens before the jitter draw so that with no
+        # arbiter (or an uncontended one) the rng sequence is untouched.
+        if self.arbiter is not None:
+            yield from self.arbiter.admit(qos)
+        try:
+            jitter = self._arbitration_jitter(command_size, self._write_server)
+            bucket_delay = self._take_tokens(payload.nbytes)
+            delay = jitter + bucket_delay
+            if delay > 0:
+                wait = None if tr is None else tr.begin(
+                    "nvme.wait", cat="device", track=self.name, parent=span,
+                    jitter_s=jitter, ram_bucket_s=bucket_delay)
+                yield self.env.timeout(delay)
+                if wait is not None:
+                    tr.end(wait)
+            self._check_power(epoch)
+            cap = self._qd1_cap(command_size, rate_cap)
+            media_ev = self._write_server.transfer(payload.nbytes, cap=cap)
+            cmd_ev = self._cmd_server.transfer(n_cmds)
+            if tr is not None:
+                media = tr.begin("nvme.media", cat="device", track=self.name,
+                                 parent=span, bytes=payload.nbytes)
+                cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
+                                   parent=span, cmds=n_cmds)
+                media_ev.callbacks.append(lambda _ev: tr.end(media))
+                cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
+            yield self.env.all_of([media_ev, cmd_ev])
+            self._check_power(epoch)
+        finally:
+            if self.arbiter is not None:
+                self.arbiter.release()
         ns.store.write(offset, payload)
         self.counters.add("bytes_written", payload.nbytes)
         self.counters.add("write_commands", n_cmds)
         cmd = Command(
             Opcode.WRITE, nsid, slba=offset // self.spec.lba_size,
             nblocks=max(1, payload.nbytes // self.spec.lba_size), payload=payload,
+            qos=qos,
         )
         latency = self.env.now - started
         if tr is not None:
@@ -339,6 +360,7 @@ class SSD:
         nbytes: int,
         command_size: int,
         rate_cap: Optional[float] = None,
+        qos: Optional["QoSClass"] = None,
     ) -> Event:
         """Batch read; the event's value is a :class:`CommandResult` whose
         ``extra['extents']`` holds the overlapping stored extents."""
@@ -348,7 +370,7 @@ class SSD:
             "nvme.read", cat="device", track=self.name,
             parent=tr.take_handoff(), nsid=nsid, bytes=nbytes)
         return self.env.process(
-            self._do_read(nsid, offset, nbytes, command_size, rate_cap, span))
+            self._do_read(nsid, offset, nbytes, command_size, rate_cap, span, qos))
 
     def _do_read(
         self,
@@ -358,6 +380,7 @@ class SSD:
         command_size: int,
         rate_cap: Optional[float],
         span=None,
+        qos: Optional["QoSClass"] = None,
     ) -> Generator[Event, Any, CommandResult]:
         self._check_io(nsid, offset, nbytes, command_size)
         ns = self._namespaces[nsid]
@@ -365,33 +388,40 @@ class SSD:
         started = self.env.now
         tr = tracer_of(self.env) if span is not None else None
         n_cmds = max(1, math.ceil(nbytes / command_size))
-        jitter = self._arbitration_jitter(command_size, self._read_server)
-        if jitter > 0:
-            wait = None if tr is None else tr.begin(
-                "nvme.wait", cat="device", track=self.name, parent=span,
-                jitter_s=jitter)
-            yield self.env.timeout(jitter)
-            if wait is not None:
-                tr.end(wait)
-        self._check_power(epoch)
-        cap = self._qd1_cap(command_size, rate_cap)
-        media_ev = self._read_server.transfer(nbytes, cap=cap)
-        cmd_ev = self._cmd_server.transfer(n_cmds)
-        if tr is not None:
-            media = tr.begin("nvme.media", cat="device", track=self.name,
-                             parent=span, bytes=nbytes)
-            cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
-                               parent=span, cmds=n_cmds)
-            media_ev.callbacks.append(lambda _ev: tr.end(media))
-            cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
-        yield self.env.all_of([media_ev, cmd_ev])
-        self._check_power(epoch)
+        if self.arbiter is not None:
+            yield from self.arbiter.admit(qos)
+        try:
+            jitter = self._arbitration_jitter(command_size, self._read_server)
+            if jitter > 0:
+                wait = None if tr is None else tr.begin(
+                    "nvme.wait", cat="device", track=self.name, parent=span,
+                    jitter_s=jitter)
+                yield self.env.timeout(jitter)
+                if wait is not None:
+                    tr.end(wait)
+            self._check_power(epoch)
+            cap = self._qd1_cap(command_size, rate_cap)
+            media_ev = self._read_server.transfer(nbytes, cap=cap)
+            cmd_ev = self._cmd_server.transfer(n_cmds)
+            if tr is not None:
+                media = tr.begin("nvme.media", cat="device", track=self.name,
+                                 parent=span, bytes=nbytes)
+                cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
+                                   parent=span, cmds=n_cmds)
+                media_ev.callbacks.append(lambda _ev: tr.end(media))
+                cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
+            yield self.env.all_of([media_ev, cmd_ev])
+            self._check_power(epoch)
+        finally:
+            if self.arbiter is not None:
+                self.arbiter.release()
         extents: List[Extent] = ns.store.read(offset, nbytes)
         self.counters.add("bytes_read", nbytes)
         self.counters.add("read_commands", n_cmds)
         cmd = Command(
             Opcode.READ, nsid, slba=offset // self.spec.lba_size,
             nblocks=max(1, nbytes // self.spec.lba_size),
+            qos=qos,
         )
         latency = self.env.now - started
         if tr is not None:
@@ -434,9 +464,15 @@ class SSD:
                 raise InvalidCommand(
                     f"payload {payload.nbytes}B exceeds LBA range {nbytes}B"
                 )
-            return self.write(command.nsid, offset, payload, max(nbytes, 1), rate_cap)
+            return self.write(
+                command.nsid, offset, payload, max(nbytes, 1), rate_cap,
+                qos=command.qos,
+            )
         if command.opcode is Opcode.READ:
-            return self.read(command.nsid, offset, nbytes, max(nbytes, 1), rate_cap)
+            return self.read(
+                command.nsid, offset, nbytes, max(nbytes, 1), rate_cap,
+                qos=command.qos,
+            )
         if command.opcode is Opcode.FLUSH:
             return self.flush(command.nsid)
         if command.opcode is Opcode.IDENTIFY:

@@ -38,6 +38,7 @@ from repro.obs.context import (
 )
 from repro.obs.export import (
     chrome_trace,
+    span_count,
     span_sequence,
     summary_text,
     total_duration,
@@ -66,6 +67,7 @@ __all__ = [
     "attach",
     "capture",
     "chrome_trace",
+    "span_count",
     "span_sequence",
     "summary_text",
     "total_duration",

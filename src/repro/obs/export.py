@@ -29,6 +29,7 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "summary_text",
+    "span_count",
     "span_sequence",
     "total_duration",
 ]
@@ -231,6 +232,28 @@ def total_duration(ctx_or_tracer, name: Optional[str] = None,
         end = s.end if s.end is not None else s.begin
         total += end - s.begin
     return total
+
+
+def span_count(ctx_or_tracer, name: Optional[str] = None,
+               cat: Optional[str] = None,
+               track: Optional[str] = None) -> int:
+    """Number of spans matching the given filters.
+
+    The batching experiment asserts fabric round trips from
+    ``span_count(ctx, name="nvmf.rtt")``: doorbell batching must lower
+    it at equal payload bytes.
+    """
+    tr = getattr(ctx_or_tracer, "tracer", ctx_or_tracer)
+    n = 0
+    for s in tr.spans:
+        if name is not None and s.name != name:
+            continue
+        if cat is not None and s.cat != cat:
+            continue
+        if track is not None and s.track != track:
+            continue
+        n += 1
+    return n
 
 
 def summary_text(contexts: Iterable, wall_s: Optional[float] = None) -> str:

@@ -30,7 +30,10 @@ from repro.sim.engine import (
 from repro.sim.fairshare import FairShareServer, Flow
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RngHub
-from repro.sim.trace import Counter, TraceRecorder
+
+# Counter/TraceRecorder live in repro.obs.metrics now; importing them
+# via repro.sim.trace would fire its DeprecationWarning.
+from repro.obs.metrics import Counter, TraceRecorder
 
 __all__ = [
     "AllOf",

@@ -1,14 +1,24 @@
-"""Back-compat aliases for the old measurement helpers.
+"""Deprecated back-compat aliases for the old measurement helpers.
 
 The ad-hoc :class:`Counter` / :class:`TraceRecorder` pair grew into the
 typed instrument registry in :mod:`repro.obs.metrics`; both classes now
 live there (``TraceRecorder`` with a consistent lookup contract —
 ``series()`` and ``last()`` both raise :class:`KeyError` for unknown
-names).  Import from :mod:`repro.obs` for new code.
+names).  Import from :mod:`repro.obs.metrics` instead; this module will
+be removed in a future release.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.metrics import Counter, TraceRecorder
 
 __all__ = ["Counter", "TraceRecorder"]
+
+warnings.warn(
+    "repro.sim.trace is deprecated; import Counter and TraceRecorder "
+    "from repro.obs.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,176 @@
+"""Tests for admission control, retry budgets, and deadlines."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.core.data_plane import DataPlane
+from repro.errors import DeadlineExceeded, FabricError, InvalidArgument
+from repro.fabric import (
+    FabricTransport,
+    LocalPCIeTransport,
+    NVMfInitiator,
+    NVMfTarget,
+    RdmaFabric,
+    edr_infiniband,
+)
+from repro.io import IORequest, QoSClass
+from repro.nvme import SSD, Payload
+from repro.sim import Environment
+from repro.topology import NetworkTopology, paper_testbed
+from repro.units import GiB, KiB, MiB
+
+from tests.conftest import deterministic_spec
+
+
+def _local_plane(**config_overrides):
+    env = Environment()
+    ssd = SSD(env, deterministic_spec(), "s0", rng=np.random.default_rng(0))
+    ns = ssd.create_namespace(GiB(4))
+    config = RuntimeConfig(max_batch_bytes=MiB(8), **config_overrides)
+    dp = DataPlane(env, LocalPCIeTransport(env, ssd), ns.nsid, config)
+    return env, ssd, dp
+
+
+def _write_req(offset, nbytes, **overrides):
+    return IORequest.write_runs(
+        1, [(offset, Payload.synthetic(f"w{offset}", nbytes))],
+        command_size=KiB(32), chunk_bytes=MiB(8), **overrides)
+
+
+def test_window_bounds_inflight_bytes():
+    env, ssd, dp = _local_plane(inflight_window_bytes=MiB(1))
+    completions = []
+
+    def issue(offset):
+        done = yield from dp.submit(_write_req(offset, MiB(1)))
+        completions.append(done)
+
+    for i in range(4):
+        env.process(issue(i * MiB(1)))
+    env.run()
+    assert len(completions) == 4
+    # First request admitted instantly; the rest waited for the window.
+    waits = sorted(c.admission_s for c in completions)
+    assert waits[0] == 0.0
+    assert all(w > 0 for w in waits[1:])
+    assert dp._inflight_bytes == 0
+
+
+def test_window_caps_concurrent_transport_bytes():
+    env, ssd, dp = _local_plane(inflight_window_bytes=MiB(2))
+    seen = []
+    orig = dp.transport.write
+
+    def spy(*args, **kwargs):
+        seen.append(dp._inflight_bytes)
+        return orig(*args, **kwargs)
+
+    dp.transport.write = spy
+
+    def issue(offset):
+        yield from dp.submit(_write_req(offset, MiB(1)))
+
+    for i in range(6):
+        env.process(issue(i * MiB(1)))
+    env.run()
+    # Every transport submission happened inside the window — and the
+    # window was actually exercised, not trivially single-file.
+    assert max(seen) == MiB(2)
+    assert all(b <= MiB(2) for b in seen)
+
+
+def test_oversized_request_admitted_alone():
+    # 4 MiB request through a 1 MiB window: admitted once the window
+    # drains, never deadlocked.
+    env, ssd, dp = _local_plane(inflight_window_bytes=MiB(1))
+    done = env.run_until_complete(env.process(dp.submit(_write_req(0, MiB(4)))))
+    assert done.ok
+    assert ssd.counters.get("bytes_written") == MiB(4)
+    assert dp._inflight_bytes == 0
+
+
+def test_window_validation():
+    with pytest.raises(InvalidArgument):
+        RuntimeConfig(inflight_window_bytes=0)
+
+
+def _fabric_plane():
+    env = Environment()
+    topo = NetworkTopology(paper_testbed())
+    fabric = RdmaFabric(topo, edr_infiniband(), env=env)
+    ssd = SSD(env, deterministic_spec(), "ssd-stor00",
+              rng=np.random.default_rng(0))
+    ns = ssd.create_namespace(GiB(4))
+    target = NVMfTarget(env, "stor00", ssd)
+    initiator = NVMfInitiator(env, "comp00", fabric)
+    session = initiator.connect(target)
+    transport = FabricTransport(session, initiator=initiator, target=target)
+    dp = DataPlane(env, transport, ns.nsid, RuntimeConfig(max_batch_bytes=MiB(8)))
+    return env, ssd, target, dp
+
+
+def test_zero_retry_budget_propagates_fabric_error():
+    env, ssd, target, dp = _fabric_plane()
+    target.kill()
+    with pytest.raises(FabricError):
+        env.run_until_complete(env.process(dp.submit(_write_req(0, KiB(64)))))
+    assert dp.counters.get("io_retries") == 0
+
+
+def test_retry_reconnects_after_target_revival():
+    env, ssd, target, dp = _fabric_plane()
+    target.kill()
+
+    def revive():
+        yield env.timeout(100e-6)
+        target.revive()
+
+    env.process(revive())
+    req = _write_req(0, KiB(64), retry_budget=5, retry_backoff=80e-6)
+    done = env.run_until_complete(env.process(dp.submit(req)))
+    assert done.ok
+    assert done.retries_used >= 1
+    assert dp.counters.get("io_retries") == done.retries_used
+    assert ssd.counters.get("bytes_written") == KiB(64)
+
+
+def test_retry_budget_exhausted_reraises():
+    env, ssd, target, dp = _fabric_plane()
+    target.kill()
+    req = _write_req(0, KiB(64), retry_budget=2, retry_backoff=10e-6)
+    with pytest.raises(FabricError):
+        env.run_until_complete(env.process(dp.submit(req)))
+    assert dp.counters.get("io_retries") == 2
+
+
+def test_deadline_bounds_retries():
+    env, ssd, target, dp = _fabric_plane()
+    target.kill()
+    # Generous budget, tight deadline: the deadline fires first.
+    req = _write_req(0, KiB(64), retry_budget=50, retry_backoff=100e-6,
+                     deadline=250e-6)
+    with pytest.raises(DeadlineExceeded):
+        env.run_until_complete(env.process(dp.submit(req)))
+    assert env.now <= 1e-3
+    assert dp.counters.get("io_retries") < 50
+
+
+def test_backoff_doubles_per_attempt():
+    env, ssd, target, dp = _fabric_plane()
+    target.kill()
+    req = _write_req(0, KiB(64), retry_budget=3, retry_backoff=100e-6)
+    with pytest.raises(FabricError):
+        env.run_until_complete(env.process(dp.submit(req)))
+    # 100 + 200 + 400 us of backoff (plus negligible software charge).
+    assert env.now == pytest.approx(700e-6, rel=0.2)
+
+
+def test_completion_records_per_class_latency():
+    env, ssd, dp = _local_plane()
+    req = _write_req(0, MiB(1), qos=QoSClass.JOURNAL)
+    done = env.run_until_complete(env.process(dp.submit(req)))
+    assert done.qos is QoSClass.JOURNAL
+    assert dp.class_latencies[QoSClass.JOURNAL] == [done.latency_s]
+    assert done.latency_s == pytest.approx(
+        done.software_s + done.admission_s + done.transfer_s + done.flush_s)

@@ -64,3 +64,21 @@ def test_imbalance_at_low_key_count():
         buckets = np.bincount(place_names(names, 8), minlength=8)
         covs.append(buckets.std() / buckets.mean())
     assert np.mean(covs) > 0.3
+
+
+def test_bucket_count_monotonicity_int_keys():
+    """Bucket indices never decrease as the bucket count grows: a key's
+    placement is a non-decreasing function of num_buckets (it only ever
+    moves INTO the newest bucket)."""
+    keys = list(range(300))
+    for key in keys:
+        last = 0
+        for n in range(1, 40):
+            bucket = jump_hash(key, n)
+            assert bucket >= last
+            last = bucket
+
+
+def test_negative_bucket_count_rejected():
+    with pytest.raises(ValueError):
+        jump_hash("k", -3)

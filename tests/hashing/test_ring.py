@@ -59,3 +59,30 @@ def test_members_listing():
     assert ring.members() == ["x", "y"]
     ring.remove("x")
     assert ring.members() == ["y"]
+
+
+def test_single_node_ring_owns_everything():
+    ring = HashRing(["only"], vnodes=4)
+    assert ring.members() == ["only"]
+    assert all(ring.lookup(f"k{i}") == "only" for i in range(200))
+
+
+def test_removing_last_member_empties_ring():
+    ring = HashRing(["only"])
+    ring.remove("only")
+    assert ring.members() == []
+    with pytest.raises(ValueError):
+        ring.lookup("anything")
+
+
+def test_invalid_vnode_count_rejected():
+    with pytest.raises(ValueError):
+        HashRing(["a"], vnodes=0)
+
+
+def test_remove_absent_member_is_noop():
+    ring = HashRing(["a", "b"], vnodes=32)
+    keys = [f"k{i}" for i in range(100)]
+    before = [ring.lookup(k) for k in keys]
+    ring.remove("ghost")
+    assert [ring.lookup(k) for k in keys] == before

@@ -123,3 +123,37 @@ def test_adjacent_extents_not_merged_but_read_contiguously():
     store.write(0, Payload.of_bytes(b"ab"))
     store.write(2, Payload.of_bytes(b"cd"))
     assert store.read_bytes(0, 4) == b"abcd"
+
+
+def test_read_on_empty_store_returns_empty_list():
+    store = ExtentStore(1024)
+    assert store.read(0, 1024) == []
+    assert store.read_bytes(0, 8) == b"\x00" * 8
+    assert store.bytes_stored() == 0
+
+
+def test_zero_length_read_returns_empty_list():
+    store = ExtentStore(64)
+    store.write(0, Payload.of_bytes(b"data"))
+    assert store.read(2, 0) == []
+
+
+def test_discard_on_empty_store_is_noop():
+    store = ExtentStore(64)
+    store.discard(0, 64)
+    assert store.extent_count() == 0
+
+
+def test_zero_size_store_accepts_only_empty_ranges():
+    store = ExtentStore(0)
+    assert store.read(0, 0) == []
+    store.write(0, Payload.of_bytes(b""))
+    with pytest.raises(InvalidCommand):
+        store.read(0, 1)
+
+
+def test_read_between_extents_returns_empty():
+    store = ExtentStore(1024)
+    store.write(0, Payload.of_bytes(b"aa"))
+    store.write(100, Payload.of_bytes(b"bb"))
+    assert store.read(10, 50) == []

@@ -1,0 +1,46 @@
+"""The legacy repro.sim.trace aliases warn exactly once, at import."""
+
+import importlib
+import sys
+import warnings
+
+
+def _fresh_import():
+    sys.modules.pop("repro.sim.trace", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module("repro.sim.trace")
+    return module, caught
+
+
+def test_import_warns_exactly_once_and_points_at_obs_metrics():
+    module, caught = _fresh_import()
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert "repro.sim.trace" in message
+    assert "repro.obs.metrics" in message
+    # The aliases still resolve to the real classes.
+    from repro.obs.metrics import Counter, TraceRecorder
+
+    assert module.Counter is Counter
+    assert module.TraceRecorder is TraceRecorder
+
+
+def test_cached_reimport_does_not_warn_again():
+    _fresh_import()  # prime sys.modules
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.import_module("repro.sim.trace")
+    assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def test_package_shortcut_does_not_warn():
+    # ``from repro.sim import Counter`` goes straight to obs.metrics.
+    sys.modules.pop("repro.sim.trace", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.sim  # noqa: F401 - the import is the test
+
+        _ = repro.sim.Counter
+    assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
