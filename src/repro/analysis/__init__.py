@@ -1,0 +1,56 @@
+"""repro.analysis — determinism lint + simulation sanitizer suite.
+
+Two halves enforce the repro's correctness contracts:
+
+* :mod:`repro.analysis.detlint` — an AST-based linter (``repro lint``,
+  ``python -m repro.analysis``) whose DET001–DET007 rules forbid the
+  nondeterminism classes that would break bit-identical pinned-seed
+  replays (wall clocks, unseeded RNG, float == on sim timestamps,
+  order-sensitive set/dict iteration, unregistered coroutines, missing
+  ``__slots__`` on hot-path classes, bare ``except:``).
+
+* :mod:`repro.analysis.sanitize` — runtime sanitizers behind
+  ``repro run <exp> --sanitize``: a determinism sanitizer (run twice,
+  diff per-layer event-stream hashes), a sim-time race detector
+  (same-timestamp multi-actor mutations on objects without a declared
+  ``_san_tiebreak``), and a leak sanitizer (unreleased resources, queue
+  pairs, namespaces, and in-flight envelopes at run end).
+"""
+
+from repro.analysis.detlint import (
+    RULES,
+    Finding as LintFinding,
+    LintConfig,
+    lint_file,
+    lint_paths,
+)
+from repro.analysis.detlint import main as lint_main
+from repro.analysis.sanitize import (
+    Finding as SanitizeFinding,
+    Monitor,
+    SanitizeReport,
+    SanitizeSession,
+    attach_if_active,
+    first_divergence,
+    note_mutation,
+    sanitized_run,
+    session,
+)
+
+__all__ = [
+    "RULES",
+    "LintFinding",
+    "LintConfig",
+    "lint_file",
+    "lint_paths",
+    "lint_main",
+    "SanitizeFinding",
+    "Monitor",
+    "SanitizeReport",
+    "SanitizeSession",
+    "attach_if_active",
+    "first_divergence",
+    "note_mutation",
+    "sanitized_run",
+    "session",
+]

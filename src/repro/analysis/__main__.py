@@ -1,0 +1,8 @@
+"""``python -m repro.analysis [paths...]`` — run DetLint (pre-commit entry)."""
+
+import sys
+
+from repro.analysis.detlint import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,9 +22,7 @@ from typing import Any, Generator, List, Set
 
 import numpy as np
 
-from repro.bench import calibration as cal
 from repro.sim.engine import Event
-from repro.units import us
 
 __all__ = ["IncrementalConfig", "IncrementalCheckpointer"]
 

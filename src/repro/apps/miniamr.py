@@ -17,7 +17,7 @@ Figure 7(b)'s "perfect balance" survives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, List
+from typing import Any, Generator
 
 import numpy as np
 

@@ -9,6 +9,8 @@
     python -m repro run fig8a --trace trace.json       # Perfetto trace
     python -m repro run fig8a --metrics                # counters + latency
     python -m repro trace fig8a                        # shorthand for --trace
+    python -m repro run fig8a --sanitize               # determinism/race/leak
+    python -m repro lint src                           # DetLint static analysis
 """
 
 from __future__ import annotations
@@ -116,6 +118,14 @@ def main(argv=None) -> int:
     runp.add_argument("--batching", action="store_true",
                       help="qos experiment: also compare NVMf round trips "
                            "with doorbell batching off vs on")
+    runp.add_argument("--sanitize", action="store_true",
+                      help="run twice under the determinism/race/leak "
+                           "sanitizers; nonzero exit on any finding")
+    lintp = sub.add_parser(
+        "lint", help="DetLint: static determinism analysis (DET001-DET007)"
+    )
+    lintp.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                       help="files or directories to lint (default: src)")
     tracep = sub.add_parser(
         "trace", help="run one experiment with tracing on; write the trace"
     )
@@ -128,6 +138,11 @@ def main(argv=None) -> int:
                         help="print the metrics/span summary too")
     args = parser.parse_args(argv)
 
+    if args.command == "lint":
+        from repro.analysis.detlint import main as lint_main
+
+        return lint_main(args.paths or ["src"])
+
     if args.command == "trace":
         # Shorthand: `repro trace fig8a` == `repro run fig8a --trace ...`.
         args.trace = args.out or f"{args.name}.trace.json"
@@ -137,6 +152,7 @@ def main(argv=None) -> int:
         args.export = None
         args.qos = None
         args.batching = False
+        args.sanitize = False
 
     if args.command == "list":
         for name in _EXPERIMENTS:
@@ -153,6 +169,14 @@ def main(argv=None) -> int:
     want_obs = bool(
         args.trace or args.trace_jsonl or args.metrics or args.profile
     )
+    if args.sanitize and want_obs:
+        print("--sanitize re-runs the experiment and cannot combine with "
+              "--trace/--trace-jsonl/--metrics/--profile", file=sys.stderr)
+        return 2
+    if args.sanitize and args.name == "all":
+        print("--sanitize applies to single experiments, not 'all'",
+              file=sys.stderr)
+        return 2
 
     if args.name == "all":
         if want_obs:
@@ -211,7 +235,21 @@ def main(argv=None) -> int:
             kwargs["modes"] = (args.qos,)
         if args.batching:
             kwargs["batching"] = True
-    started = time.time()
+    started = time.time()  # wall-clock CLI reporting  # detlint: ignore[DET001]
+    if args.sanitize:
+        from repro.analysis.sanitize import sanitized_run
+
+        table, report = sanitized_run(lambda: fn(**kwargs))
+        table.show()
+        print(report.render())
+        if args.export:
+            from repro.bench.report import export
+
+            for path in export(table, args.export):
+                print(f"wrote {path}")
+        print(f"[{args.name} sanitized in "
+              f"{time.time() - started:.1f}s wall]")  # detlint: ignore[DET001]
+        return 0 if report.ok else 1
     if want_obs:
         from repro import obs
 
@@ -235,7 +273,8 @@ def main(argv=None) -> int:
 
         for path in export(table, args.export):
             print(f"wrote {path}")
-    print(f"[{args.name} regenerated in {time.time() - started:.1f}s wall]")
+    print(f"[{args.name} regenerated in "
+          f"{time.time() - started:.1f}s wall]")  # detlint: ignore[DET001]
     return 0
 
 

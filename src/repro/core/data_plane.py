@@ -48,6 +48,9 @@ __all__ = ["DataPlane"]
 class DataPlane:
     """Per-instance IO submission engine over one namespace."""
 
+    #: Window waiters wake in arrival order (deque drained FIFO).
+    _san_tiebreak = "fifo"
+
     def __init__(
         self,
         env: Environment,
@@ -130,6 +133,10 @@ class DataPlane:
     def submit(self, req: IORequest) -> Generator[Event, Any, IOCompletion]:
         """Run one envelope through charge → admit → execute → retry."""
         started = self.env.now
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "submit")
+            monitor.note_io_begin(req)
         tr = tracer_of(self.env)
         span = None if tr is None else self._begin(
             req.span_name, tr=tr, **req.span_attrs)
@@ -174,6 +181,10 @@ class DataPlane:
             transfer_s = self.env.now - exec_at - flush_s
         finally:
             self._release_window(req.total_bytes)
+            if monitor is not None:
+                # The envelope left the pipeline (completed *or* failed);
+                # only requests still parked here at run end are leaks.
+                monitor.note_io_end(req)
         for name, delta in req.counters:
             self.counters.add(name, delta)
         if tr is not None:

@@ -27,7 +27,7 @@ were replayed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, List, Optional
 
 from repro.core.config import RuntimeConfig

@@ -17,8 +17,7 @@ code.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import InvalidArgument
 from repro.io.qos import QoSClass
@@ -96,7 +95,6 @@ def merge_adjacent_extents(
     return merged
 
 
-@dataclass
 class IORequest:
     """Typed envelope for one logical I/O through the unified pipeline.
 
@@ -107,42 +105,93 @@ class IORequest:
     model differs from the generic ceil-division (the state-checkpoint
     path charges floor division, a historical calibration choice the
     pinned baselines depend on).
+
+    A ``__slots__`` class (not a dataclass): one envelope is allocated
+    per logical I/O on the hot path, and ``@dataclass(slots=True)``
+    needs Python >= 3.10 while this tree supports 3.9.
     """
 
-    op: Opcode
-    nsid: int
-    extents: List[tuple]
-    command_size: int
-    qos: QoSClass = QoSClass.BEST_EFFORT
-    chunk_bytes: Optional[int] = None
-    n_cmds: Optional[int] = None
-    flush_after: bool = False
-    charge_software: bool = True
-    syscalls: int = 1
-    #: Absolute simulated-time deadline; a retry never starts past it.
-    deadline: Optional[float] = None
-    #: Transport (fabric) failures tolerated before the error propagates.
-    retry_budget: int = 0
-    #: First retry back-off, doubled per attempt.
-    retry_backoff: float = 50e-6
-    #: Eligible for doorbell batching when the config enables it.
-    batchable: bool = False
-    span_name: str = "dataplane.io"
-    span_attrs: dict = field(default_factory=dict)
-    #: (name, delta) counter bumps applied on success.
-    counters: List[Tuple[str, float]] = field(default_factory=list)
+    __slots__ = (
+        "op",
+        "nsid",
+        "extents",
+        "command_size",
+        "qos",
+        "chunk_bytes",
+        "n_cmds",
+        "flush_after",
+        "charge_software",
+        "syscalls",
+        "deadline",
+        "retry_budget",
+        "retry_backoff",
+        "batchable",
+        "span_name",
+        "span_attrs",
+        "counters",
+    )
 
-    def __post_init__(self) -> None:
-        if self.op not in (Opcode.READ, Opcode.WRITE):
-            raise InvalidArgument(f"IORequest op must be READ or WRITE, got {self.op}")
-        if self.command_size <= 0:
-            raise InvalidArgument(f"command_size must be positive, got {self.command_size}")
-        if self.retry_budget < 0:
-            raise InvalidArgument(f"retry_budget must be >= 0, got {self.retry_budget}")
-        if self.retry_backoff < 0:
+    def __init__(
+        self,
+        op: Opcode,
+        nsid: int,
+        extents: List[tuple],
+        command_size: int,
+        qos: QoSClass = QoSClass.BEST_EFFORT,
+        chunk_bytes: Optional[int] = None,
+        n_cmds: Optional[int] = None,
+        flush_after: bool = False,
+        charge_software: bool = True,
+        syscalls: int = 1,
+        deadline: Optional[float] = None,
+        retry_budget: int = 0,
+        retry_backoff: float = 50e-6,
+        batchable: bool = False,
+        span_name: str = "dataplane.io",
+        span_attrs: Optional[Dict[str, Any]] = None,
+        counters: Optional[List[Tuple[str, float]]] = None,
+    ):
+        if op not in (Opcode.READ, Opcode.WRITE):
+            raise InvalidArgument(f"IORequest op must be READ or WRITE, got {op}")
+        if command_size <= 0:
+            raise InvalidArgument(f"command_size must be positive, got {command_size}")
+        if retry_budget < 0:
+            raise InvalidArgument(f"retry_budget must be >= 0, got {retry_budget}")
+        if retry_backoff < 0:
             raise InvalidArgument("retry_backoff must be >= 0")
-        if not isinstance(self.qos, QoSClass):
-            raise InvalidArgument(f"qos must be a QoSClass, got {self.qos!r}")
+        if not isinstance(qos, QoSClass):
+            raise InvalidArgument(f"qos must be a QoSClass, got {qos!r}")
+        self.op = op
+        self.nsid = nsid
+        self.extents = extents
+        self.command_size = command_size
+        self.qos = qos
+        self.chunk_bytes = chunk_bytes
+        self.n_cmds = n_cmds
+        self.flush_after = flush_after
+        self.charge_software = charge_software
+        self.syscalls = syscalls
+        #: Absolute simulated-time deadline; a retry never starts past it.
+        self.deadline = deadline
+        #: Transport (fabric) failures tolerated before the error propagates.
+        self.retry_budget = retry_budget
+        #: First retry back-off, doubled per attempt.
+        self.retry_backoff = retry_backoff
+        #: Eligible for doorbell batching when the config enables it.
+        self.batchable = batchable
+        self.span_name = span_name
+        self.span_attrs: Dict[str, Any] = {} if span_attrs is None else span_attrs
+        #: (name, delta) counter bumps applied on success.
+        self.counters: List[Tuple[str, float]] = (
+            [] if counters is None else counters
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IORequest(op={self.op.name}, nsid={self.nsid}, "
+            f"extents={len(self.extents)}, qos={self.qos.value}, "
+            f"bytes={self.total_bytes})"
+        )
 
     # -- derived accounting -------------------------------------------------
 
@@ -284,23 +333,57 @@ class IORequest:
         return req
 
 
-@dataclass
 class IOCompletion:
     """Uniform completion record for one IORequest."""
 
-    status: str
-    qos: QoSClass
-    nbytes: int
-    n_cmds: int
-    latency_s: float
-    software_s: float = 0.0
-    admission_s: float = 0.0
-    transfer_s: float = 0.0
-    flush_s: float = 0.0
-    retries_used: int = 0
-    #: Bytes written (writes) or the stored extents (reads).
-    value: Any = None
+    __slots__ = (
+        "status",
+        "qos",
+        "nbytes",
+        "n_cmds",
+        "latency_s",
+        "software_s",
+        "admission_s",
+        "transfer_s",
+        "flush_s",
+        "retries_used",
+        "value",
+    )
+
+    def __init__(
+        self,
+        status: str,
+        qos: QoSClass,
+        nbytes: int,
+        n_cmds: int,
+        latency_s: float,
+        software_s: float = 0.0,
+        admission_s: float = 0.0,
+        transfer_s: float = 0.0,
+        flush_s: float = 0.0,
+        retries_used: int = 0,
+        value: Any = None,
+    ):
+        self.status = status
+        self.qos = qos
+        self.nbytes = nbytes
+        self.n_cmds = n_cmds
+        self.latency_s = latency_s
+        self.software_s = software_s
+        self.admission_s = admission_s
+        self.transfer_s = transfer_s
+        self.flush_s = flush_s
+        self.retries_used = retries_used
+        #: Bytes written (writes) or the stored extents (reads).
+        self.value = value
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    def __repr__(self) -> str:
+        return (
+            f"IOCompletion(status={self.status!r}, qos={self.qos.value}, "
+            f"nbytes={self.nbytes}, latency_s={self.latency_s:.6g}, "
+            f"retries={self.retries_used})"
+        )

@@ -46,7 +46,7 @@ from repro.obs.context import tracer_of
 from repro.obs.metrics import Counter
 from repro.sim.engine import Environment, Event
 from repro.sim.fairshare import FairShareServer
-from repro.units import GB_per_s, GiB, KiB, us
+from repro.units import GB_per_s, GiB, us
 
 if TYPE_CHECKING:
     from repro.io.qos import QoSClass
@@ -188,12 +188,23 @@ class SSD:
             )
         ns = Namespace(next(self._nsids), nbytes, owner_job=owner_job)
         self._namespaces[ns.nsid] = ns
+        monitor = self.env.monitor
+        if monitor is not None:
+            # SSDs deliberately declare no _san_tiebreak: same-timestamp
+            # namespace churn from distinct actors has no ordering rule.
+            monitor.note_mutation(self, "create_namespace")
+            monitor.note_namespace(self, ns, created=True)
         return ns
 
     def delete_namespace(self, nsid: int) -> None:
         if nsid not in self._namespaces:
             raise DeviceError(f"{self.name}: no namespace {nsid}")
+        ns = self._namespaces[nsid]
         del self._namespaces[nsid]
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "delete_namespace")
+            monitor.note_namespace(self, ns, created=False)
 
     def namespace(self, nsid: int) -> Namespace:
         try:

@@ -41,6 +41,23 @@ class WrrArbiter:
     strawman single FIFO the qos experiment compares against.
     """
 
+    __slots__ = (
+        "env",
+        "mode",
+        "slots",
+        "weights",
+        "_in_service",
+        "_fifo",
+        "_queues",
+        "_credits",
+        "grants",
+        "waited",
+    )
+
+    #: Same-timestamp admissions resolve by per-class FIFO + the fixed
+    #: credit scan order below — the sanitizer's tie-break declaration.
+    _san_tiebreak = "fifo"
+
     #: Tie-break order when credits are equal (most- to least-urgent).
     _ORDER = (
         QoSClass.JOURNAL,
@@ -84,6 +101,9 @@ class WrrArbiter:
 
     def admit(self, qos: Optional[QoSClass]) -> Generator[Event, Any, None]:
         """Acquire a service slot; yields only under contention."""
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "admit")
         cls = qos or QoSClass.BEST_EFFORT
         if self._in_service < self.slots and self._waiting() == 0:
             # Fast path: no yield, no event — the default timeline is
@@ -102,6 +122,9 @@ class WrrArbiter:
 
     def release(self) -> None:
         """Return a slot and wake the next waiter per policy."""
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "release")
         self._in_service -= 1
         while self._in_service < self.slots:
             nxt = self._pick()
@@ -132,6 +155,11 @@ class WrrArbiter:
 class QueuePair:
     """One SQ/CQ pair bound to an SSD, with bounded queue depth."""
 
+    __slots__ = ("env", "ssd", "qid", "depth", "_inflight", "_completions")
+
+    #: Completions drain strictly in submission order (_drain_in_order).
+    _san_tiebreak = "fifo"
+
     def __init__(self, env: Environment, ssd: SSD, depth: int = 128):
         if depth < 1:
             raise DeviceError(f"queue depth must be >= 1, got {depth}")
@@ -148,6 +176,9 @@ class QueuePair:
         """Post a command to the SQ. Raises if the queue is full."""
         if len(self._inflight) >= self.depth:
             raise DeviceError(f"queue {self.qid} full (depth {self.depth})")
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "submit")
         slot = {"done": False, "result": None, "error": None}
         self._inflight.append(slot)
         tr = tracer_of(self.env)
@@ -163,6 +194,9 @@ class QueuePair:
         event.callbacks.append(lambda ev: self._on_device_done(slot, ev))
 
     def _on_device_done(self, slot: dict, event: Event) -> None:
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "complete")
         slot["done"] = True
         if event.ok:
             slot["result"] = event.value

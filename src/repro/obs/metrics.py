@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from collections import defaultdict
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 __all__ = [
     "Counter",

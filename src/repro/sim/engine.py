@@ -31,7 +31,9 @@ class Interrupt(Exception):
     notification from :mod:`repro.nvme.power`).
     """
 
-    def __init__(self, cause: Any = None):
+    __slots__ = ("cause",)
+
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -54,7 +56,7 @@ class Event:
         "_had_callbacks",
     )
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -130,7 +132,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(env)
@@ -152,7 +154,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_waiting_on")
 
-    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         super().__init__(env)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
@@ -245,7 +247,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_remaining")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self.events = list(events)
         self._remaining = len(self.events)
@@ -298,15 +300,17 @@ class AllOf(_Condition):
 class Environment:
     """The simulation clock and event queue."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_failures", "_active", "obs")
+    __slots__ = ("_now", "_queue", "_seq", "_failures", "_active", "obs",
+                 "monitor")
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: List[tuple] = []
         self._seq = 0
         self._failures: List[tuple] = []
         self._active = 0  # events scheduled but not yet processed
         self.obs = None  # ObsContext, attached by repro.obs.attach()
+        self.monitor = None  # sanitizer Monitor (repro.analysis.sanitize)
 
     @property
     def now(self) -> float:
@@ -355,13 +359,17 @@ class Environment:
         if time < self._now - 1e-12:
             raise SimulationError("time went backwards (scheduler bug)")
         self._now = max(self._now, time)
+        if self.monitor is not None:
+            self.monitor.note_event(time, _seq, event)
         obs = self.obs
         if obs is not None and obs.profile:
             import time as _time
 
-            t0 = _time.perf_counter()
+            t0 = _time.perf_counter()  # detlint: ignore[DET001]
             event._run_callbacks()
-            obs.selfprof.add(type(event).__name__, _time.perf_counter() - t0)
+            obs.selfprof.add(
+                type(event).__name__,
+                _time.perf_counter() - t0)  # detlint: ignore[DET001]
             obs.metrics.counter("sim.events").add(1)
         else:
             event._run_callbacks()
@@ -376,6 +384,8 @@ class Environment:
         obs = self.obs
         if obs is not None and obs.profile:
             return self._run_profiled(until, obs)
+        if self.monitor is not None:
+            return self._run_monitored(until, self.monitor)
         # Hot loop: the pop/dispatch below is step() inlined (identical
         # ordering), with the orphan check guarded so the common case
         # costs one truth test instead of a call per event.
@@ -400,7 +410,38 @@ class Environment:
             self._now = until
         return self._now
 
-    def _run_profiled(self, until: Optional[float], obs) -> float:
+    def _run_monitored(self, until: Optional[float], monitor: Any) -> float:
+        """run() with the sanitizer monitor's per-event hook.
+
+        Taken only when a :mod:`repro.analysis.sanitize` Monitor is
+        attached.  Event ordering and the final clock are *identical* to
+        :meth:`run` — the hook is pure bookkeeping (stream hashing, race
+        grouping) and never creates events or reads the clock.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        note = monitor.note_event
+        while queue:
+            time = queue[0][0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            if time < self._now - 1e-12:
+                raise SimulationError("time went backwards (scheduler bug)")
+            _time_popped, seq, event = pop(queue)
+            if time > self._now:
+                self._now = time
+            note(time, seq, event)
+            event._run_callbacks()
+            if self._failures:
+                self._raise_orphans()
+        if self._failures:
+            self._raise_orphans()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def _run_profiled(self, until: Optional[float], obs: Any) -> float:
         """run() with per-event-class wall-clock self-profiling.
 
         Taken only when ``env.obs.profile`` is set (the ``--metrics``

@@ -51,7 +51,7 @@ class Flow:
 class FairShareServer:
     """A shared pipe serving concurrent flows at max-min fair rates."""
 
-    def __init__(self, env: Environment, capacity: float, name: str = "pipe"):
+    def __init__(self, env: Environment, capacity: float, name: str = "pipe") -> None:
         if capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity}")
         self.env = env

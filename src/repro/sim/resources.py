@@ -34,7 +34,11 @@ class Resource:
         yield from resource.serve(service_time)
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    #: Same-timestamp contention resolves by the FIFO wait queue — the
+    #: sanitizer's tie-break declaration (repro.analysis.sanitize).
+    _san_tiebreak = "fifo"
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.env = env
@@ -73,6 +77,9 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that triggers once a slot is granted."""
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "request")
         self.total_requests += 1
         event = self.env.event()
         if self._in_service < self.capacity:
@@ -87,6 +94,9 @@ class Resource:
         """Release a slot; hands it to the longest-waiting requester."""
         if self._in_service <= 0:
             raise SimulationError("release() without matching request()")
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "release")
         if self._waiting:
             nxt, queued_at = self._waiting.popleft()
             self.total_wait_time += self.env.now - queued_at
@@ -113,7 +123,10 @@ class Store:
     item is available (items are matched to getters in FIFO order).
     """
 
-    def __init__(self, env: Environment):
+    #: Items match getters in arrival order (deques on both sides).
+    _san_tiebreak = "fifo"
+
+    def __init__(self, env: Environment) -> None:
         self.env = env
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
@@ -122,12 +135,18 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "put")
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.note_mutation(self, "get")
         event = self.env.event()
         if self._items:
             event.succeed(self._items.popleft())

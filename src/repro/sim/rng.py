@@ -26,7 +26,7 @@ class RngHub:
     The same ``(seed, name)`` pair always yields the same sequence.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
 

@@ -42,6 +42,9 @@ class SystemSpec:
         from repro.obs.context import attach
 
         handle.obs = attach(handle.env, label=self.name)
+        from repro.analysis.sanitize import attach_if_active
+
+        attach_if_active(handle.env, label=self.name)
         return handle
 
 

@@ -1,0 +1,19 @@
+"""DetLint corpus: DET001 — wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_event(record):
+    record["at"] = time.time()  # DET001: wall clock, not env.now
+    return record
+
+
+def measure():
+    start = perf_counter()  # DET001: from-import resolves to time.perf_counter
+    return start
+
+
+def log_line(msg):
+    return f"{datetime.now()} {msg}"  # DET001: datetime.datetime.now

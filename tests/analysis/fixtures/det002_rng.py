@@ -1,0 +1,18 @@
+"""DetLint corpus: DET002 — module-level / unseeded RNG draws."""
+
+import random
+
+import numpy as np
+
+
+def pick_server(servers):
+    return random.choice(servers)  # DET002: stdlib global RNG
+
+
+def jitter():
+    return np.random.rand()  # DET002: numpy module-level global state
+
+
+def seeded_ok(seed):
+    # Seeded construction at a boundary is allowed (no finding).
+    return np.random.default_rng(seed)

@@ -1,0 +1,16 @@
+"""DetLint corpus: DET003 — exact float equality on sim timestamps."""
+
+
+def fired_exactly(env, deadline):
+    return env.now == deadline  # DET003: two sim timestamps compared exactly
+
+
+def is_start(start_time):
+    if start_time == 0.5:  # DET003: timestamp vs float literal
+        return True
+    return False
+
+
+def int_compare_ok(count):
+    # Integer equality on a non-timelike name: no finding.
+    return count == 3

@@ -1,0 +1,17 @@
+"""DetLint corpus: DET004 — hash-order iteration over sets."""
+
+
+def schedule_all(env, ranks):
+    pending = set(ranks)
+    for rank in pending:  # DET004: set iteration order is hash-seeded
+        env.process(rank)
+
+
+def snapshot(live):
+    return list({x.name for x in live})  # DET004: list(set) keeps hash order
+
+
+def sorted_ok(live):
+    # Sorting the set first pins the order: no finding.
+    for name in sorted({x.name for x in live}):
+        yield name

@@ -1,0 +1,15 @@
+"""DetLint corpus: DET005 — coroutines / timeouts created but never driven."""
+
+
+def worker(env):
+    yield env.timeout(1.0)
+
+
+def boot(env):
+    worker(env)  # DET005: generator created, never registered
+    env.timeout(5.0)  # DET005: timeout event discarded
+
+
+def boot_ok(env):
+    env.process(worker(env))  # registered: no finding
+    yield env.timeout(5.0)  # yielded: no finding

@@ -1,0 +1,17 @@
+"""DetLint corpus: DET006 — hot-module class without __slots__.
+
+Only fires when this path is configured as a hot module (the unit test
+passes ``LintConfig(hot_modules=(..., "fixtures/det006_hot.py"))``).
+"""
+
+
+class HotEvent:  # DET006 under a hot-module config
+    def __init__(self, time):
+        self.time = time
+
+
+class SlottedEvent:
+    __slots__ = ("time",)
+
+    def __init__(self, time):
+        self.time = time

@@ -1,0 +1,15 @@
+"""DetLint corpus: DET007 — bare except around simulation code."""
+
+
+def drive(env, proc):
+    try:
+        env.run()
+    except:  # noqa: E722  DET007: swallows Interrupt/SimulationError
+        pass
+
+
+def drive_ok(env, proc):
+    try:
+        env.run()
+    except RuntimeError:
+        raise

@@ -1,0 +1,25 @@
+"""DetLint corpus: every violation suppressed — lints clean.
+
+# detlint: ignore-file[DET004]
+"""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()  # detlint: ignore[DET001]
+
+
+def pick(items):
+    return random.choice(items)  # detlint: ignore[DET002]
+
+
+def both(env, deadline):
+    return env.now == deadline, time.time()  # detlint: ignore[DET001, DET003]
+
+
+def hash_order(live):
+    # DET004 findings are suppressed file-wide by the header comment.
+    for item in {x for x in live}:
+        yield item

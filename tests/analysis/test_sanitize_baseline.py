@@ -1,0 +1,46 @@
+"""Sanitizer zero-perturbation pin: monitored runs stay bit-identical.
+
+The monitor is pure bookkeeping — attaching it must not add, drop, or
+reorder a single event. This pins the monitored fig7a reference workload
+to the same 439-event / makespan baseline as ``tests/obs/test_overhead``
+(measured on the seed tree, before any instrumentation existed).
+"""
+
+from repro.analysis.sanitize import sanitized_run, session
+from repro.bench.harness import dump_files
+from repro.core.config import RuntimeConfig
+from repro.systems import build
+from repro.units import KiB, MiB
+
+_BASELINE_EVENTS = 439
+_BASELINE_MAKESPAN = 0.06173009922862135
+
+
+def _fig7a_fleet():
+    config = RuntimeConfig(
+        log_region_bytes=MiB(4), state_region_bytes=MiB(16),
+        hugeblock_bytes=KiB(32),
+    )
+    return build("microfs", nprocs=4, config=config,
+                 partition_bytes=2 * MiB(32) + MiB(64), seed=2)
+
+
+def test_monitored_run_is_bit_identical_to_baseline():
+    with session() as s:
+        fleet = _fig7a_fleet()  # registry attaches the monitor
+        makespan = fleet.makespan(dump_files(MiB(32)))
+    assert makespan == _BASELINE_MAKESPAN
+    (monitor,) = s.monitors
+    assert monitor.events == _BASELINE_EVENTS
+    assert s.finish() == []  # no leaks, no races
+
+
+def test_sanitized_double_run_passes_and_reproduces_baseline():
+    def run():
+        fleet = _fig7a_fleet()
+        return fleet.makespan(dump_files(MiB(32)))
+
+    makespan, report = sanitized_run(run)
+    assert makespan == _BASELINE_MAKESPAN
+    assert report.ok, report.render()
+    assert sum(m.events for m in report.run1.monitors) == _BASELINE_EVENTS

@@ -5,7 +5,7 @@ import pytest
 from repro.bench.fleet import MicroFSFleet, StandaloneRuntime
 from repro.bench.harness import ResultTable, dump_files, parallel_clients, read_files
 from repro.core.config import RuntimeConfig
-from repro.units import KiB, MiB
+from repro.units import MiB
 
 
 # -- ResultTable ---------------------------------------------------------------

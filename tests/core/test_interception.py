@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.fleet import MicroFSFleet
 from repro.errors import BadFileDescriptor, FileExists, FileNotFound, InvalidArgument
-from repro.units import KiB, MiB
+from repro.units import MiB
 
 
 @pytest.fixture

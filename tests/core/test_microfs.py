@@ -12,7 +12,6 @@ from repro.errors import (
     IsADirectory,
     PermissionDenied,
 )
-from repro.nvme.commands import Payload
 from repro.units import KiB, MiB
 
 from tests.conftest import MicroFSRig

@@ -6,7 +6,6 @@ completely-written checkpoint file never holds corrupted data, and log
 record coalescing shortens replay.
 """
 
-import pytest
 
 from repro.core.config import RuntimeConfig
 from repro.core.data_plane import DataPlane

@@ -8,9 +8,7 @@ from repro.core.microfs.oplog import LogRecord
 from repro.core.microfs.recovery import recover
 from repro.errors import RecoveryError
 from repro.nvme.commands import Payload
-from repro.units import KiB, MiB
 
-from tests.conftest import MicroFSRig
 
 
 def attempt_recovery(rig):

@@ -7,7 +7,6 @@ from repro.core.microfs.recovery import recover
 from repro.errors import FileExists, FileNotFound, InvalidArgument
 from repro.units import KiB, MiB
 
-from tests.conftest import MicroFSRig
 
 
 def fresh_recovery(rig):

@@ -12,7 +12,7 @@ from repro.fabric import (
     RdmaFabric,
     edr_infiniband,
 )
-from repro.nvme import SSD, Payload, SSDSpec, intel_p4800x
+from repro.nvme import SSD, Payload
 from repro.obs.context import attach
 from repro.obs.export import span_count
 from repro.sim import Environment

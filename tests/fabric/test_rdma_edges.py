@@ -8,7 +8,7 @@ from repro.fabric import NVMfInitiator, NVMfTarget, RdmaFabric, RdmaSpec, edr_in
 from repro.nvme import SSD, Payload
 from repro.sim import Environment
 from repro.topology import NetworkTopology, paper_testbed
-from repro.units import GiB, KiB, MiB
+from repro.units import GiB, MiB
 
 from tests.conftest import deterministic_spec
 

@@ -15,7 +15,6 @@ from repro.faults.model import (
     NVMfTargetDeath,
     SSDPowerLoss,
 )
-from repro.faults.timeline import FaultTimeline
 
 
 def small_deployment(seed=0):

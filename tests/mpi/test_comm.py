@@ -1,6 +1,5 @@
 """Tests for the simulated MPI communicators and job launcher."""
 
-import pytest
 
 from repro.mpi import Communicator, launch
 from repro.sim import Environment

@@ -6,7 +6,7 @@ import pytest
 from repro.errors import DeviceError
 from repro.nvme import Command, Opcode, Payload, PowerController, QueuePair, SSD
 from repro.sim import Environment
-from repro.units import GiB, KiB, MiB
+from repro.units import GiB, MiB
 
 from tests.conftest import deterministic_spec
 

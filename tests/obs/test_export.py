@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro import obs
 from repro.bench.harness import dump_files

@@ -1,6 +1,5 @@
 """Tracer unit tests: stacks, handoff, instants, and the null path."""
 
-import pytest
 
 from repro.obs import NULL_TRACER, Tracer, tracer_of
 from repro.obs.context import ObsContext, attach, capture
