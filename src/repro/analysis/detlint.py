@@ -17,6 +17,7 @@ DET004      iteration over an unordered ``set`` (hash-order nondeterminism)
 DET005      sim coroutine / timeout created but never registered or yielded
 DET006      hot-module class without ``__slots__``
 DET007      bare ``except:`` (swallows Interrupt / SimulationError)
+DET008      process-identity read (``os.getpid``/``uuid.uuid4``/...) in sim code
 ==========  ==============================================================
 
 Suppression: append ``# detlint: ignore[DET001]`` (comma-separate for
@@ -102,6 +103,14 @@ RULES: Dict[str, Rule] = {
             "name the exception; a bare except swallows Interrupt and "
             "SimulationError and corrupts recovery paths",
         ),
+        Rule(
+            "DET008",
+            "process-identity",
+            "process-identity read in simulation code",
+            "pids/uuids/urandom differ per process and per run; key state "
+            "by unit index or a seeded stream — process identity belongs "
+            "only in the worker-process entry points (repro.exec)",
+        ),
     )
 }
 
@@ -118,6 +127,21 @@ _WALL_CLOCK_ORIGINS: Set[Tuple[str, str]] = {
     ("datetime.datetime", "utcnow"),
     ("datetime.datetime", "today"),
     ("datetime.date", "today"),
+}
+
+#: Process-identity callables by dotted origin (module, attribute): values
+#: that differ per process / per run and must never reach sim state.
+_PROCESS_IDENTITY_ORIGINS: Set[Tuple[str, str]] = {
+    ("os", "getpid"),
+    ("os", "getppid"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+    ("secrets", "token_bytes"),
+    ("secrets", "token_hex"),
+    ("secrets", "token_urlsafe"),
+    ("secrets", "randbelow"),
+    ("secrets", "choice"),
 }
 
 #: np.random attributes that are *seeded constructions*, not draws.
@@ -169,9 +193,14 @@ class LintConfig:
         default_factory=lambda: {
             # The self-profiler measures the *simulator's* wall cost and
             # never feeds simulated time; the RNG hub is the one place
-            # seeded generators are minted.
-            "DET001": ("repro/obs/context.py", "repro/obs/export.py"),
+            # seeded generators are minted; the plan executors are the
+            # one sanctioned worker-process boundary — their wall clocks
+            # and pids are shard diagnostics that never reach any
+            # fingerprinted field (see repro/exec/executors.py).
+            "DET001": ("repro/obs/context.py", "repro/obs/export.py",
+                       "repro/exec/executors.py"),
             "DET002": ("repro/sim/rng.py",),
+            "DET008": ("repro/exec/executors.py",),
         }
     )
 
@@ -321,6 +350,12 @@ class _Visitor(ast.NodeVisitor):
                     node, "DET002",
                     f"module-level numpy RNG `np.random.{attr}()` draws from "
                     "the shared global state",
+                )
+            elif (module, attr) in _PROCESS_IDENTITY_ORIGINS:
+                self.report(
+                    node, "DET008",
+                    f"process-identity read `{module}.{attr}()` varies per "
+                    "process and per run",
                 )
         if isinstance(node.func, ast.Name) and node.func.id == "list":
             if len(node.args) == 1 and self._is_set_expr(node.args[0]):

@@ -33,11 +33,13 @@ from repro.units import GiB, KiB, MiB
 __all__ = [
     "fig1_motivation",
     "fig7a_hugeblock_sweep",
+    "fig7a_plan",
     "fig7b_load_imbalance",
     "fig7c_direct_access",
     "fig7d_drilldown",
     "fig8a_nvmf_overhead",
     "fig8b_create_rate",
+    "fig9_plan",
     "fig9_scaling",
     "tab1_metadata_overhead",
     "tab2_multilevel",
@@ -145,42 +147,97 @@ def fig1_motivation(
 # ===========================================================================
 
 
+def _fig7a_unit(block: int, nprocs: int, file_bytes: int, seed: int) -> dict:
+    """One Figure 7(a) cell: a fresh MicroFS fleet at one hugeblock size.
+
+    Top-level and keyword-driven so :class:`repro.exec.SimUnit` can name
+    it by import path and ship it to a worker process.
+    """
+    config = _bench_config(hugeblock_bytes=block)
+    fleet = build_system(
+        "microfs", nprocs=nprocs, config=config,
+        partition_bytes=2 * file_bytes + MiB(64), seed=seed,
+    )
+    return {
+        "block": block,
+        "time_s": fleet.makespan(dump_files(file_bytes)),
+        "pool_bytes": fleet.cluster.instances[0].pool.footprint_bytes(),
+    }
+
+
+def fig7a_plan(
+    block_sizes: Iterable[int] = (KiB(4), KiB(8), KiB(16), KiB(32), KiB(64),
+                                  KiB(128), KiB(512), MiB(2)),
+    nprocs: int = 28,
+    file_bytes: int = MiB(512),
+    seed: int = 2,
+) -> "ExecutionPlan":
+    """Figure 7(a) as an execution plan: one unit per hugeblock size."""
+    from repro.exec import ExecutionPlan, SimUnit
+
+    blocks = list(block_sizes)
+    units = [
+        SimUnit(
+            index=i,
+            label=f"fig7a/block={block // 1024}K",
+            fn="repro.bench.experiments:_fig7a_unit",
+            params={"block": block, "nprocs": nprocs,
+                    "file_bytes": file_bytes, "seed": seed},
+            weight=float(max(1, file_bytes // block)),
+        )
+        for i, block in enumerate(blocks)
+    ]
+
+    def reduce(results) -> ResultTable:
+        table = ResultTable(
+            f"Figure 7(a): checkpoint time vs hugeblock size "
+            f"({nprocs} procs x {file_bytes // MiB(1)} MiB)",
+            ["block", "time_s", "vs_32K", "pool_bytes", "blocks_per_file"],
+        )
+        times = {r.payload["block"]: r.payload["time_s"] for r in results}
+        base = times[KiB(32)] if KiB(32) in times else min(times.values())
+        for result in results:
+            block = result.payload["block"]
+            table.add(
+                f"{block // 1024}K", times[block], times[block] / base,
+                result.payload["pool_bytes"], -(-file_bytes // block),
+            )
+        table.note(
+            "paper: 32K optimal; 4K ~7% slower; 8x pool-size reduction 4K->32K")
+        return table
+
+    return ExecutionPlan(title="fig7a", units=units, reduce=reduce)
+
+
 def fig7a_hugeblock_sweep(
     block_sizes: Iterable[int] = (KiB(4), KiB(8), KiB(16), KiB(32), KiB(64),
                                   KiB(128), KiB(512), MiB(2)),
     nprocs: int = 28,
     file_bytes: int = MiB(512),
     seed: int = 2,
+    executor: Optional["Executor"] = None,
 ) -> ResultTable:
     """Checkpoint time vs hugeblock size, full-subscription local run.
 
     Paper anchor: "32KB is the optimal size ... 7% improvement in
     latency [over 4KB] ... 8x reduction in the size of the block pool"
     (§IV-B, Figure 7(a)).
+
+    With an ``executor`` the sweep runs as an execution plan (each block
+    size is an independent unit with its own seeded environment), so it
+    can scale out across worker processes; results are bit-identical to
+    the classic sequential loop for any shard count.
     """
-    table = ResultTable(
-        f"Figure 7(a): checkpoint time vs hugeblock size "
-        f"({nprocs} procs x {file_bytes // MiB(1)} MiB)",
-        ["block", "time_s", "vs_32K", "pool_bytes", "blocks_per_file"],
-    )
-    times: Dict[int, float] = {}
-    pool_sizes: Dict[int, int] = {}
-    for block in block_sizes:
-        config = _bench_config(hugeblock_bytes=block)
-        fleet = build_system(
-            "microfs", nprocs=nprocs, config=config,
-            partition_bytes=2 * file_bytes + MiB(64), seed=seed,
-        )
-        times[block] = fleet.makespan(dump_files(file_bytes))
-        pool_sizes[block] = fleet.cluster.instances[0].pool.footprint_bytes()
-    base = times[KiB(32)] if KiB(32) in times else min(times.values())
-    for block in block_sizes:
-        table.add(
-            f"{block // 1024}K", times[block], times[block] / base,
-            pool_sizes[block], -(-file_bytes // block),
-        )
-    table.note("paper: 32K optimal; 4K ~7% slower; 8x pool-size reduction 4K->32K")
-    return table
+    plan = fig7a_plan(block_sizes, nprocs=nprocs, file_bytes=file_bytes,
+                      seed=seed)
+    if executor is not None:
+        result = executor.execute(plan)
+        table = result.value
+        table.execution = result
+        return table
+    from repro.exec import run_unit
+
+    return plan.reduce([run_unit(unit) for unit in plan.units])
 
 
 # ===========================================================================
@@ -478,6 +535,81 @@ def fig8b_create_rate(
 # ===========================================================================
 
 
+def _fig9_unit(mode: str, p: int, system: str, checkpoints: int,
+               atoms_per_rank: int, seed: int) -> dict:
+    """One Figure 9 cell: one system at one scale, fresh substrate.
+
+    The sequential loop shares one :class:`CoMDProxy` across the systems
+    at a given scale; the proxy is stateless (its rank RNGs derive from
+    ``(seed, rank)`` at use), so building a fresh one per cell is
+    bit-identical and makes the cell a self-contained, picklable unit.
+    """
+    if mode == "weak":
+        config = CoMDConfig(atoms_per_rank=atoms_per_rank,
+                            checkpoints=checkpoints)
+    else:
+        config = CoMDConfig.strong_scaling(p, checkpoints=checkpoints)
+    comd = CoMDProxy(config, seed=seed)
+    nbytes = config.checkpoint_bytes_per_rank
+    handle, stats = _run_comd(system, p, comd, seed, with_recovery=True)
+    ckpt_eff, rec_eff = _efficiencies(handle, p, nbytes, checkpoints, stats)
+    return {"procs": p, "system": system, "ckpt": ckpt_eff, "rec": rec_eff}
+
+
+def fig9_plan(
+    mode: str = "weak",
+    procs: Iterable[int] = (56, 112, 224, 448),
+    checkpoints: int = 3,
+    atoms_per_rank: int = 32_000,
+    seed: int = 8,
+    systems: Sequence[str] = ("nvmecr", "orangefs", "glusterfs"),
+) -> "ExecutionPlan":
+    """Figure 9 as an execution plan: one unit per (scale, system) cell.
+
+    Unit weight is the process count, so LPT shard assignment puts the
+    448-rank cells on different workers first — the knob that turns the
+    quadratic-ish scaling sweep into near-linear scale-out.
+    """
+    from repro.exec import ExecutionPlan, SimUnit
+
+    if mode not in ("weak", "strong"):
+        raise ValueError(f"mode must be weak|strong, got {mode!r}")
+    scales = list(procs)
+    units = []
+    for i, (p, system) in enumerate(
+            (p, s) for p in scales for s in systems):
+        units.append(SimUnit(
+            index=i,
+            label=f"fig9{mode}/p={p}/{system}",
+            fn="repro.bench.experiments:_fig9_unit",
+            params={"mode": mode, "p": p, "system": system,
+                    "checkpoints": checkpoints,
+                    "atoms_per_rank": atoms_per_rank, "seed": seed},
+            weight=float(p),
+        ))
+
+    def reduce(results) -> ResultTable:
+        shorts = [get_system(s).short for s in systems]
+        table = ResultTable(
+            f"Figure 9 ({mode} scaling): checkpoint / recovery efficiency",
+            ["procs"] + [f"ckpt_{s}" for s in shorts]
+            + [f"rec_{s}" for s in shorts],
+        )
+        cells = {(r.payload["procs"], r.payload["system"]): r.payload
+                 for r in results}
+        for p in scales:
+            table.add(
+                p,
+                *(cells[(p, s)]["ckpt"] for s in systems),
+                *(cells[(p, s)]["rec"] for s in systems),
+            )
+        table.note("paper weak@448: NVMe-CR 0.96 ckpt / 0.99 recovery; "
+                   "GlusterFS ~13% lower ckpt; GlusterFS recovery dips at 448")
+        return table
+
+    return ExecutionPlan(title=f"fig9{mode}", units=units, reduce=reduce)
+
+
 def fig9_scaling(
     mode: str = "weak",
     procs: Iterable[int] = (56, 112, 224, 448),
@@ -486,6 +618,7 @@ def fig9_scaling(
     atoms_total: int = 16_384_000,
     seed: int = 8,
     systems: Sequence[str] = ("nvmecr", "orangefs", "glusterfs"),
+    executor: Optional["Executor"] = None,
 ) -> ResultTable:
     """Checkpoint and recovery efficiency (Figures 9(a)-(d)).
 
@@ -493,31 +626,23 @@ def fig9_scaling(
     Paper anchor: NVMe-CR reaches 0.96 (checkpoint) and 0.99 (recovery)
     at 448 processes weak scaling; GlusterFS ~13% behind; OrangeFS far
     behind at scale; GlusterFS recovery dips at 448.
+
+    With an ``executor`` the sweep runs as an execution plan — each
+    (scale, system) cell is an independent unit — and can scale out
+    across worker processes with bit-identical results.
     """
     if mode not in ("weak", "strong"):
         raise ValueError(f"mode must be weak|strong, got {mode!r}")
-    shorts = [get_system(s).short for s in systems]
-    table = ResultTable(
-        f"Figure 9 ({mode} scaling): checkpoint / recovery efficiency",
-        ["procs"] + [f"ckpt_{s}" for s in shorts] + [f"rec_{s}" for s in shorts],
-    )
-    for p in procs:
-        if mode == "weak":
-            config = CoMDConfig(atoms_per_rank=atoms_per_rank, checkpoints=checkpoints)
-        else:
-            config = CoMDConfig.strong_scaling(p, checkpoints=checkpoints)
-        comd = CoMDProxy(config, seed=seed)
-        nbytes = config.checkpoint_bytes_per_rank
-        row: Dict[str, Tuple[float, float]] = {}
-        for kind in systems:
-            handle, stats = _run_comd(kind, p, comd, seed, with_recovery=True)
-            row[kind] = _efficiencies(handle, p, nbytes, checkpoints, stats)
-        table.add(
-            p, *(row[s][0] for s in systems), *(row[s][1] for s in systems),
-        )
-    table.note("paper weak@448: NVMe-CR 0.96 ckpt / 0.99 recovery; "
-               "GlusterFS ~13% lower ckpt; GlusterFS recovery dips at 448")
-    return table
+    plan = fig9_plan(mode, procs=procs, checkpoints=checkpoints,
+                     atoms_per_rank=atoms_per_rank, seed=seed, systems=systems)
+    if executor is not None:
+        result = executor.execute(plan)
+        table = result.value
+        table.execution = result
+        return table
+    from repro.exec import run_unit
+
+    return plan.reduce([run_unit(unit) for unit in plan.units])
 
 
 def _efficiencies(handle, nprocs, nbytes, checkpoints, stats) -> Tuple[float, float]:

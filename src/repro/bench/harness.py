@@ -7,12 +7,15 @@ bench run reads side-by-side against the original evaluation.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 from repro.sim.engine import Environment
 
-__all__ = ["ResultTable", "parallel_clients", "dump_files", "read_files"]
+__all__ = ["ResultTable", "parallel_clients", "dump_files", "read_files",
+           "write_bench_json"]
 
 
 @dataclass
@@ -66,6 +69,40 @@ class ResultTable:
     def show(self) -> None:
         print(self.render())
         print()
+
+
+def write_bench_json(
+    name: str,
+    table: ResultTable,
+    wall_s: Optional[float] = None,
+    meta: Optional[dict] = None,
+    directory: Union[str, Path] = ".",
+) -> Path:
+    """Write ``BENCH_<name>.json`` — the machine-readable benchmark artefact.
+
+    The CLI emits one for every perf-relevant run and CI uploads them,
+    so regressions show up as a diffable artefact rather than a
+    scrollback table.  ``meta`` carries run provenance (shard count,
+    backend, merged fingerprint, host parallelism); ``wall_s`` is the
+    end-to-end wall clock.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: dict = {
+        "name": name,
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.rows,
+        "notes": table.notes,
+    }
+    if wall_s is not None:
+        payload["wall_s"] = wall_s
+    if meta:
+        payload["meta"] = meta
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=str) + "\n")
+    return path
 
 
 # ---------------------------------------------------------------------------

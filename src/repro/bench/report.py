@@ -12,9 +12,9 @@ import json
 from pathlib import Path
 from typing import List, Union
 
-from repro.bench.harness import ResultTable
+from repro.bench.harness import ResultTable, write_bench_json  # noqa: F401
 
-__all__ = ["to_csv", "to_json", "export"]
+__all__ = ["to_csv", "to_json", "export", "write_bench_json"]
 
 
 def to_csv(table: ResultTable) -> str:

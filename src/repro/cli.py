@@ -61,6 +61,16 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "ext-skew": X.ext_skewed_balance,
 }
 
+# Experiments whose wall-clock/efficiency numbers CI tracks as artefacts:
+# every run emits BENCH_<name>.json (uploaded by the bench-artifacts job).
+_PERF_RELEVANT: Dict[str, str] = {
+    "fig8a": "fig8a",
+    "qos": "qos",
+    "fig9weak": "fig9",
+    "fig9strong": "fig9strong",
+    "fig7a": "fig7a",
+}
+
 _DESCRIPTIONS: Dict[str, str] = {
     "fig1": "weak-scaling bandwidth of OrangeFS/GlusterFS vs hw peak",
     "fig7a": "checkpoint time vs hugeblock size",
@@ -121,8 +131,17 @@ def main(argv=None) -> int:
     runp.add_argument("--sanitize", action="store_true",
                       help="run twice under the determinism/race/leak "
                            "sanitizers; nonzero exit on any finding")
+    runp.add_argument("--shards", type=int, default=None, metavar="N",
+                      help="run plan-capable experiments sharded across N "
+                           "worker processes (deterministic merge; same "
+                           "seed gives bit-identical results for any N)")
+    runp.add_argument("--start-method", default=None,
+                      choices=("fork", "spawn", "forkserver", "inline"),
+                      help="worker start method for --shards "
+                           "(default fork; inline = same pipeline, "
+                           "no processes)")
     lintp = sub.add_parser(
-        "lint", help="DetLint: static determinism analysis (DET001-DET007)"
+        "lint", help="DetLint: static determinism analysis (DET001-DET008)"
     )
     lintp.add_argument("paths", nargs="*", default=None, metavar="PATH",
                        help="files or directories to lint (default: src)")
@@ -153,6 +172,8 @@ def main(argv=None) -> int:
         args.qos = None
         args.batching = False
         args.sanitize = False
+        args.shards = None
+        args.start_method = None
 
     if args.command == "list":
         for name in _EXPERIMENTS:
@@ -166,9 +187,28 @@ def main(argv=None) -> int:
             print(f"  {spec.name:<16} [{spec.kind:<11}] {spec.description}")
         return 0
 
+    sharded = bool(args.shards and args.shards > 1) or bool(args.start_method)
+    if args.shards is not None or args.start_method is not None:
+        plan_capable = {"fig7a", "fig9weak", "fig9strong"}
+        if args.name not in plan_capable:
+            print(f"--shards applies to plan-capable experiments "
+                  f"({', '.join(sorted(plan_capable))}), not {args.name!r}",
+                  file=sys.stderr)
+            return 2
+        if args.shards is not None and args.shards < 1:
+            print("--shards must be >= 1", file=sys.stderr)
+            return 2
+        if sharded and (args.trace or args.trace_jsonl or args.profile
+                        or args.sanitize):
+            print("--shards > 1 runs units in worker processes and cannot "
+                  "combine with --trace/--trace-jsonl/--profile/--sanitize "
+                  "(merged metrics stay available via --metrics)",
+                  file=sys.stderr)
+            return 2
+
     want_obs = bool(
         args.trace or args.trace_jsonl or args.metrics or args.profile
-    )
+    ) and not sharded
     if args.sanitize and want_obs:
         print("--sanitize re-runs the experiment and cannot combine with "
               "--trace/--trace-jsonl/--metrics/--profile", file=sys.stderr)
@@ -235,6 +275,11 @@ def main(argv=None) -> int:
             kwargs["modes"] = (args.qos,)
         if args.batching:
             kwargs["batching"] = True
+    if args.shards is not None or args.start_method is not None:
+        from repro.exec import make_executor
+
+        kwargs["executor"] = make_executor(
+            args.shards or 1, start_method=args.start_method)
     started = time.time()  # wall-clock CLI reporting  # detlint: ignore[DET001]
     if args.sanitize:
         from repro.analysis.sanitize import sanitized_run
@@ -260,6 +305,28 @@ def main(argv=None) -> int:
         cap = None
         table = fn(**kwargs)
     table.show()
+    execution = getattr(table, "execution", None)
+    if execution is not None:
+        merged = execution.merged
+        print(f"[execution: {execution.backend}, {execution.shards} "
+              f"shard(s), {len(execution.results)} units, "
+              f"fingerprint {merged.fingerprint[:16]}]")
+        if args.metrics and sharded:
+            for key, value in sorted(merged.summary().items()):
+                print(f"  {key} = {value:.6g}")
+    if _PERF_RELEVANT.get(args.name):
+        from repro.bench.harness import write_bench_json
+
+        meta = {"experiment": args.name}
+        if execution is not None:
+            meta.update(backend=execution.backend, shards=execution.shards,
+                        fingerprint=execution.merged.fingerprint)
+        path = write_bench_json(
+            _PERF_RELEVANT[args.name], table,
+            wall_s=time.time() - started,  # detlint: ignore[DET001]
+            meta=meta,
+        )
+        print(f"wrote {path}")
     if cap is not None:
         if args.trace:
             print(f"wrote {cap.write_chrome(args.trace)} "

@@ -112,6 +112,69 @@ class FaultTimeline:
         if note:
             rec.note = note
 
+    # -- sharded-run merge ---------------------------------------------------
+
+    def to_records(self) -> List[Dict]:
+        """Picklable plain-dict image of every record, in order."""
+        return [asdict(rec) for rec in self.records]
+
+    @classmethod
+    def from_records(cls, records: List[Dict]) -> "FaultTimeline":
+        """Rebuild a timeline from :meth:`to_records` output."""
+        timeline = cls()
+        for raw in records:
+            data = dict(raw)
+            for key in ("nodes", "ssds", "targets", "links", "domains"):
+                data[key] = tuple(data.get(key, ()))
+            timeline.records.append(FaultRecord(**data))
+        return timeline
+
+    @classmethod
+    def merge(cls, timelines: List["FaultTimeline"]) -> "FaultTimeline":
+        """Deterministically merge per-shard timelines into one.
+
+        Records keep their relative order within a shard; across shards
+        they interleave by injection time (ties broken by source shard,
+        then original id), and fault ids are re-issued globally so the
+        merged timeline fingerprints like a single-run one.  The source
+        shard is preserved in ``note`` only when a fault's blast radius
+        touches a failure domain that other shards also hit — the
+        cross-shard blast-radius signal recovery planning needs.
+        """
+        domain_shards: Dict[str, set] = {}
+        for shard, timeline in enumerate(timelines):
+            for rec in timeline.records:
+                for domain in rec.domains:
+                    domain_shards.setdefault(domain, set()).add(shard)
+        keyed = sorted(
+            ((rec.injected_at, shard, rec.fault_id, rec)
+             for shard, timeline in enumerate(timelines)
+             for rec in timeline.records),
+            key=lambda item: item[:3],
+        )
+        merged = cls()
+        for injected_at, shard, _old_id, rec in keyed:
+            data = asdict(rec)
+            data["fault_id"] = len(merged.records)
+            cross = sorted(
+                d for d in rec.domains if len(domain_shards.get(d, ())) > 1
+            )
+            if cross:
+                marker = f"cross-shard[{shard}]: {','.join(cross)}"
+                data["note"] = f"{rec.note}; {marker}" if rec.note else marker
+            for key in ("nodes", "ssds", "targets", "links", "domains"):
+                data[key] = tuple(data[key])
+            merged.records.append(FaultRecord(**data))
+        return merged
+
+    def cross_shard_domains(self) -> List[str]:
+        """Failure domains a merged timeline saw from more than one shard."""
+        out = set()
+        for rec in self.records:
+            if "cross-shard[" in rec.note:
+                out.update(rec.note.rsplit(": ", 1)[-1].split(","))
+        return sorted(out)
+
     # -- export -------------------------------------------------------------
 
     def to_json(self, path: Optional[str] = None) -> str:

@@ -6,9 +6,9 @@ Three pieces, usable separately or together:
   Spans carry parent/child links so one checkpoint write can be followed
   app -> MicroFS -> data plane -> NVMf -> RDMA -> NVMe queue -> media.
 * :mod:`repro.obs.metrics` — a typed instrument registry (monotonic
-  counters, gauges, fixed-bucket latency histograms) that subsumes the
-  old ad-hoc ``Counter``/``TraceRecorder`` (kept as aliases in
-  :mod:`repro.sim.trace`).
+  counters, gauges, fixed-bucket latency histograms) that subsumed the
+  old ad-hoc ``Counter``/``TraceRecorder`` pair, with snapshot/merge
+  support so per-shard registries fold into one deterministic summary.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
   Perfetto / ``chrome://tracing``), a flat JSONL span log, and a text
   summary.
@@ -34,6 +34,7 @@ from repro.obs.context import (
     ObsContext,
     attach,
     capture,
+    current_session,
     tracer_of,
 )
 from repro.obs.export import (
@@ -67,6 +68,7 @@ __all__ = [
     "attach",
     "capture",
     "chrome_trace",
+    "current_session",
     "span_count",
     "span_sequence",
     "summary_text",

@@ -22,7 +22,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["ObsContext", "SelfProfile", "Capture", "attach", "capture",
-           "tracer_of"]
+           "current_session", "tracer_of"]
 
 
 class SelfProfile:
@@ -128,6 +128,17 @@ def capture(trace: bool = False, profile: bool = False):
         for ctx in session.contexts:
             if ctx.tracer.enabled:
                 ctx.tracer.close_open_spans()
+
+
+def current_session() -> Optional["Capture"]:
+    """The active :func:`capture` session, if any.
+
+    The execution layer (:mod:`repro.exec`) opens a nested capture per
+    unit to harvest that unit's contexts, then re-registers them here so
+    a CLI-level ``--trace``/``--metrics`` session still sees every
+    environment the plan built.
+    """
+    return _SESSION
 
 
 def attach(env, label: str = "run", tracing: Optional[bool] = None,

@@ -310,3 +310,61 @@ class MetricsRegistry:
                     mine.set(inst.value)
                     mine.min = min(mine.min, inst.min)
                     mine.max = max(mine.max, inst.max)
+
+    # -- snapshots (cross-process transport) ------------------------------
+
+    def to_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A plain-dict image of every instrument, picklable and
+        JSON-serialisable, ordered by name.  ``from_snapshot`` inverts it
+        exactly, so a registry can cross a process boundary and merge
+        into another with no loss."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            kind = inst.meta.kind
+            entry: Dict[str, object] = {"kind": kind, "unit": inst.meta.unit}
+            if kind == "counter":
+                entry["value"] = inst.value
+            elif kind == "gauge":
+                entry.update(value=inst.value, min=inst.min, max=inst.max,
+                             updates=inst.updates)
+            else:  # histogram
+                entry.update(edges=list(inst.edges), counts=list(inst.counts),
+                             count=inst.count, total=inst.total,
+                             min=inst.min, max=inst.max)
+            out[name] = entry
+        return out
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_snapshot` output."""
+        registry = cls()
+        registry.merge_snapshot(snapshot)
+        return registry
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a snapshot dict into this registry (see :meth:`merge`)."""
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry["kind"]
+            unit = str(entry.get("unit", "1"))
+            if kind == "counter":
+                self.counter(name, unit).add(float(entry["value"]))
+            elif kind == "gauge":
+                updates = int(entry.get("updates", 0))
+                if updates:
+                    gauge = self.gauge(name, unit)
+                    gauge.set(float(entry["value"]))
+                    gauge.min = min(gauge.min, float(entry["min"]))
+                    gauge.max = max(gauge.max, float(entry["max"]))
+            elif kind == "histogram":
+                edges = tuple(entry["edges"])
+                other = Histogram(InstrumentMeta(name, "histogram", unit), edges)
+                other.counts = [int(c) for c in entry["counts"]]
+                other.count = int(entry["count"])
+                other.total = float(entry["total"])
+                other.min = float(entry["min"])
+                other.max = float(entry["max"])
+                self.histogram(name, unit, edges).merge(other)
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r} for {name!r}")

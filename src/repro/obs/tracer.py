@@ -54,6 +54,19 @@ class Span:
     def is_instant(self) -> bool:
         return self.end == self.begin and self.cat.startswith("!")
 
+    def to_dict(self) -> dict:
+        """Plain-dict image for cross-process transport and merging."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "cat": self.cat,
+            "track": self.track,
+            "parent": self.parent,
+            "begin": self.begin,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Span({self.id}, {self.name!r}, cat={self.cat!r}, "
                 f"track={self.track!r}, [{self.begin}, {self.end}])")

@@ -30,14 +30,17 @@ from repro.sim.engine import (
 from repro.sim.fairshare import FairShareServer, Flow
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RngHub
+from repro.sim.shard import BoundaryChannel, ShardCoordinator, fabric_lookahead
 
-# Counter/TraceRecorder live in repro.obs.metrics now; importing them
-# via repro.sim.trace would fire its DeprecationWarning.
+# Counter/TraceRecorder live in repro.obs.metrics (the old repro.sim.trace
+# alias shim has been removed); re-exported here for workload code that
+# treats them as part of the sim toolkit.
 from repro.obs.metrics import Counter, TraceRecorder
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BoundaryChannel",
     "Counter",
     "Environment",
     "Event",
@@ -47,7 +50,9 @@ __all__ = [
     "Process",
     "Resource",
     "RngHub",
+    "ShardCoordinator",
     "Store",
     "Timeout",
     "TraceRecorder",
+    "fabric_lookahead",
 ]

@@ -346,6 +346,29 @@ class Environment:
         self._seq = seq + 1
         heapq.heappush(self._queue, (self._now + delay, seq, event))
 
+    def _schedule_at(self, event: Event, time: float) -> None:
+        """Schedule ``event`` at an absolute simulated time.
+
+        Used by the shard coordinator to inject boundary messages at
+        their delivery time; ``time`` must not precede the clock.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, event))
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None when drained."""
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled — the determinism fingerprint's
+        cheap proxy for 'same event stream'."""
+        return self._seq
+
     def _note_failure(self, process: Process, exc: BaseException) -> None:
         self._failures.append((process, exc))
 
@@ -408,6 +431,35 @@ class Environment:
             self._raise_orphans()
         if until is not None and self._now < until:
             self._now = until
+        return self._now
+
+    def run_window(self, horizon: float) -> float:
+        """Process every event strictly before ``horizon``; leave the rest.
+
+        The conservative-synchronization primitive: a shard may safely
+        run all events with ``t < horizon`` when every cross-shard
+        message sent during the window arrives at ``t >= horizon``
+        (guaranteed by the boundary channels' minimum latency).  Unlike
+        :meth:`run`, events *at* the horizon stay queued — they belong
+        to the next window, after message exchange — and the clock is
+        not advanced past the last processed event.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time = queue[0][0]
+            if time >= horizon:
+                break
+            if time < self._now - 1e-12:
+                raise SimulationError("time went backwards (scheduler bug)")
+            event = pop(queue)[2]
+            if time > self._now:
+                self._now = time
+            event._run_callbacks()
+            if self._failures:
+                self._raise_orphans()
+        if self._failures:
+            self._raise_orphans()
         return self._now
 
     def _run_monitored(self, until: Optional[float], monitor: Any) -> float:

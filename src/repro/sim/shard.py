@@ -1,0 +1,234 @@
+"""Shard coordination: conservative window sync across environments.
+
+The engine's event loop is strictly single-environment.  Sharded runs
+partition model state across several :class:`~repro.sim.engine.Environment`
+instances and keep them causally consistent with the classic
+conservative-synchronization protocol (Chandy/Misra windows):
+
+* Every cross-shard interaction goes through a :class:`BoundaryChannel`
+  with a fixed minimum latency — in this reproduction the natural
+  boundary is the NVMf fabric, so the channel latency defaults to the
+  fabric round-trip time (the *lookahead*).
+* The :class:`ShardCoordinator` advances all member environments in
+  lockstep windows ``[T, T + lookahead)``.  Any message sent during a
+  window is delivered at ``t_send + latency >= T + lookahead``, i.e.
+  never inside the window that produced it, so each shard can process
+  its local events independently and the global event order is
+  well-defined.
+* Determinism: shards run in fixed list order, pending messages are
+  delivered sorted by ``(delivery_time, channel_index, send_seq)``, and
+  channel sequence numbers are allocated per channel — the merged
+  behaviour depends only on seeds and model code, never on host
+  scheduling.
+
+This module is the in-process half of the execution layer; the
+multi-process half (:mod:`repro.exec`) ships whole coordinator groups
+(or independent environments) to worker processes and merges results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["BoundaryChannel", "ShardCoordinator", "fabric_lookahead",
+           "DEFAULT_LOOKAHEAD_S"]
+
+#: Fallback lookahead when no fabric is wired: one EDR InfiniBand NVMf
+#: round trip (2 x ~1.3 us propagation + target CPU), rounded up.  Real
+#: deployments pass the measured RTT from their topology instead.
+DEFAULT_LOOKAHEAD_S: float = 5e-6
+
+
+class BoundaryChannel:
+    """A latency-floored, FIFO message channel between two environments.
+
+    ``send`` may only be called from code running inside ``src`` and
+    records the message for delivery into ``dst`` at
+    ``src.now + latency``.  ``recv`` returns an event on ``dst`` that
+    triggers when the next message is delivered (FIFO).  The latency is
+    the channel's *lookahead* contribution: the coordinator's window
+    size is the minimum latency over all channels.
+    """
+
+    __slots__ = ("name", "src", "dst", "latency", "index",
+                 "_outbox", "_send_seq", "_buffer", "_getters")
+
+    def __init__(self, src: Environment, dst: Environment, latency: float,
+                 name: str = "boundary") -> None:
+        if latency <= 0:
+            raise SimulationError(
+                f"boundary channel {name!r} needs positive latency "
+                f"(lookahead), got {latency}")
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.latency = float(latency)
+        self.index = -1  # assigned by the coordinator; delivery tiebreak
+        self._outbox: List[Tuple[float, int, Any]] = []
+        self._send_seq = 0
+        self._buffer: List[Any] = []
+        self._getters: List[Event] = []
+
+    def send(self, payload: Any) -> None:
+        """Queue ``payload`` for delivery at ``src.now + latency``."""
+        self._outbox.append((self.src.now + self.latency, self._send_seq, payload))
+        self._send_seq += 1
+
+    def recv(self) -> Event:
+        """An event on ``dst`` triggering with the next delivered payload."""
+        event = Event(self.dst)
+        if self._buffer:
+            event.succeed(self._buffer.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def pending(self) -> int:
+        """Messages sent but not yet delivered into ``dst``."""
+        return len(self._outbox)
+
+    # -- coordinator side --------------------------------------------------
+
+    def _drain_outbox(self, horizon: float) -> List[Tuple[float, int, int, Any]]:
+        """Take messages due strictly before ``horizon``; keep the rest."""
+        due = [(t, self.index, seq, payload)
+               for (t, seq, payload) in self._outbox if t < horizon]
+        self._outbox = [entry for entry in self._outbox if entry[0] >= horizon]
+        return due
+
+    def _deliver(self, time: float, payload: Any) -> None:
+        """Inject one message into ``dst`` at its delivery time."""
+        kick = Event(self.dst)
+        kick._triggered = True
+        kick.callbacks.append(lambda _ev: self._arrive(payload))
+        self.dst._schedule_at(kick, time)
+
+    def _arrive(self, payload: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(payload)
+        else:
+            self._buffer.append(payload)
+
+
+class ShardCoordinator:
+    """Runs several environments in lockstep conservative time windows.
+
+    ``lookahead`` defaults to the minimum channel latency; passing a
+    larger value is rejected (it would let a message land inside the
+    window that sent it), a smaller one only costs extra window turns.
+    """
+
+    __slots__ = ("envs", "channels", "lookahead", "windows")
+
+    def __init__(self, envs: List[Environment],
+                 channels: Optional[List[BoundaryChannel]] = None,
+                 lookahead: Optional[float] = None) -> None:
+        if not envs:
+            raise SimulationError("ShardCoordinator needs at least one environment")
+        self.envs = list(envs)
+        self.channels = list(channels or [])
+        for index, channel in enumerate(self.channels):
+            channel.index = index
+            if channel.src not in self.envs or channel.dst not in self.envs:
+                raise SimulationError(
+                    f"channel {channel.name!r} endpoints are not member shards")
+        floor = min((c.latency for c in self.channels), default=DEFAULT_LOOKAHEAD_S)
+        self.lookahead = floor if lookahead is None else float(lookahead)
+        if self.lookahead <= 0:
+            raise SimulationError(f"lookahead must be positive, got {self.lookahead}")
+        if self.lookahead > floor + 1e-18:
+            raise SimulationError(
+                f"lookahead {self.lookahead} exceeds the minimum channel "
+                f"latency {floor}; messages could arrive inside their own window")
+        self.windows = 0
+
+    # -- protocol ----------------------------------------------------------
+
+    def _next_time(self) -> Optional[float]:
+        """Earliest pending work across all shards and channels."""
+        times = [t for t in (env.peek() for env in self.envs) if t is not None]
+        for channel in self.channels:
+            if channel._outbox:
+                times.append(min(entry[0] for entry in channel._outbox))
+        return min(times) if times else None
+
+    def _exchange(self, horizon: float) -> int:
+        """Deliver every message due before ``horizon``, deterministically."""
+        due: List[Tuple[float, int, int, Any]] = []
+        for channel in self.channels:
+            due.extend(channel._drain_outbox(horizon))
+        heapq.heapify(due)  # (time, channel_index, send_seq) is a total order
+        delivered = 0
+        while due:
+            time, channel_index, _seq, payload = heapq.heappop(due)
+            self.channels[channel_index]._deliver(time, payload)
+            delivered += 1
+        return delivered
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance all shards until every queue and channel drains.
+
+        Returns the maximum shard clock.  With ``until``, stops once the
+        next global event would land at or beyond it (clocks are not
+        forced forward — mirrors :meth:`Environment.run_window`).
+        """
+        while True:
+            base = self._next_time()
+            if base is None:
+                break
+            if until is not None and base >= until:
+                break
+            horizon = base + self.lookahead
+            if until is not None and horizon > until:
+                horizon = until
+            self._exchange(horizon)
+            for env in self.envs:
+                env.run_window(horizon)
+            self.windows += 1
+        return max(env.now for env in self.envs)
+
+    def process(self, shard: int, generator: Any) -> Any:
+        """Start a coroutine process on shard ``shard`` (convenience)."""
+        return self.envs[shard].process(generator)
+
+    def channel(self, src: int, dst: int, latency: Optional[float] = None,
+                name: Optional[str] = None) -> BoundaryChannel:
+        """Wire (and register) a boundary channel between member shards."""
+        chosen = self.lookahead if latency is None else float(latency)
+        channel = BoundaryChannel(
+            self.envs[src], self.envs[dst], chosen,
+            name=name or f"shard{src}->shard{dst}")
+        channel.index = len(self.channels)
+        self.channels.append(channel)
+        if chosen < self.lookahead:
+            self.lookahead = chosen
+        return channel
+
+    def drained(self) -> bool:
+        """True when no shard has pending events or undelivered messages."""
+        return self._next_time() is None
+
+    def fingerprint_inputs(self) -> List[Tuple[int, float]]:
+        """Per-shard (events_scheduled, now) pairs, in shard order."""
+        return [(env.events_scheduled, env.now) for env in self.envs]
+
+
+def fabric_lookahead(fabric: Any, src: str, dst: str,
+                     fallback: float = DEFAULT_LOOKAHEAD_S) -> float:
+    """Lookahead from a fabric model's round-trip time, when wired.
+
+    ``fabric`` is anything with ``round_trip(src, dst) -> seconds``
+    (:class:`repro.fabric.rdma.RdmaFabric`); the NVMf RTT is the natural
+    conservative bound because no cross-shard effect can propagate
+    faster than the fabric carries it.
+    """
+    round_trip: Optional[Callable[[str, str], float]] = getattr(
+        fabric, "round_trip", None)
+    if round_trip is None:
+        return fallback
+    rtt = float(round_trip(src, dst))
+    return rtt if rtt > 0 else fallback

@@ -16,18 +16,22 @@ from repro.systems.registry import (
     SystemHandle,
     SystemSpec,
     build,
+    build_shards,
     get,
     names,
     register,
     specs,
+    split_ranks,
 )
 
 __all__ = [
     "SystemHandle",
     "SystemSpec",
     "build",
+    "build_shards",
     "get",
     "names",
     "register",
     "specs",
+    "split_ranks",
 ]

@@ -1,0 +1,30 @@
+"""DetLint corpus: DET008 — process-identity reads in simulation code."""
+
+import os
+import uuid
+from os import getpid
+from secrets import token_hex
+
+
+def name_shard(record):
+    record["worker"] = os.getpid()  # DET008: pid varies per process
+    return record
+
+
+def tag_run():
+    return str(uuid.uuid4())  # DET008: random uuid varies per run
+
+
+def from_import_alias():
+    return getpid()  # DET008: from-import resolves to os.getpid
+
+
+def salt():
+    return token_hex(8)  # DET008: secrets draws from the OS entropy pool
+
+
+def worker_entry(conn):
+    # The sanctioned pattern: allowlisted modules (repro/exec/executors.py)
+    # or an explicit suppression for spawn-time diagnostics.
+    pid = os.getpid()  # detlint: ignore[DET008]
+    conn.send(pid)

@@ -68,12 +68,17 @@ def test_det007_bare_except_corpus():
     assert _codes("det007_bare_except.py") == ["DET007"]
 
 
+def test_det008_process_identity_corpus():
+    # Four violations fire; the suppressed worker-entry pid read does not.
+    assert _codes("det008_pid.py") == ["DET008"] * 4
+
+
 def test_suppressions_silence_everything():
     assert _codes("suppressed_ok.py") == []
 
 
 def test_every_rule_has_a_hint_and_stable_code():
-    assert sorted(RULES) == [f"DET00{i}" for i in range(1, 8)]
+    assert sorted(RULES) == [f"DET00{i}" for i in range(1, 9)]
     for code, rule in RULES.items():
         assert rule.code == code
         assert rule.hint
@@ -95,13 +100,27 @@ def test_allowlist_suppresses_by_path_suffix():
     assert allowed == []  # self-profiler may read the wall clock
 
 
+def test_executor_allowlist_covers_worker_entry_points():
+    # The worker-process boundary may read the wall clock and its own pid;
+    # everywhere else DET008 fires.
+    source = "import os, time\nPID = os.getpid()\nT0 = time.time()\n"
+    config = LintConfig()
+    flagged = lint_file(Path("src/repro/core/data_plane.py"), config,
+                        source=source)
+    assert sorted(f.code for f in flagged) == ["DET001", "DET008"]
+    allowed = lint_file(Path("src/repro/exec/executors.py"), config,
+                        source=source)
+    assert allowed == []
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
 def test_main_exit_codes(capsys):
     assert main([str(_FIXTURES)]) == 1
     out = capsys.readouterr().out
-    for code in ("DET001", "DET002", "DET003", "DET004", "DET005", "DET007"):
+    for code in ("DET001", "DET002", "DET003", "DET004", "DET005", "DET007",
+                 "DET008"):
         assert code in out
     assert main([str(_FIXTURES / "suppressed_ok.py")]) == 0
     assert "clean" in capsys.readouterr().out

@@ -1,0 +1,50 @@
+"""Picklable unit functions for the exec-layer tests.
+
+These live in their own importable module (not a test file) because
+:class:`repro.exec.SimUnit` names its function by ``module:function``
+import path and worker processes re-resolve it.
+"""
+
+import numpy as np
+
+from repro.faults.model import BlastRadius, NodeCrash
+from repro.faults.timeline import FaultTimeline
+from repro.obs.context import attach
+from repro.sim import Environment
+
+
+def sim_unit(seed: int, steps: int) -> dict:
+    """A tiny seeded simulation exercising every harvested artefact:
+    metrics, spans (when tracing), the event count, and a timeline."""
+    env = Environment()
+    ctx = attach(env, label=f"unit-seed{seed}")
+    rng = np.random.default_rng(seed)
+    delays = [float(d) for d in rng.random(steps)]
+
+    def proc():
+        for delay in delays:
+            yield env.timeout(delay)
+            ctx.metrics.counter("unit.steps").add(1)
+            ctx.metrics.histogram("unit.delay", unit="s").observe(delay)
+
+    env.process(proc())
+    env.run()
+
+    timeline = FaultTimeline()
+    rec = timeline.record(
+        NodeCrash(target=f"node{seed % 3}"),
+        at=env.now / 2,
+        radius=BlastRadius(nodes=(f"node{seed % 3}",),
+                           domains=(f"rack{seed % 2}/pdu0",)),
+    )
+    timeline.mark_recovered(rec, at=env.now, ranks_restarted=1)
+    return {
+        "sum_delay": sum(delays),
+        "now": env.now,
+        "_timeline": timeline.to_records(),
+    }
+
+
+def boom(message: str) -> dict:
+    """A unit that always fails; exercises worker error propagation."""
+    raise RuntimeError(message)

@@ -1,4 +1,7 @@
-"""Metrics instruments, the registry, and the sim.trace alias contract."""
+"""Metrics instruments, the registry, and the post-shim import contract."""
+
+import importlib.util
+import warnings
 
 import pytest
 
@@ -11,15 +14,18 @@ from repro.obs.metrics import (
 )
 
 
-def test_sim_trace_is_an_alias():
-    # The old ad-hoc module re-exports the obs implementations verbatim.
-    import repro.sim.trace as legacy
-
-    assert legacy.Counter is Counter
-    assert legacy.TraceRecorder is TraceRecorder
-    from repro.sim import Counter as sim_counter
-
+def test_sim_trace_shim_is_gone_and_shortcut_is_warning_free():
+    # The deprecated repro.sim.trace alias module has been removed; the
+    # supported spellings are repro.obs.metrics and the repro.sim re-export,
+    # and neither emits a DeprecationWarning.
+    assert importlib.util.find_spec("repro.sim.trace") is None
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        from repro.sim import Counter as sim_counter
+        from repro.sim import TraceRecorder as sim_recorder
     assert sim_counter is Counter
+    assert sim_recorder is TraceRecorder
+    assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
 
 
 def test_counter_bag_merge():

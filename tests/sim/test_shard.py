@@ -1,0 +1,175 @@
+"""Conservative window sync: BoundaryChannel + ShardCoordinator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BoundaryChannel, Environment, ShardCoordinator
+from repro.sim.shard import DEFAULT_LOOKAHEAD_S, fabric_lookahead
+
+
+def _ping_pong(rounds=5, latency=1e-3, lookahead=None):
+    """Two shards bouncing a counter; returns (coordinator, log)."""
+    a, b = Environment(), Environment()
+    ab = BoundaryChannel(a, b, latency, name="a->b")
+    ba = BoundaryChannel(b, a, latency, name="b->a")
+    coord = ShardCoordinator([a, b], [ab, ba], lookahead=lookahead)
+    log = []
+
+    def side_a():
+        ab.send(0)
+        for _ in range(rounds):
+            value = yield ba.recv()
+            log.append(("a", a.now, value))
+            ab.send(value + 1)
+
+    def side_b():
+        for _ in range(rounds):
+            value = yield ab.recv()
+            log.append(("b", b.now, value))
+            ba.send(value + 1)
+
+    a.process(side_a())
+    b.process(side_b())
+    return coord, log
+
+
+def test_ping_pong_alternates_and_respects_latency():
+    coord, log = _ping_pong(rounds=4, latency=1e-3)
+    coord.run()
+    # b sees the evens, a the odds; each hop costs exactly one latency.
+    assert [(who, v) for who, _, v in log] == [
+        ("b", 0), ("a", 1), ("b", 2), ("a", 3),
+        ("b", 4), ("a", 5), ("b", 6), ("a", 7),
+    ]
+    for i, (_, t, _v) in enumerate(log):
+        assert t == pytest.approx((i + 1) * 1e-3)
+    assert coord.drained()
+    assert coord.windows > 0
+
+
+def test_messages_never_land_inside_their_own_window():
+    # With lookahead == latency, a message sent at window start arrives
+    # exactly one window later — the conservative bound is tight.
+    coord, log = _ping_pong(rounds=3, latency=1e-3)
+    coord.run()
+    deliveries = [t for _, t, _ in log]
+    assert all(b - a >= 1e-3 - 1e-12 for a, b in zip(deliveries, deliveries[1:]))
+
+
+def test_smaller_lookahead_only_costs_windows_not_results():
+    coord_tight, log_tight = _ping_pong(rounds=6, latency=1e-3)
+    coord_tight.run()
+    coord_small, log_small = _ping_pong(rounds=6, latency=1e-3, lookahead=0.25e-3)
+    coord_small.run()
+    assert log_tight == log_small
+    # The coordinator skips empty spans, so a smaller lookahead can only
+    # add window turns, never change what happens inside them.
+    assert coord_small.windows >= coord_tight.windows
+    assert coord_tight.fingerprint_inputs() == coord_small.fingerprint_inputs()
+
+
+def test_same_model_is_bit_identical_across_runs():
+    runs = []
+    for _ in range(2):
+        coord, log = _ping_pong(rounds=5, latency=2e-4)
+        coord.run()
+        runs.append((log, coord.fingerprint_inputs(), coord.windows))
+    assert runs[0] == runs[1]
+
+
+def test_lookahead_above_channel_floor_is_rejected():
+    a, b = Environment(), Environment()
+    chan = BoundaryChannel(a, b, 1e-4)
+    with pytest.raises(SimulationError):
+        ShardCoordinator([a, b], [chan], lookahead=1e-3)
+
+
+def test_channel_needs_positive_latency():
+    a, b = Environment(), Environment()
+    with pytest.raises(SimulationError):
+        BoundaryChannel(a, b, 0.0)
+
+
+def test_foreign_channel_endpoint_is_rejected():
+    a, b, c = Environment(), Environment(), Environment()
+    chan = BoundaryChannel(a, c, 1e-3)
+    with pytest.raises(SimulationError):
+        ShardCoordinator([a, b], [chan])
+
+
+def test_single_shard_no_channels_matches_plain_run():
+    def worker(env, out):
+        for i in range(3):
+            yield env.timeout(0.5)
+            out.append(env.now)
+
+    plain_env, plain_out = Environment(), []
+    plain_env.process(worker(plain_env, plain_out))
+    plain_env.run()
+
+    sharded_env, sharded_out = Environment(), []
+    sharded_env.process(worker(sharded_env, sharded_out))
+    coord = ShardCoordinator([sharded_env])
+    coord.run()
+    assert sharded_out == plain_out
+    assert sharded_env.now == plain_env.now
+    assert sharded_env.events_scheduled == plain_env.events_scheduled
+
+
+def test_run_until_stops_before_the_horizon():
+    coord, log = _ping_pong(rounds=10, latency=1e-3)
+    coord.run(until=3.5e-3)
+    assert not coord.drained()  # work remains past the horizon
+    assert all(t < 3.5e-3 for _, t, _ in log)
+    coord.run()  # and it can resume to completion
+    assert coord.drained()
+    assert len(log) == 20  # every hop (10 per side) eventually happens
+
+
+def test_send_buffers_until_recv_and_recv_waits_for_send():
+    a, b = Environment(), Environment()
+    chan = BoundaryChannel(a, b, 1e-3)
+    coord = ShardCoordinator([a, b], [chan])
+    seen = []
+
+    def sender():
+        chan.send("early")
+        yield a.timeout(5e-3)
+        chan.send("late")
+
+    def receiver():
+        yield b.timeout(2e-3)  # "early" already delivered: buffered
+        first = yield chan.recv()
+        seen.append((b.now, first))
+        second = yield chan.recv()  # not yet sent: getter path
+        seen.append((b.now, second))
+
+    a.process(sender())
+    b.process(receiver())
+    coord.run()
+    assert seen[0] == (pytest.approx(2e-3), "early")
+    assert seen[1] == (pytest.approx(6e-3), "late")
+
+
+def test_coordinator_channel_helper_lowers_lookahead():
+    a, b = Environment(), Environment()
+    coord = ShardCoordinator([a, b])
+    assert coord.lookahead == DEFAULT_LOOKAHEAD_S
+    chan = coord.channel(0, 1, latency=1e-6, name="fastpath")
+    assert chan in coord.channels
+    assert coord.lookahead == 1e-6
+
+
+def test_fabric_lookahead_prefers_measured_rtt():
+    class Fabric:
+        def round_trip(self, src, dst):
+            return 3.2e-6
+
+    assert fabric_lookahead(Fabric(), "n0", "n1") == 3.2e-6
+    assert fabric_lookahead(object(), "n0", "n1") == DEFAULT_LOOKAHEAD_S
+
+    class Broken:
+        def round_trip(self, src, dst):
+            return 0.0
+
+    assert fabric_lookahead(Broken(), "n0", "n1") == DEFAULT_LOOKAHEAD_S
