@@ -128,6 +128,7 @@ class Deployment:
         rank_main: Callable,
         config: Optional[RuntimeConfig] = None,
         global_namespace: Optional[GlobalNamespaceService] = None,
+        on_complete: Optional[Callable[[], None]] = None,
     ) -> MPIJob:
         """Launch ``rank_main(shim, comm)`` on every rank with an
         initialised runtime; runs the simulation to completion.
@@ -135,6 +136,11 @@ class Deployment:
         ``rank_main`` is a generator taking ``(shim, comm)``; MPI_Init
         and MPI_Finalize are called around it (the interception shim's
         wrappers), like a real ``LD_PRELOAD``-ed binary.
+
+        ``on_complete`` (if given) runs after every rank returns and
+        before the residual-event drain — the hook perpetual services
+        (e.g. a Raft group's heartbeats) use to park themselves so the
+        drain terminates.
         """
 
         def main(comm):
@@ -153,6 +159,8 @@ class Deployment:
         # timers if a rank dies without reaching MPI_Finalize.
         self.env.run_until_complete(mpi_job.done)
         mpi_job.done.value  # re-raises if any rank failed
+        if on_complete is not None:
+            on_complete()
         self.env.run()  # drain residual background events
         return mpi_job
 

@@ -35,6 +35,12 @@ def _qos(**kwargs):
 
     return qos(**kwargs)
 
+
+def _failover(**kwargs):
+    from repro.bench.failover import failover
+
+    return failover(**kwargs)
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "fig1": E.fig1_motivation,
     "fig7a": E.fig7a_hugeblock_sweep,
@@ -50,6 +56,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "sysmatrix": E.sysmatrix,
     "resilience": _resilience,
     "qos": _qos,
+    "failover": _failover,
     "ablation-coalescing": E.ablation_coalescing,
     "ablation-distributors": E.ablation_distributors,
     "ext-cache": X.ext_cache_layer,
@@ -69,6 +76,7 @@ _PERF_RELEVANT: Dict[str, str] = {
     "fig9weak": "fig9",
     "fig9strong": "fig9strong",
     "fig7a": "fig7a",
+    "failover": "failover",
 }
 
 _DESCRIPTIONS: Dict[str, str] = {
@@ -85,6 +93,8 @@ _DESCRIPTIONS: Dict[str, str] = {
     "tab2": "multi-level checkpointing with Lustre tier",
     "sysmatrix": "one N-N pass over every registered storage system",
     "resilience": "fault-injected campaigns: effective progress vs MTBF",
+    "failover": "replicated control plane: availability under leader "
+                "kills and partitions",
     "qos": "per-class latency under FCFS vs WRR arbitration (+ batching)",
     "ablation-coalescing": "log record coalescing on/off",
     "ablation-distributors": "round-robin vs jump hash vs vnode ring",
@@ -250,7 +260,8 @@ def main(argv=None) -> int:
             kwargs["procs"] = tuple(args.procs)
     if args.systems:
         takes_systems = {"fig1", "fig7b", "fig8b", "fig9weak", "fig9strong",
-                         "tab1", "tab2", "sysmatrix", "resilience", "qos"}
+                         "tab1", "tab2", "sysmatrix", "resilience", "qos",
+                         "failover"}
         if args.name not in takes_systems:
             print(f"{args.name} does not take --systems "
                   f"(supported: {', '.join(sorted(takes_systems))})",

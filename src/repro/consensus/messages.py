@@ -1,0 +1,99 @@
+"""Typed Raft wire messages and log entries.
+
+Messages are frozen dataclasses so a captured exchange hashes, compares,
+and serialises deterministically — the determinism contract extends to
+consensus (same seed + same fault schedule must produce a bit-identical
+election/commit/term trace).  Commands carried by :class:`LogEntry` are
+plain tuples, e.g. ``("meta.set", "/ckpt/r0.dat", (ino, nbytes))`` — the
+same discipline as the MicroFS operation log: journal the operation and
+its parameters, never object references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+__all__ = [
+    "LogEntry",
+    "RequestVote",
+    "VoteReply",
+    "AppendEntries",
+    "AppendReply",
+    "InstallSnapshot",
+    "SnapshotReply",
+]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated command at a global log ``index`` (1-based)."""
+
+    term: int
+    index: int
+    command: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    """Candidate solicits a vote for ``term``.
+
+    With ``prevote`` set this is a PreVote probe (Raft thesis §4.2.3):
+    the sender asks whether it *could* win ``term`` without bumping its
+    own term, so a partitioned member cannot inflate its term and depose
+    a healthy leader when the partition heals.
+    """
+
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+    prevote: bool = False
+
+
+@dataclass(frozen=True)
+class VoteReply:
+    term: int
+    voter: str
+    granted: bool
+    prevote: bool = False
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    """Leader replicates ``entries`` (empty = heartbeat)."""
+
+    term: int
+    leader: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: Tuple[LogEntry, ...] = ()
+    leader_commit: int = 0
+
+
+@dataclass(frozen=True)
+class AppendReply:
+    term: int
+    follower: str
+    success: bool
+    match_index: int  # on success: last replicated index; else a back-off hint
+
+
+@dataclass(frozen=True)
+class InstallSnapshot:
+    """Leader ships a compacted prefix to a follower that fell behind the
+    snapshot horizon.  ``snapshot`` is the state machine's opaque image
+    (witness images are empty — vote-only members hold no data)."""
+
+    term: int
+    leader: str
+    last_included_index: int
+    last_included_term: int
+    snapshot: Any = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class SnapshotReply:
+    term: int
+    follower: str
+    last_included_index: int

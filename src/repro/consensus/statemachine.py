@@ -1,0 +1,156 @@
+"""Replicated state machines: full (metadata + grants) and witness.
+
+The shape follows the nexus federation memo: a ``FullStateMachine``
+applying metadata operations and namespace grants, and a vote-only
+``WitnessStateMachine`` for cheap third members — a witness replicates
+and persists the log (its vote counts toward commit majorities) but
+materialises no state, so it can run on a node with no DRAM budget for
+the namespace.
+
+Commands are plain tuples (see :mod:`repro.consensus.messages`):
+
+========================  ====================================================
+``("noop",)``             leader barrier entry on election (commits prior terms)
+``("meta.set", k, v)``    upsert one metadata entry (MicroFS op provenance)
+``("meta.del", k)``       remove one metadata entry
+``("grant.add", job, g)`` record a job's namespace grants ``g`` (tuple)
+``("grant.del", job)``    revoke a job's grants
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["StateMachine", "FullStateMachine", "WitnessStateMachine"]
+
+Command = Tuple[Any, ...]
+
+
+class StateMachine(abc.ABC):
+    """What a Raft member applies committed entries to."""
+
+    #: vote-only members replicate the log but materialise no state
+    witness: bool = False
+
+    def __init__(self) -> None:
+        self.applied_index = 0
+
+    @abc.abstractmethod
+    def apply(self, index: int, command: Command) -> Any:
+        """Apply one committed command; returns the op result."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Any:
+        """An opaque, copyable image of the full state at ``applied_index``."""
+
+    @abc.abstractmethod
+    def restore(self, last_included_index: int, image: Any) -> None:
+        """Replace all state with ``image`` (InstallSnapshot path)."""
+
+    def digest(self) -> str:
+        """Content hash for zero-loss verification across members."""
+        return hashlib.sha256(repr(self._digest_items()).encode()).hexdigest()
+
+    def _digest_items(self) -> Any:
+        return ("witness", self.applied_index)
+
+
+class FullStateMachine(StateMachine):
+    """Metadata entries + namespace grants, applied in log order.
+
+    ``meta`` mirrors what the MicroFS operation log journals (key ->
+    parameters tuple); ``grants`` mirrors the balancer's storage grants
+    (job name -> tuple of ``(node_name, nsid, nbytes)``).  Both are
+    plain dicts keyed by strings, so snapshots are cheap copies and
+    digests are order-independent.
+    """
+
+    witness = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.meta: Dict[str, Any] = {}
+        self.grants: Dict[str, Tuple[Any, ...]] = {}
+
+    # -- apply -------------------------------------------------------------
+
+    def apply(self, index: int, command: Command) -> Any:
+        if index <= self.applied_index:
+            raise SimulationError(
+                f"state machine replay: index {index} <= {self.applied_index}"
+            )
+        self.applied_index = index
+        op = command[0]
+        if op == "noop":
+            return None
+        if op == "meta.set":
+            self.meta[command[1]] = command[2]
+            return command[2]
+        if op == "meta.del":
+            return self.meta.pop(command[1], None)
+        if op == "grant.add":
+            self.grants[command[1]] = tuple(command[2])
+            return command[2]
+        if op == "grant.del":
+            return self.grants.pop(command[1], None)
+        raise SimulationError(f"unknown replicated command {op!r}")
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        return self.meta.get(key)
+
+    def grant_of(self, job: str) -> Optional[Tuple[Any, ...]]:
+        return self.grants.get(job)
+
+    def keys(self) -> List[str]:
+        return sorted(self.meta)
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> Any:
+        return (dict(self.meta), dict(self.grants))
+
+    def restore(self, last_included_index: int, image: Any) -> None:
+        meta, grants = image
+        self.meta = dict(meta)
+        self.grants = dict(grants)
+        self.applied_index = last_included_index
+
+    def _digest_items(self) -> Any:
+        return (sorted(self.meta.items()), sorted(self.grants.items()))
+
+
+class WitnessStateMachine(StateMachine):
+    """Vote-only member: counts applies, stores nothing.
+
+    The witness's log still replicates (its persistence is what makes a
+    2-data-member group safe), but ``apply`` discards the command, its
+    snapshot is empty, and restoring one only moves ``applied_index``.
+    """
+
+    witness = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.applied_count = 0
+
+    def apply(self, index: int, command: Command) -> Any:
+        if index <= self.applied_index:
+            raise SimulationError(
+                f"witness replay: index {index} <= {self.applied_index}"
+            )
+        self.applied_index = index
+        self.applied_count += 1
+        return None
+
+    def snapshot(self) -> Any:
+        return None
+
+    def restore(self, last_included_index: int, image: Any) -> None:
+        self.applied_index = last_included_index

@@ -1,0 +1,92 @@
+"""The replicated implementation of the control-plane metadata store.
+
+``ReplicatedMetadataStore`` speaks the exact
+:class:`~repro.core.control_plane.MetadataStore` interface but routes
+every mutation through :meth:`RaftGroup.propose`, so a mutation costs
+real fabric round trips (leader append -> quorum replication -> apply)
+and transparently survives leader failover.  Reads are served from the
+current leader's state machine — the linearizable-enough choice for the
+runtime's metadata (every read follows the client's own acked write,
+and the failover experiment verifies digests across replicas anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.consensus.group import RaftGroup
+from repro.consensus.statemachine import FullStateMachine
+from repro.core.control_plane import MetadataStore
+from repro.errors import ConsensusError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["ReplicatedMetadataStore"]
+
+
+class ReplicatedMetadataStore(MetadataStore):
+    """Metadata operations committed through a Raft group."""
+
+    mode = "raft"
+
+    def __init__(self, env: Environment, group: RaftGroup):
+        self.env = env
+        self.group = group
+        self.ops_committed = 0
+
+    # -- mutations (quorum round trips) -------------------------------------
+
+    def _commit(
+        self, command: Tuple[Any, ...]
+    ) -> Generator[Event, Any, Any]:
+        _index, result = yield from self.group.propose(command)
+        self.ops_committed += 1
+        return result
+
+    def set(self, key: str, value: Any) -> Generator[Event, Any, Any]:
+        return (yield from self._commit(("meta.set", key, value)))
+
+    def delete(self, key: str) -> Generator[Event, Any, Any]:
+        return (yield from self._commit(("meta.del", key)))
+
+    def add_grant(
+        self, job: str, grant: Tuple[Any, ...]
+    ) -> Generator[Event, Any, Any]:
+        return (yield from self._commit(("grant.add", job, tuple(grant))))
+
+    def revoke_grant(self, job: str) -> Generator[Event, Any, Any]:
+        return (yield from self._commit(("grant.del", job)))
+
+    # -- reads (leader-local) -------------------------------------------------
+
+    def _machine(self) -> FullStateMachine:
+        lead = self.group.leader()
+        if lead is not None:
+            machine = self.group.nodes[lead].machine
+            if isinstance(machine, FullStateMachine):
+                return machine
+        # Leaderless (mid-election) or witness leader: read the most
+        # advanced live full member — the freshest surviving state.
+        best: Optional[FullStateMachine] = None
+        best_key = (-1, -1)
+        for name in self.group.full_members():
+            node = self.group.nodes[name]
+            if node.crashed:
+                continue
+            key = (node.commit_index, node.machine.applied_index)
+            if isinstance(node.machine, FullStateMachine) and key > best_key:
+                best, best_key = node.machine, key
+        if best is None:
+            raise ConsensusError("no live full member to read from")
+        return best
+
+    def get(self, key: str) -> Any:
+        return self._machine().get(key)
+
+    def grant_of(self, job: str) -> Optional[Tuple[Any, ...]]:
+        return self._machine().grant_of(job)
+
+    def keys(self) -> List[str]:
+        return self._machine().keys()
+
+    def digest(self) -> str:
+        return self._machine().digest()

@@ -47,8 +47,17 @@ class RuntimeConfig:
     metadata_provenance: bool = True
     hugeblocks: bool = True
     log_coalescing: bool = True
+    # Control-plane metadata authority: "local" (single authority, the
+    # paper's baseline) or "raft" (replicated across zones; built by the
+    # nvmecr-raft system variant).
+    control_plane_mode: str = "local"
 
     def __post_init__(self) -> None:
+        if self.control_plane_mode not in ("local", "raft"):
+            raise InvalidArgument(
+                f"control_plane_mode must be 'local' or 'raft', got "
+                f"{self.control_plane_mode!r}"
+            )
         if self.hugeblock_bytes < 4096 or self.hugeblock_bytes % 4096 != 0:
             raise InvalidArgument(
                 f"hugeblock size must be a positive multiple of 4 KiB, got "

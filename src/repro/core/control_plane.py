@@ -10,19 +10,32 @@ The control-plane *logic* (inodes, B+Tree, logging) lives inside
   (Figure 7(d)).
 * :class:`MetadataFootprint` — the DRAM/SSD metadata accounting behind
   Table I and §IV-G (404 MB inodes + 102 MB B+Tree figures).
+* :class:`MetadataStore` — the swappable control-plane metadata
+  interface.  :class:`LocalMetadataStore` is the single-authority
+  implementation (``control_plane_mode="local"``, the paper's baseline);
+  :class:`~repro.consensus.store.ReplicatedMetadataStore` implements the
+  same interface over a Raft group (``"raft"``), so the runtime swaps
+  modes via :class:`~repro.core.config.RuntimeConfig` alone.
 """
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass
-from typing import Any, Generator
+from typing import Any, Generator, List, Optional, Tuple
 
 from repro.bench import calibration as cal
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
 from repro.units import us
 
-__all__ = ["GlobalNamespaceService", "MetadataFootprint"]
+__all__ = [
+    "GlobalNamespaceService",
+    "MetadataFootprint",
+    "MetadataStore",
+    "LocalMetadataStore",
+    "make_metadata_store",
+]
 
 #: Service time of one global-namespace metadata operation: distributed
 #: lock acquisition + directory update on a shared metadata service
@@ -59,6 +72,135 @@ class GlobalNamespaceService:
         if self.resource.total_requests == 0:
             return 0.0
         return self.resource.total_wait_time / self.resource.total_requests
+
+
+#: Service time of one *local* metadata-store apply: a DRAM structure
+#: update plus the MicroFS op-log append it journals through.
+LOCAL_META_APPLY = us(2)
+
+
+class MetadataStore(abc.ABC):
+    """Control-plane metadata operations, independent of replication.
+
+    Mutations are simulation coroutines (``yield from store.set(...)``)
+    so the replicated implementation can spend real fabric round trips
+    reaching quorum; reads are leader-local and synchronous in both
+    modes.  Every mutation is an idempotent upsert/delete keyed by name,
+    so a client may safely re-issue one after a timeout.
+    """
+
+    #: "local" or "raft" — which RuntimeConfig.control_plane_mode built it.
+    mode: str = "local"
+
+    @abc.abstractmethod
+    def set(self, key: str, value: Any) -> Generator[Event, Any, Any]:
+        """Upsert one metadata entry; returns the stored value."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> Generator[Event, Any, Any]:
+        """Remove one metadata entry; returns the removed value or None."""
+
+    @abc.abstractmethod
+    def add_grant(
+        self, job: str, grant: Tuple[Any, ...]
+    ) -> Generator[Event, Any, Any]:
+        """Record a job's namespace grant tuple."""
+
+    @abc.abstractmethod
+    def revoke_grant(self, job: str) -> Generator[Event, Any, Any]:
+        """Drop a job's namespace grants."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Any:
+        """Read one entry (authoritative replica's view)."""
+
+    @abc.abstractmethod
+    def grant_of(self, job: str) -> Optional[Tuple[Any, ...]]:
+        """Read a job's grant tuple, if any."""
+
+    @abc.abstractmethod
+    def keys(self) -> List[str]:
+        """All metadata keys, sorted."""
+
+    @abc.abstractmethod
+    def digest(self) -> str:
+        """Content hash of the full store (zero-loss verification)."""
+
+
+class LocalMetadataStore(MetadataStore):
+    """Single-authority store: the non-replicated baseline.
+
+    Applies commands straight into a
+    :class:`~repro.consensus.statemachine.FullStateMachine` (the same
+    machine the Raft members replicate), so local and replicated runs
+    produce directly comparable digests.
+    """
+
+    mode = "local"
+
+    def __init__(self, env: Environment):
+        # Imported here: repro.core must stay importable without the
+        # consensus package being touched on the baseline path.
+        from repro.consensus.statemachine import FullStateMachine
+
+        self.env = env
+        self.machine = FullStateMachine()
+        self._next_index = 0
+
+    def _apply(self, command: Tuple[Any, ...]) -> Generator[Event, Any, Any]:
+        yield self.env.timeout(LOCAL_META_APPLY)
+        self._next_index += 1
+        return self.machine.apply(self._next_index, command)
+
+    def set(self, key: str, value: Any) -> Generator[Event, Any, Any]:
+        return (yield from self._apply(("meta.set", key, value)))
+
+    def delete(self, key: str) -> Generator[Event, Any, Any]:
+        return (yield from self._apply(("meta.del", key)))
+
+    def add_grant(
+        self, job: str, grant: Tuple[Any, ...]
+    ) -> Generator[Event, Any, Any]:
+        return (yield from self._apply(("grant.add", job, tuple(grant))))
+
+    def revoke_grant(self, job: str) -> Generator[Event, Any, Any]:
+        return (yield from self._apply(("grant.del", job)))
+
+    def get(self, key: str) -> Any:
+        return self.machine.get(key)
+
+    def grant_of(self, job: str) -> Optional[Tuple[Any, ...]]:
+        return self.machine.grant_of(job)
+
+    def keys(self) -> List[str]:
+        return self.machine.keys()
+
+    def digest(self) -> str:
+        return self.machine.digest()
+
+    @property
+    def ops_applied(self) -> int:
+        return self._next_index
+
+
+def make_metadata_store(
+    env: Environment, mode: str = "local", group: Any = None
+) -> MetadataStore:
+    """Build the store for ``RuntimeConfig.control_plane_mode``.
+
+    ``mode="raft"`` requires the deployment's
+    :class:`~repro.consensus.group.RaftGroup` (built by the
+    ``nvmecr-raft`` system variant); ``"local"`` ignores ``group``.
+    """
+    if mode == "local":
+        return LocalMetadataStore(env)
+    if mode == "raft":
+        if group is None:
+            raise ValueError("control_plane_mode='raft' needs a RaftGroup")
+        from repro.consensus.store import ReplicatedMetadataStore
+
+        return ReplicatedMetadataStore(env, group)
+    raise ValueError(f"unknown control_plane_mode {mode!r}")
 
 
 @dataclass

@@ -145,3 +145,15 @@ class AllocationError(SchedulerError):
 
 class RecoveryError(ReproError):
     """Log replay or state-checkpoint load failed during recovery."""
+
+
+class ConsensusError(ReproError):
+    """A Raft-group operation could not complete (no quorum, timeout)."""
+
+
+class NotLeader(ConsensusError):
+    """A proposal reached a non-leader member; retry at ``leader_hint``."""
+
+    def __init__(self, leader_hint=None):
+        super().__init__(f"not the leader (hint: {leader_hint})")
+        self.leader_hint = leader_hint

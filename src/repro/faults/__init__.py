@@ -19,7 +19,9 @@ from repro.faults.model import (
     BlastRadius,
     Fault,
     FaultKind,
+    LeaderKill,
     LinkDegrade,
+    NetworkPartition,
     NodeCrash,
     NVMfTargetDeath,
     PDUFailure,
@@ -38,7 +40,9 @@ __all__ = [
     "FaultRecord",
     "FaultTimeline",
     "HazardSpec",
+    "LeaderKill",
     "LinkDegrade",
+    "NetworkPartition",
     "NodeCrash",
     "NVMfTargetDeath",
     "PDUFailure",

@@ -22,7 +22,9 @@ from repro.faults.hazard import HazardSpec, draw_arrival_times
 from repro.faults.model import (
     BlastRadius,
     Fault,
+    LeaderKill,
     LinkDegrade,
+    NetworkPartition,
     blast_radius,
 )
 from repro.faults.timeline import FaultRecord, FaultTimeline
@@ -62,6 +64,8 @@ class FaultInjector:
         self.targets: Dict[str, List[Any]] = {}  # node name -> NVMf targets
         self.fabric: Any = None
         self.scheduler: Any = None
+        self.consensus: Any = None  # RaftGroup for control-plane faults
+        self._leader_kills: List[str] = []  # victims pending revival (FIFO)
         self.down_nodes: set = set()
         self._planned: List[Tuple[float, int, Fault, Optional[float]]] = []
         self._seq = 0
@@ -97,6 +101,12 @@ class FaultInjector:
 
     def attach_target(self, node_name: str, target: Any) -> None:
         self.targets.setdefault(node_name, []).append(target)
+
+    def attach_consensus(self, group: Any) -> None:
+        """Wire a :class:`~repro.consensus.group.RaftGroup` so
+        :class:`LeaderKill` / :class:`NetworkPartition` faults drive real
+        consensus recovery instead of landing as timeline-only records."""
+        self.consensus = group
 
     def subscribe(self, handler: FaultHandler) -> None:
         """Call ``handler(record, fault, radius)`` at each injection."""
@@ -202,6 +212,9 @@ class FaultInjector:
         return record
 
     def _apply(self, fault: Fault, radius: BlastRadius) -> None:
+        if isinstance(fault, (LeaderKill, NetworkPartition)):
+            self._apply_consensus(fault)
+            return
         for node in radius.ssds:
             for ssd in self.ssds.get(node, []):
                 if ssd.powered:
@@ -219,6 +232,40 @@ class FaultInjector:
             if self.scheduler is not None:
                 self.scheduler.mark_node_down(node)
 
+    def _apply_consensus(self, fault: Fault) -> None:
+        group = self.consensus
+        if group is None:
+            return  # timeline-only record; nothing wired to strike
+        if isinstance(fault, LeaderKill):
+            victim = group.kill_leader()
+            if victim is not None:
+                self._leader_kills.append(victim)
+            return
+        assert isinstance(fault, NetworkPartition)
+        members = list(fault.members)
+        if not members:
+            # Worst single cut: the current leader plus enough followers
+            # to form the largest still-minority side.
+            minority = len(group.members) - group.quorum_size
+            lead = group.leader()
+            members = [lead] if lead is not None else []
+            for name in group.members:
+                if len(members) >= minority:
+                    break
+                if name != lead:
+                    members.append(name)
+        group.partition(members)
+
+    def _repair_consensus(self, fault: Fault) -> None:
+        group = self.consensus
+        if group is None:
+            return
+        if isinstance(fault, LeaderKill):
+            if self._leader_kills:
+                group.revive(self._leader_kills.pop(0))
+            return
+        group.heal()
+
     def _repair(
         self,
         record: FaultRecord,
@@ -227,6 +274,8 @@ class FaultInjector:
         repair_after: float,
     ) -> Generator[Event, Any, None]:
         yield self.env.timeout(repair_after)
+        if isinstance(fault, (LeaderKill, NetworkPartition)):
+            self._repair_consensus(fault)
         for node in radius.ssds:
             for ssd in self.ssds.get(node, []):
                 if not ssd.powered:

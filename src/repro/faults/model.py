@@ -32,6 +32,8 @@ __all__ = [
     "LinkDegrade",
     "SwitchFailure",
     "PDUFailure",
+    "LeaderKill",
+    "NetworkPartition",
     "BlastRadius",
     "blast_radius",
 ]
@@ -46,6 +48,8 @@ class FaultKind(enum.Enum):
     LINK_DEGRADE = "link-degrade"
     SWITCH_FAILURE = "switch-failure"
     PDU_FAILURE = "pdu-failure"
+    LEADER_KILL = "leader-kill"
+    NETWORK_PARTITION = "network-partition"
 
 
 @dataclass(frozen=True)
@@ -110,6 +114,31 @@ class PDUFailure(Fault):
     (``rack/pdu``) and everything co-located goes down at once."""
 
     kind: ClassVar[FaultKind] = FaultKind.PDU_FAILURE
+
+
+@dataclass(frozen=True)
+class LeaderKill(Fault):
+    """Crash whichever member currently leads the control-plane Raft
+    group named ``target``.  The victim is resolved at injection time by
+    the attached :class:`~repro.consensus.group.RaftGroup`, so the same
+    schedule exercises whoever won the preceding election."""
+
+    kind: ClassVar[FaultKind] = FaultKind.LEADER_KILL
+
+
+@dataclass(frozen=True)
+class NetworkPartition(Fault):
+    """Isolate ``members`` of the Raft group ``target`` from the rest.
+
+    Traffic within the isolated side still flows; with a minority
+    isolated the majority side re-elects (if the leader was cut off)
+    and keeps committing.  An empty ``members`` isolates a largest
+    non-quorum minority containing the current leader — the worst
+    single cut that must not lose data.
+    """
+
+    members: Tuple[str, ...] = ()
+    kind: ClassVar[FaultKind] = FaultKind.NETWORK_PARTITION
 
 
 @dataclass(frozen=True)
@@ -182,6 +211,12 @@ def blast_radius(
             targets=(node.name,) if storage else (),
             domains=_covered_domains(domains, (node.name,)),
         )
+
+    if isinstance(fault, (LeaderKill, NetworkPartition)):
+        # Control-plane faults: no physical hardware leaves service —
+        # the injector resolves the victim against the attached
+        # consensus group at injection time.
+        return BlastRadius()
 
     if isinstance(fault, SSDPowerLoss):
         return BlastRadius(ssds=(fault.target,))

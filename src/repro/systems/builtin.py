@@ -62,6 +62,72 @@ def _build_nvmecr(
     )
 
 
+@register(
+    "nvmecr-raft", title="NVMe-CR (Raft)", short="nvmecr-r", kind="runtime",
+    description="NVMe-CR with a Raft-replicated control plane across zones",
+)
+def _build_nvmecr_raft(
+    *,
+    nprocs: int,
+    seed: int = 0,
+    devices: Optional[int] = None,
+    bytes_per_device: int = GiB(2),
+    config: Optional[RuntimeConfig] = None,
+    global_namespace: Any = None,
+    job_name: str = "job",
+    deployment: Any = None,
+    replicas: int = 3,
+    witnesses: int = 0,
+    zones: int = 2,
+) -> SystemHandle:
+    """The nvmecr data plane plus a zone-replicated metadata authority.
+
+    Control-plane metadata (the :class:`MetadataStore` interface) is
+    served by a Raft group whose members are spread one-per-zone over
+    the federated cluster; the data plane is byte-for-byte the nvmecr
+    builder's.  ``extras`` carries the live group, the replicated store,
+    and the zone map for fault-injection experiments.
+    """
+    from repro.apps.deployment import Deployment
+    from repro.consensus.group import RaftGroup
+    from repro.core.control_plane import make_metadata_store
+    from repro.topology.zones import ZoneMap
+
+    dep = deployment if deployment is not None else Deployment(seed=seed)
+    job, plan = dep.submit(
+        job_name, nprocs=nprocs, devices=devices or 8,
+        bytes_per_device=bytes_per_device,
+    )
+    run_config = (config or RuntimeConfig()).with_(control_plane_mode="raft")
+
+    zone_map = ZoneMap.federate(dep.cluster, zones=zones)
+    candidates = [n.name for n in dep.cluster.storage_nodes()]
+    candidates += [n.name for n in dep.cluster.compute_nodes()]
+    members = zone_map.spread(candidates, replicas)
+    witness_members = tuple(members[-witnesses:]) if witnesses else ()
+    group = RaftGroup(
+        dep.env, members, dep.rng, zone_of=zone_map.zone_of,
+        witnesses=witness_members,
+    )
+    group.start()
+    store = make_metadata_store(dep.env, "raft", group)
+
+    def run_ranks(rank_main: Callable) -> List[Any]:
+        mpi_job = dep.run_job(
+            job, plan, rank_main, config=run_config,
+            global_namespace=global_namespace, on_complete=group.stop,
+        )
+        return mpi_job.results()
+
+    return SystemHandle(
+        env=dep.env, deployment=dep, _run_ranks=run_ranks,
+        extras={
+            "job": job, "plan": plan, "config": run_config,
+            "group": group, "store": store, "zones": zone_map,
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Standalone MicroFS fleets (single node, figures 7(a)/7(c)/8(a))
 # ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@ testbed (one 8-node storage rack + one 16-node compute rack on EDR IB).
 from repro.topology.cluster import ClusterSpec, Node, NodeKind, Rack, paper_testbed
 from repro.topology.failure_domains import FailureDomain, derive_failure_domains, partner_domains
 from repro.topology.network import NetworkTopology
+from repro.topology.zones import Zone, ZoneMap
 
 __all__ = [
     "ClusterSpec",
@@ -18,6 +19,8 @@ __all__ = [
     "Node",
     "NodeKind",
     "Rack",
+    "Zone",
+    "ZoneMap",
     "derive_failure_domains",
     "paper_testbed",
     "partner_domains",

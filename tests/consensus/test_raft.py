@@ -1,0 +1,224 @@
+"""Raft behaviour: elections, replication, failover, snapshots, witnesses."""
+
+import pytest
+
+from repro.consensus import RaftGroup, Role
+from repro.errors import ConsensusError, NotLeader
+from repro.sim.engine import Environment
+from repro.sim.rng import RngHub
+from repro.units import ms
+
+MEMBERS = ["cn0", "cn1", "cn2"]
+
+
+def make_group(seed=7, members=MEMBERS, **kwargs):
+    env = Environment()
+    group = RaftGroup(env, members, RngHub(seed), **kwargs)
+    group.start()
+    return env, group
+
+
+def drive(env, group, body):
+    """Run a client generator to completion, then drain the queue."""
+    proc = env.process(body())
+    env.run_until_complete(proc)
+    group.stop()
+    env.run()
+    return proc.value
+
+
+def test_single_leader_elected():
+    env, group = make_group()
+
+    def body():
+        lead = yield from group.wait_leader(timeout=1.0)
+        assert group.nodes[lead].role is Role.LEADER
+        followers = [m for m in MEMBERS if m != lead]
+        assert all(
+            group.nodes[m].role is Role.FOLLOWER for m in followers
+        )
+        # Followers learned the leader from its heartbeats.
+        yield env.timeout(ms(30))
+        assert all(
+            group.nodes[m].leader_hint == lead for m in followers
+        )
+
+    drive(env, group, body)
+
+
+def test_commit_replicates_to_all():
+    env, group = make_group()
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        for i in range(5):
+            index, result = yield from group.propose(("meta.set", f"/k{i}", i))
+            assert result == i
+        yield env.timeout(ms(50))
+
+    drive(env, group, body)
+    assert len(set(group.digests().values())) == 1
+    assert all(ci >= 5 for ci in group.commit_indexes().values())
+
+
+def test_propose_on_follower_raises_not_leader():
+    env, group = make_group()
+
+    def body():
+        lead = yield from group.wait_leader(timeout=1.0)
+        yield env.timeout(ms(30))  # let heartbeats spread the hint
+        follower = next(m for m in MEMBERS if m != lead)
+        with pytest.raises(NotLeader) as exc:
+            group.nodes[follower].propose(("noop",))
+        assert exc.value.leader_hint == lead
+
+    drive(env, group, body)
+
+
+def test_leader_kill_reelects_and_keeps_data():
+    env, group = make_group()
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        for i in range(10):
+            yield from group.propose(("meta.set", f"/k{i}", i))
+        killed = group.kill_leader()
+        assert killed is not None
+        lead = yield from group.wait_leader(timeout=1.0)
+        assert lead != killed
+        for i in range(10, 20):
+            yield from group.propose(("meta.set", f"/k{i}", i))
+        group.revive(killed)
+        yield env.timeout(ms(200))  # revived member catches up
+        return killed
+
+    killed = drive(env, group, body)
+    digests = group.digests()
+    assert len(set(digests.values())) == 1
+    assert digests[killed] == digests[group.leader()]
+
+
+def test_minority_partition_keeps_committing():
+    env, group = make_group()
+
+    def body():
+        lead = yield from group.wait_leader(timeout=1.0)
+        yield from group.propose(("meta.set", "/pre", 1))
+        group.partition([lead])  # cut the leader off from the majority
+        for i in range(5):
+            yield from group.propose(("meta.set", f"/k{i}", i))
+        new_lead = group.leader()
+        assert new_lead != lead
+        group.heal()
+        yield env.timeout(ms(200))  # deposed leader rejoins and catches up
+
+    drive(env, group, body)
+    assert len(set(group.digests().values())) == 1
+
+
+def test_isolated_majority_side_elects_and_commits():
+    env, group = make_group()
+
+    def body():
+        lead = yield from group.wait_leader(timeout=1.0)
+        followers = [m for m in MEMBERS if m != lead]
+        # Cutting both followers off leaves THEM the quorum side: they
+        # re-elect among themselves and keep committing.
+        group.partition(followers)
+        index, _result = yield from group.propose(("meta.set", "/k", 1))
+        assert index >= 1
+        assert group.leader() in followers
+        group.heal()
+        yield env.timeout(ms(200))
+
+    drive(env, group, body)
+    assert len(set(group.digests().values())) == 1
+
+
+def test_no_quorum_blocks_commit_until_repair():
+    env, group = make_group()
+
+    def body():
+        lead = yield from group.wait_leader(timeout=1.0)
+        followers = [m for m in MEMBERS if m != lead]
+        group.partition([lead])  # leader alone on the minority side
+        group.kill(followers[0])  # majority side down to one live member
+        with pytest.raises(ConsensusError):
+            yield from group.propose(("meta.set", "/k", 1), timeout=ms(150))
+        group.heal()
+        group.revive(followers[0])
+        lead = yield from group.wait_leader(timeout=1.0)
+        yield from group.propose(("meta.set", "/k", 2))
+        yield env.timeout(ms(200))
+
+    drive(env, group, body)
+    assert len(set(group.digests().values())) == 1
+
+
+def test_snapshot_compaction_and_laggard_catch_up():
+    env, group = make_group(snapshot_threshold=8)
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        lagger = next(m for m in MEMBERS if m != group.leader())
+        group.kill(lagger)
+        # Enough commits that the leader compacts past the laggard's log.
+        for i in range(30):
+            yield from group.propose(("meta.set", f"/k{i}", i))
+        assert group.nodes[group.leader()].snapshots_taken >= 1
+        group.revive(lagger)
+        yield env.timeout(ms(300))
+        return lagger
+
+    lagger = drive(env, group, body)
+    assert len(set(group.digests().values())) == 1
+    # The laggard was caught up via InstallSnapshot, not log replay alone.
+    assert group.nodes[lagger].snap_last_index > 0
+
+
+def test_witness_votes_but_holds_no_state():
+    env, group = make_group(members=["cn0", "cn1", "w0"], witnesses=["w0"])
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        for i in range(5):
+            yield from group.propose(("meta.set", f"/k{i}", i))
+        yield env.timeout(ms(50))
+
+    drive(env, group, body)
+    assert group.full_members() == ["cn0", "cn1"]
+    digests = group.digests()
+    assert "w0" not in digests
+    assert len(set(digests.values())) == 1
+    # The witness replicated and acknowledged the log all the same.
+    assert group.nodes["w0"].machine.applied_count >= 5
+
+
+def test_single_member_group_self_commits():
+    env, group = make_group(members=["solo"])
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        index, result = yield from group.propose(("meta.set", "/k", 9))
+        assert result == 9
+
+    drive(env, group, body)
+    assert group.nodes["solo"].machine.get("/k") == 9
+
+
+def test_crashed_member_keeps_persistent_log():
+    env, group = make_group()
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        yield from group.propose(("meta.set", "/k", 1))
+        yield env.timeout(ms(50))
+        victim = next(m for m in MEMBERS if m != group.leader())
+        before = group.nodes[victim].last_index()
+        group.kill(victim)
+        assert group.nodes[victim].last_index() == before  # disk survives
+        group.revive(victim)
+        yield env.timeout(ms(100))
+
+    drive(env, group, body)
+    assert len(set(group.digests().values())) == 1

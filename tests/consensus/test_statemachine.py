@@ -1,0 +1,77 @@
+"""Unit tests for the replicated state machines."""
+
+import pytest
+
+from repro.consensus import FullStateMachine, WitnessStateMachine
+from repro.errors import SimulationError
+
+
+def test_apply_meta_and_grants():
+    sm = FullStateMachine()
+    assert sm.apply(1, ("meta.set", "/a", (1, 2))) == (1, 2)
+    assert sm.apply(2, ("grant.add", "job", (("stor00", 1, 4096),))) == (
+        ("stor00", 1, 4096),
+    )
+    assert sm.get("/a") == (1, 2)
+    assert sm.grant_of("job") == (("stor00", 1, 4096),)
+    assert sm.apply(3, ("meta.del", "/a")) == (1, 2)
+    assert sm.get("/a") is None
+    assert sm.apply(4, ("grant.del", "job")) == (("stor00", 1, 4096),)
+    assert sm.grant_of("job") is None
+    assert sm.applied_index == 4
+
+
+def test_noop_and_keys_sorted():
+    sm = FullStateMachine()
+    sm.apply(1, ("noop",))
+    sm.apply(2, ("meta.set", "/b", 2))
+    sm.apply(3, ("meta.set", "/a", 1))
+    assert sm.keys() == ["/a", "/b"]
+
+
+def test_replay_rejected():
+    sm = FullStateMachine()
+    sm.apply(1, ("meta.set", "/a", 1))
+    with pytest.raises(SimulationError, match="replay"):
+        sm.apply(1, ("meta.set", "/a", 2))
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SimulationError, match="unknown replicated"):
+        FullStateMachine().apply(1, ("meta.explode", "/a"))
+
+
+def test_snapshot_restore_round_trip():
+    sm = FullStateMachine()
+    sm.apply(1, ("meta.set", "/a", 1))
+    sm.apply(2, ("grant.add", "j", (1,)))
+    image = sm.snapshot()
+    other = FullStateMachine()
+    other.restore(2, image)
+    assert other.applied_index == 2
+    assert other.digest() == sm.digest()
+    # The image is a copy: mutating the original does not leak into it.
+    sm.apply(3, ("meta.set", "/a", 99))
+    assert other.get("/a") == 1
+
+
+def test_digest_is_order_independent():
+    a, b = FullStateMachine(), FullStateMachine()
+    a.apply(1, ("meta.set", "/x", 1))
+    a.apply(2, ("meta.set", "/y", 2))
+    b.apply(1, ("meta.set", "/y", 2))
+    b.apply(2, ("meta.set", "/x", 1))
+    assert a.digest() == b.digest()
+
+
+def test_witness_materialises_nothing():
+    w = WitnessStateMachine()
+    assert w.witness is True
+    assert w.apply(1, ("meta.set", "/a", 1)) is None
+    assert w.apply(2, ("grant.add", "j", (1,))) is None
+    assert w.applied_count == 2
+    assert w.snapshot() is None
+    with pytest.raises(SimulationError, match="replay"):
+        w.apply(2, ("noop",))
+    w.restore(10, None)
+    assert w.applied_index == 10

@@ -1,0 +1,154 @@
+"""ReplicatedMetadataStore: the MetadataStore interface over Raft."""
+
+import pytest
+
+from repro.consensus import RaftGroup, ReplicatedMetadataStore
+from repro.core.control_plane import LocalMetadataStore, make_metadata_store
+from repro.errors import ConsensusError
+from repro.sim.engine import Environment
+from repro.sim.rng import RngHub
+from repro.units import ms
+
+MEMBERS = ["cn0", "cn1", "cn2"]
+
+
+def make_store(seed=11, members=MEMBERS):
+    env = Environment()
+    group = RaftGroup(env, members, RngHub(seed))
+    group.start()
+    return env, group, ReplicatedMetadataStore(env, group)
+
+
+def drive(env, group, body):
+    proc = env.process(body())
+    env.run_until_complete(proc)
+    group.stop()
+    env.run()
+    return proc.value
+
+
+def test_mode_tag():
+    env, group, store = make_store()
+    assert store.mode == "raft"
+    group.stop()
+    env.run()
+
+
+def test_set_get_delete_round_trip():
+    env, group, store = make_store()
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        assert (yield from store.set("/a", (1, 4096))) == (1, 4096)
+        assert store.get("/a") == (1, 4096)
+        assert (yield from store.delete("/a")) == (1, 4096)
+        assert store.get("/a") is None
+
+    drive(env, group, body)
+
+
+def test_grants_round_trip():
+    env, group, store = make_store()
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        grant = (("stor00", 1, 4096),)
+        yield from store.add_grant("job0", grant)
+        assert store.grant_of("job0") == grant
+        yield from store.revoke_grant("job0")
+        assert store.grant_of("job0") is None
+
+    drive(env, group, body)
+
+
+def test_digest_parity_with_local_store():
+    """The same mutation sequence yields the same digest in both modes —
+    local and replicated runs are directly comparable."""
+    env, group, store = make_store()
+    local = LocalMetadataStore(Environment())
+
+    ops = [
+        ("set", "/ckpt/r0", (7, 1024)),
+        ("set", "/ckpt/r1", (8, 2048)),
+        ("add_grant", "job0", (("stor00", 1, 64),)),
+        ("set", "/ckpt/r0", (7, 4096)),  # idempotent upsert, new value
+        ("delete", "/ckpt/r1", None),
+    ]
+
+    def apply_all(target):
+        for op, key, value in ops:
+            if op == "set":
+                yield from target.set(key, value)
+            elif op == "add_grant":
+                yield from target.add_grant(key, value)
+            else:
+                yield from target.delete(key)
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        yield from apply_all(store)
+        yield env.timeout(ms(50))
+
+    drive(env, group, body)
+    local_env = local.env
+    local_proc = local_env.process(apply_all(local))
+    local_env.run_until_complete(local_proc)
+
+    assert store.digest() == local.digest()
+    assert store.keys() == local.keys() == ["/ckpt/r0"]
+    assert store.get("/ckpt/r0") == local.get("/ckpt/r0") == (7, 4096)
+
+
+def test_mutations_survive_leader_failover():
+    env, group, store = make_store()
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        yield from store.set("/pre", 1)
+        killed = group.kill_leader()
+        # The very next mutation rides the client retry loop through the
+        # election — no caller-visible error.
+        yield from store.set("/post", 2)
+        group.revive(killed)
+        yield env.timeout(ms(200))
+
+    drive(env, group, body)
+    assert store.get("/pre") == 1
+    assert store.get("/post") == 2
+    assert len(set(group.digests().values())) == 1
+    assert store.ops_committed == 2
+
+
+def test_reads_fall_back_to_most_advanced_member():
+    env, group, store = make_store()
+
+    def body():
+        lead = yield from group.wait_leader(timeout=1.0)
+        yield from store.set("/a", 1)
+        yield env.timeout(ms(50))  # commit reaches all replicas
+        group.kill(lead)
+        # Leaderless instant: reads serve from the freshest live member.
+        assert store.get("/a") == 1
+
+    drive(env, group, body)
+
+
+def test_read_with_no_live_member_raises():
+    env, group, store = make_store()
+
+    def body():
+        yield from group.wait_leader(timeout=1.0)
+        for name in MEMBERS:
+            group.kill(name)
+        with pytest.raises(ConsensusError):
+            store.get("/a")
+
+    drive(env, group, body)
+
+
+def test_factory_builds_replicated_store():
+    env = Environment()
+    group = RaftGroup(env, MEMBERS, RngHub(3))
+    store = make_metadata_store(env, "raft", group)
+    assert isinstance(store, ReplicatedMetadataStore)
+    assert store.group is group

@@ -1,0 +1,126 @@
+"""Direct unit tests for repro.core.control_plane.
+
+The module's pieces were previously exercised only through runtime
+integration paths; these tests pin the namespace-service queueing, the
+footprint arithmetic, and the swappable metadata-store seam directly.
+"""
+
+import pytest
+
+from repro.bench import calibration as cal
+from repro.core.config import RuntimeConfig
+from repro.core.control_plane import (
+    GLOBAL_NS_RTT,
+    GLOBAL_NS_SERVICE,
+    GlobalNamespaceService,
+    LocalMetadataStore,
+    MetadataFootprint,
+    MetadataStore,
+    make_metadata_store,
+)
+from repro.errors import InvalidArgument
+from repro.sim.engine import Environment
+
+
+# -- GlobalNamespaceService --------------------------------------------------
+
+def test_namespace_service_charges_rtt_plus_service():
+    env = Environment()
+    svc = GlobalNamespaceService(env)
+
+    proc = env.process(svc.execute())
+    env.run_until_complete(proc)
+    assert env.now == pytest.approx(GLOBAL_NS_RTT + GLOBAL_NS_SERVICE)
+    assert svc.operations == 1
+
+
+def test_namespace_service_serialises_contending_callers():
+    env = Environment()
+    svc = GlobalNamespaceService(env, servers=1)
+    for _ in range(4):
+        env.process(svc.execute())
+    env.run()
+    # Four ops through one server: the last waits 3 service times.
+    assert env.now == pytest.approx(GLOBAL_NS_RTT + 4 * GLOBAL_NS_SERVICE)
+    assert svc.mean_wait() > 0.0
+
+
+def test_namespace_service_mean_wait_empty():
+    assert GlobalNamespaceService(Environment()).mean_wait() == 0.0
+
+
+# -- MetadataFootprint -------------------------------------------------------
+
+def test_footprint_dram_arithmetic():
+    fp = MetadataFootprint(inode_count=10, btree_nodes=4, blockpool_bytes=512)
+    assert fp.dram_bytes() == (
+        10 * cal.NVMECR_INODE_BYTES + 4 * cal.NVMECR_BTREE_NODE_BYTES + 512
+    )
+
+
+def test_footprint_ssd_arithmetic():
+    fp = MetadataFootprint(
+        log_region_bytes=1000, state_region_bytes=200, dir_file_bytes=30
+    )
+    assert fp.ssd_bytes() == 1230
+    assert fp.dram_bytes() == 0
+
+
+# -- LocalMetadataStore ------------------------------------------------------
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run_until_complete(proc)
+    return proc.value
+
+
+def test_local_store_round_trip():
+    env = Environment()
+    store = LocalMetadataStore(env)
+    assert store.mode == "local"
+    assert run(env, store.set("/a", (1, 2))) == (1, 2)
+    assert run(env, store.add_grant("job", ((1,),))) == ((1,),)
+    assert store.get("/a") == (1, 2)
+    assert store.grant_of("job") == ((1,),)
+    assert store.keys() == ["/a"]
+    assert run(env, store.delete("/a")) == (1, 2)
+    assert run(env, store.revoke_grant("job")) == ((1,),)
+    assert store.get("/a") is None
+    assert store.ops_applied == 4
+    assert env.now > 0.0  # every apply spends simulated time
+
+
+def test_local_store_digest_tracks_content():
+    env = Environment()
+    a, b = LocalMetadataStore(env), LocalMetadataStore(env)
+    run(env, a.set("/k", 1))
+    assert a.digest() != b.digest()
+    run(env, b.set("/k", 1))
+    assert a.digest() == b.digest()
+
+
+# -- the store factory and the config seam -----------------------------------
+
+def test_factory_local_default():
+    store = make_metadata_store(Environment())
+    assert isinstance(store, LocalMetadataStore)
+    assert isinstance(store, MetadataStore)
+
+
+def test_factory_raft_requires_group():
+    with pytest.raises(ValueError, match="needs a RaftGroup"):
+        make_metadata_store(Environment(), "raft")
+
+
+def test_factory_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="unknown control_plane_mode"):
+        make_metadata_store(Environment(), "paxos")
+
+
+def test_config_validates_control_plane_mode():
+    assert RuntimeConfig().control_plane_mode == "local"
+    assert RuntimeConfig().with_(
+        control_plane_mode="raft"
+    ).control_plane_mode == "raft"
+    with pytest.raises(InvalidArgument, match="control_plane_mode"):
+        RuntimeConfig(control_plane_mode="paxos")

@@ -1,0 +1,84 @@
+"""Zone federation: failure domains grouped into availability zones."""
+
+import pytest
+
+from repro.topology import Zone, ZoneMap
+from repro.topology.cluster import paper_testbed
+
+
+def two_zone_map():
+    return ZoneMap([
+        Zone("za", ("d0",), ("n0", "n1")),
+        Zone("zb", ("d1",), ("n2", "n3", "n4")),
+    ])
+
+
+def test_zone_membership():
+    zone = Zone("za", ("d0",), ("n0", "n1"))
+    assert "n0" in zone
+    assert "n9" not in zone
+
+
+def test_zone_map_queries():
+    zmap = two_zone_map()
+    assert zmap.names() == ["za", "zb"]
+    assert zmap.zone_of("n0") == "za"
+    assert zmap.zone_of("n4") == "zb"
+    assert zmap.nodes_in("zb") == ["n2", "n3", "n4"]
+    assert zmap.zone("za").domain_ids == ("d0",)
+
+
+def test_zone_map_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="at least one zone"):
+        ZoneMap([])
+    with pytest.raises(ValueError, match="duplicate zone names"):
+        ZoneMap([Zone("z", (), ("a",)), Zone("z", (), ("b",))])
+    with pytest.raises(ValueError, match="appears in zones"):
+        ZoneMap([Zone("za", (), ("a",)), Zone("zb", (), ("a",))])
+    with pytest.raises(KeyError):
+        two_zone_map().zone("nope")
+    with pytest.raises(KeyError):
+        two_zone_map().zone_of("n9")
+
+
+def test_spread_places_one_per_zone_first():
+    zmap = two_zone_map()
+    # Candidate order within a zone is preserved; zones alternate.
+    picked = zmap.spread(["n2", "n0", "n3", "n1"], 3)
+    assert picked == ["n0", "n2", "n1"]
+    assert {zmap.zone_of(p) for p in picked[:2]} == {"za", "zb"}
+
+
+def test_spread_wraps_when_zones_run_out():
+    zmap = two_zone_map()
+    picked = zmap.spread(["n2", "n3", "n4"], 2)
+    # All candidates in one zone: still fills the request.
+    assert picked == ["n2", "n3"]
+    with pytest.raises(ValueError, match="cannot spread"):
+        zmap.spread(["n0"], 2)
+
+
+def test_federate_paper_testbed():
+    cluster = paper_testbed()
+    zmap = ZoneMap.federate(cluster, zones=2)
+    assert zmap.names() == ["zone0", "zone1"]
+    # The testbed has exactly two failure domains (rack+PDU pairs), so
+    # each zone is one whole domain: storage on one side, compute on the
+    # other — zones never split a failure domain.
+    zone_nodes = {z.name: set(z.node_names) for z in zmap.zones}
+    all_nodes = {n.name for n in cluster.nodes}
+    assert set().union(*zone_nodes.values()) == all_nodes
+    for zone in zmap.zones:
+        kinds = {name[:4] for name in zone.node_names}
+        assert len(kinds) == 1  # stor* and comp* never share a zone
+
+
+def test_federate_is_deterministic():
+    a = ZoneMap.federate(paper_testbed(), zones=2)
+    b = ZoneMap.federate(paper_testbed(), zones=2)
+    assert [z.node_names for z in a.zones] == [z.node_names for z in b.zones]
+
+
+def test_federate_rejects_more_zones_than_domains():
+    with pytest.raises(ValueError, match="cannot federate"):
+        ZoneMap.federate(paper_testbed(), zones=3)
