@@ -191,14 +191,15 @@ class LintConfig:
     #: Per-rule path allowlists (suffix match): rule does not fire there.
     allow: Dict[str, Tuple[str, ...]] = field(
         default_factory=lambda: {
-            # The self-profiler measures the *simulator's* wall cost and
-            # never feeds simulated time; the RNG hub is the one place
-            # seeded generators are minted; the plan executors are the
-            # one sanctioned worker-process boundary — their wall clocks
-            # and pids are shard diagnostics that never reach any
-            # fingerprinted field (see repro/exec/executors.py).
+            # The self-profiler and the sampling profiler measure the
+            # *simulator's* wall cost and never feed simulated time; the
+            # RNG hub is the one place seeded generators are minted; the
+            # plan executors are the one sanctioned worker-process
+            # boundary — their wall clocks and pids are shard
+            # diagnostics that never reach any fingerprinted field (see
+            # repro/exec/executors.py).
             "DET001": ("repro/obs/context.py", "repro/obs/export.py",
-                       "repro/exec/executors.py"),
+                       "repro/obs/sampling.py", "repro/exec/executors.py"),
             "DET002": ("repro/sim/rng.py",),
             "DET008": ("repro/exec/executors.py",),
         }

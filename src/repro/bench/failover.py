@@ -158,6 +158,21 @@ def _run_cell(
         later = [t for t in ack_times if t > strike]
         if later:
             recovery.append(later[0] - strike)
+
+    # Consensus-level latency distributions, read back from the obs
+    # registry the Raft nodes populate (zeros for the single-authority
+    # baseline, which holds no elections and commits nothing).
+    elect_p99 = commit_p99 = 0.0
+    appends = 0
+    ctx = getattr(env, "obs", None)
+    if ctx is not None:
+        elect = ctx.metrics.histogram("consensus.election_latency_s")
+        if elect.count:
+            elect_p99 = elect.percentile(0.99)
+        commit = ctx.metrics.histogram("consensus.commit_latency_s")
+        if commit.count:
+            commit_p99 = commit.percentile(0.99)
+        appends = int(ctx.metrics.counter("consensus.append_entries").value)
     return dict(
         faults=len(fault_times),
         acked=len(shadow),
@@ -167,6 +182,9 @@ def _run_cell(
         lost=lost,
         digest_ok=digest_ok,
         leader_changes=leader_changes,
+        elect_p99=elect_p99,
+        commit_p99=commit_p99,
+        appends=appends,
     )
 
 
@@ -188,8 +206,8 @@ def failover(
         "Failover: control-plane availability under leader kills and "
         "partitions",
         ["system", "faults_per_s", "faults", "ops_acked", "avail_gap_ms",
-         "mean_rec_ms", "max_rec_ms", "lost_ops", "replicas_agree",
-         "leader_changes"],
+         "mean_rec_ms", "max_rec_ms", "elect_p99_ms", "commit_p99_ms",
+         "appends", "lost_ops", "replicas_agree", "leader_changes"],
     )
     for name in systems:
         for rate in fault_rates:
@@ -199,7 +217,8 @@ def failover(
             table.add(
                 name, rate, cell["faults"], cell["acked"],
                 cell["avail_gap"] * 1e3, cell["mean_recovery"] * 1e3,
-                cell["max_recovery"] * 1e3, cell["lost"],
+                cell["max_recovery"] * 1e3, cell["elect_p99"] * 1e3,
+                cell["commit_p99"] * 1e3, cell["appends"], cell["lost"],
                 "yes" if cell["digest_ok"] else "NO",
                 cell["leader_changes"],
             )

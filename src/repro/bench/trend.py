@@ -1,0 +1,401 @@
+"""Perf-regression observatory: baseline history + gated trend checks.
+
+CI uploads ``BENCH_<name>.json`` artefacts, but an artefact nobody
+diffs is a scrapbook, not an observatory.  This module keeps a
+*committed* per-experiment baseline history
+(``benchmarks/baselines/<name>.history.json``) and diffs fresh bench
+rows against it with configurable tolerances, so a makespan or p99
+regression fails the build instead of scrolling past.
+
+Mechanics:
+
+* :class:`TrendStore` — append-only (bounded) history of bench
+  payloads, keyed by experiment name.  Entries carry the run's
+  provenance ``meta`` (seed, shard count, system list, config digest —
+  see :func:`provenance`); a check only compares against a baseline
+  whose provenance matches, so changing the workload shape can never
+  masquerade as a speedup.
+* :func:`check` — row-by-row, column-by-column comparison.  Rows are
+  matched on their *identity* columns (systems, sweep parameters);
+  metric columns are classified lower-is-better (times, latencies,
+  losses) or higher-is-better (bandwidths, rates, efficiencies) by
+  name.  A metric that moves the wrong way by more than the tolerance
+  (default 10%) is a regression.
+* Everything is pure data → data: no wall clock, no RNG, so the
+  checker itself is deterministic and DetLint-clean.
+
+CLI surface: ``repro trend record BENCH_fig8a.json`` after a blessed
+run, ``repro trend check BENCH_fig8a.json`` in CI (non-zero exit on
+any regression).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import inspect
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_BASELINE_DIR",
+    "DEFAULT_TOLERANCE",
+    "EXPERIMENT_DIRECTIONS",
+    "TrendDelta",
+    "TrendReport",
+    "TrendStore",
+    "check",
+    "classify_column",
+    "config_digest",
+    "load_bench",
+    "provenance",
+]
+
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+DEFAULT_TOLERANCE = 0.10  # the ISSUE's ">10% makespan or p99" gate
+#: Baselines smaller than this are noise floors, not signals.
+_ABS_FLOOR = 1e-12
+
+#: Column-name patterns that read "lower is better".
+_LOWER_RE = re.compile(
+    r"(_s|_ms|_us|_ns)$|time|latency|lat\b|p50|p95|p99|max|mean|median"
+    r"|makespan|overhead|gap|lost|imbalance|cov|rec_|recovery|stall|wait",
+    re.IGNORECASE,
+)
+#: Column-name patterns that read "higher is better".
+_HIGHER_RE = re.compile(
+    r"gi?bps|mi?bps|bw|iops|ops|rate|throughput|creates|eff|frac|acked"
+    r"|progress|agree|avail",
+    re.IGNORECASE,
+)
+#: Columns never compared even though numeric.
+_IGNORE_RE = re.compile(r"^(seed|shards?|procs?|nprocs)$", re.IGNORECASE)
+
+#: Per-experiment column-direction overrides (fnmatch patterns), for
+#: tables whose metric columns are named after *systems* (fig8a's
+#: per-backend makespans) or whose values invert the name's usual sense
+#: (fig9's ``ckpt_*``/``rec_*`` are efficiencies, not times).  Keyed by
+#: BENCH name.
+EXPERIMENT_DIRECTIONS: Dict[str, Dict[str, str]] = {
+    "fig8a": {"local": "lower", "remote": "lower", "crail": "lower",
+              "crail_vs_nvmecr": "skip"},
+    "fig7a": {"time_s": "lower", "vs_32K": "skip",
+              "pool_bytes": "identity", "blocks_per_file": "identity"},
+    "fig9": {"ckpt_*": "higher", "rec_*": "higher"},
+    "fig9strong": {"ckpt_*": "higher", "rec_*": "higher"},
+    "failover": {"faults_per_s": "identity", "faults": "skip",
+                 "leader_changes": "skip", "appends": "skip",
+                 "elect_p99_ms": "lower", "commit_p99_ms": "lower"},
+}
+
+#: meta keys that must agree for two runs to be comparable.
+_PROVENANCE_KEYS = ("seed", "shards", "systems", "config_digest")
+
+
+def classify_column(name: str,
+                    overrides: Optional[Dict[str, str]] = None) -> str:
+    """``lower`` | ``higher`` | ``identity`` | ``skip`` for one column.
+
+    Explicit overrides (fnmatch patterns) win; otherwise lower-is-better
+    patterns beat higher-is-better ones on a collision (``avail_gap_ms``
+    is a gap, not an availability).  ``skip`` marks derived columns
+    (ratios, fault tallies) that must be in neither the row key nor the
+    gate — keying on one would let a regression that moves it disguise
+    rows as "new" and dodge the comparison.
+    """
+    if overrides:
+        for pattern, direction in overrides.items():
+            if fnmatch.fnmatchcase(name, pattern):
+                return direction
+    if _IGNORE_RE.search(name):
+        return "identity"
+    if _LOWER_RE.search(name):
+        return "lower"
+    if _HIGHER_RE.search(name):
+        return "higher"
+    return "identity"
+
+
+def config_digest(params: Dict[str, Any]) -> str:
+    """Stable digest of an experiment's effective parameters."""
+    canon = json.dumps(params, sort_keys=True, separators=(",", ":"),
+                       default=repr)
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def provenance(experiment: str, fn: Any = None,
+               kwargs: Optional[Dict[str, Any]] = None,
+               execution: Any = None,
+               table: Any = None) -> Dict[str, Any]:
+    """Build the provenance ``meta`` for one bench run.
+
+    The effective parameter set is the experiment function's signature
+    defaults overlaid with the call's keyword overrides — exactly what
+    determined the numbers — so its digest changes whenever the
+    workload shape does.  ``seed``/``systems`` are surfaced as
+    first-class keys; shard count and merged fingerprint come from the
+    execution record when the run was sharded.
+    """
+    kwargs = dict(kwargs or {})
+    kwargs.pop("executor", None)  # execution backend, not workload shape
+    params: Dict[str, Any] = {}
+    if fn is not None:
+        try:
+            for pname, p in inspect.signature(fn).parameters.items():
+                if pname == "executor":
+                    continue
+                if p.default is not inspect.Parameter.empty:
+                    params[pname] = p.default
+        except (TypeError, ValueError):  # builtins / odd callables
+            pass
+    params.update(kwargs)
+    meta: Dict[str, Any] = {"experiment": experiment}
+    if "seed" in params:
+        meta["seed"] = params["seed"]
+    systems = params.get("systems")
+    if systems is None and table is not None:
+        cols = getattr(table, "columns", [])
+        if "system" in cols:
+            seen: List[str] = []
+            for value in table.column("system"):
+                if value not in seen:
+                    seen.append(value)
+            systems = seen
+    if systems is not None:
+        meta["systems"] = sorted(str(s) for s in systems)
+    meta["shards"] = getattr(execution, "shards", 1) if execution else 1
+    if execution is not None:
+        meta["backend"] = execution.backend
+        meta["fingerprint"] = execution.merged.fingerprint
+    meta["config_digest"] = config_digest(params)
+    return meta
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read one ``BENCH_<name>.json`` payload."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("name", "columns", "rows"):
+        if key not in payload:
+            raise ValueError(f"{path}: not a BENCH payload (missing {key!r})")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# the store
+
+
+class TrendStore:
+    """Bounded per-experiment baseline history on disk."""
+
+    def __init__(self, directory: Union[str, Path] = DEFAULT_BASELINE_DIR,
+                 keep: int = 20):
+        self.directory = Path(directory)
+        self.keep = keep
+
+    def history_path(self, name: str) -> Path:
+        return self.directory / f"{name}.history.json"
+
+    def history(self, name: str) -> List[Dict[str, Any]]:
+        path = self.history_path(name)
+        if not path.is_file():
+            return []
+        doc = json.loads(path.read_text())
+        return doc.get("entries", [])
+
+    def record(self, bench: Dict[str, Any]) -> Path:
+        """Append one bench payload as the newest baseline entry."""
+        name = bench["name"]
+        entries = self.history(name)
+        entry = {
+            "sequence": (entries[-1]["sequence"] + 1) if entries else 1,
+            "meta": bench.get("meta", {}),
+            "columns": bench["columns"],
+            "rows": bench["rows"],
+        }
+        if "wall_s" in bench:
+            entry["wall_s"] = bench["wall_s"]
+        entries.append(entry)
+        entries = entries[-self.keep:]
+        path = self.history_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"name": name, "entries": entries},
+            indent=2, sort_keys=True, default=str) + "\n")
+        return path
+
+    def baseline_for(self, bench: Dict[str, Any]
+                     ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """Newest comparable entry, or (None, why-not).
+
+        Comparable = every provenance key present on *both* sides
+        agrees.  A key missing on either side is not a mismatch (old
+        baselines predate richer provenance), but a disagreeing one is.
+        """
+        entries = self.history(bench["name"])
+        if not entries:
+            return None, "no baseline history"
+        meta = bench.get("meta", {})
+        reasons: List[str] = []
+        for entry in reversed(entries):
+            base_meta = entry.get("meta", {})
+            mismatch = None
+            for key in _PROVENANCE_KEYS:
+                if key in meta and key in base_meta and \
+                        meta[key] != base_meta[key]:
+                    mismatch = (f"{key}: baseline {base_meta[key]!r} "
+                                f"vs run {meta[key]!r}")
+                    break
+            if mismatch is None:
+                return entry, None
+            reasons.append(f"entry {entry.get('sequence')}: {mismatch}")
+        return None, "; ".join(reasons)
+
+
+# ---------------------------------------------------------------------------
+# the check
+
+
+@dataclass(frozen=True)
+class TrendDelta:
+    """One compared metric cell."""
+
+    row_key: Tuple[Any, ...]
+    column: str
+    direction: str  # "lower" | "higher"
+    baseline: float
+    current: float
+    delta_frac: float  # signed, + = worse
+    tolerance: float
+
+    @property
+    def regressed(self) -> bool:
+        return self.delta_frac > self.tolerance
+
+    @property
+    def improved(self) -> bool:
+        return self.delta_frac < -self.tolerance
+
+
+@dataclass
+class TrendReport:
+    """Everything ``repro trend check`` found for one experiment."""
+
+    name: str
+    ok: bool = True
+    deltas: List[TrendDelta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[TrendDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> List[TrendDelta]:
+        return [d for d in self.deltas if d.improved]
+
+    def render(self) -> str:
+        lines = [f"== trend check: {self.name} =="]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for d in sorted(self.deltas,
+                        key=lambda d: (-d.delta_frac, d.column)):
+            if not (d.regressed or d.improved):
+                continue
+            tag = "REGRESSION" if d.regressed else "improvement"
+            key = "/".join(str(k) for k in d.row_key) or "-"
+            lines.append(
+                f"  {tag:<11} {key} {d.column} "
+                f"({d.direction} is better): "
+                f"{d.baseline:.6g} -> {d.current:.6g} "
+                f"({d.delta_frac * 100:+.1f}%, tol {d.tolerance * 100:.0f}%)")
+        n_reg, n_imp = len(self.regressions), len(self.improvements)
+        lines.append(
+            f"  {len(self.deltas)} metric(s) compared, "
+            f"{n_reg} regression(s), {n_imp} improvement(s) -> "
+            f"{'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _tolerance_for(column: str,
+                   tolerances: Optional[Dict[str, float]]) -> float:
+    if tolerances:
+        if column in tolerances:
+            return tolerances[column]
+        for pattern, tol in tolerances.items():
+            if fnmatch.fnmatchcase(column, pattern):
+                return tol
+    return DEFAULT_TOLERANCE
+
+
+def _row_index(columns: Sequence[str], rows: Sequence[Sequence[Any]],
+               overrides: Optional[Dict[str, str]]
+               ) -> Dict[Tuple[Any, ...], Sequence[Any]]:
+    """Rows keyed by their identity columns (order-stable, last wins)."""
+    id_cols = [i for i, c in enumerate(columns)
+               if classify_column(c, overrides) == "identity"]
+    if not id_cols:  # single-row tables: positional identity
+        return {(i,): row for i, row in enumerate(rows)}
+    return {tuple(row[i] for i in id_cols): row for row in rows}
+
+
+def check(bench: Dict[str, Any],
+          store: Optional[TrendStore] = None,
+          tolerances: Optional[Dict[str, float]] = None,
+          directions: Optional[Dict[str, str]] = None,
+          require_baseline: bool = False) -> TrendReport:
+    """Diff one bench payload against its newest comparable baseline."""
+    store = store or TrendStore()
+    report = TrendReport(bench["name"])
+    overrides = dict(EXPERIMENT_DIRECTIONS.get(bench["name"], {}))
+    if directions:
+        overrides.update(directions)
+    baseline, why_not = store.baseline_for(bench)
+    if baseline is None:
+        report.notes.append(f"no comparable baseline ({why_not})")
+        report.ok = not require_baseline
+        return report
+    report.notes.append(
+        f"baseline: entry {baseline.get('sequence')} of "
+        f"{store.history_path(bench['name'])}")
+
+    columns = bench["columns"]
+    base_columns = baseline["columns"]
+    base_rows = _row_index(base_columns, baseline["rows"], overrides)
+    cur_rows = _row_index(columns, bench["rows"], overrides)
+
+    for key, row in cur_rows.items():
+        base_row = base_rows.get(key)
+        if base_row is None:
+            report.notes.append(
+                f"row {'/'.join(str(k) for k in key)}: new (no baseline)")
+            continue
+        for i, column in enumerate(columns):
+            direction = classify_column(column, overrides)
+            if direction not in ("lower", "higher") or \
+                    column not in base_columns:
+                continue
+            current, base = row[i], base_row[base_columns.index(column)]
+            if not isinstance(current, (int, float)) or \
+                    not isinstance(base, (int, float)) or \
+                    isinstance(current, bool) or isinstance(base, bool):
+                continue
+            if abs(base) <= _ABS_FLOOR:
+                continue  # noise floor: no meaningful relative delta
+            change = (current - base) / abs(base)
+            worse = change if direction == "lower" else -change
+            report.deltas.append(TrendDelta(
+                row_key=key, column=column, direction=direction,
+                baseline=float(base), current=float(current),
+                delta_frac=worse,
+                tolerance=_tolerance_for(column, tolerances)))
+    missing = set(base_rows) - set(cur_rows)
+    for key in sorted(missing, key=str):
+        report.notes.append(
+            f"row {'/'.join(str(k) for k in key)}: in baseline but not in "
+            "this run")
+    if report.regressions:
+        report.ok = False
+    return report

@@ -11,6 +11,9 @@
     python -m repro trace fig8a                        # shorthand for --trace
     python -m repro run fig8a --sanitize               # determinism/race/leak
     python -m repro lint src                           # DetLint static analysis
+    python -m repro profile fig7a                      # critical-path attribution
+    python -m repro trend record BENCH_fig8a.json      # bless as baseline
+    python -m repro trend check BENCH_fig8a.json       # gate regressions
 """
 
 from __future__ import annotations
@@ -108,6 +111,81 @@ _DESCRIPTIONS: Dict[str, str] = {
 }
 
 
+def _profile_command(args) -> int:
+    """``repro profile <exp>``: traced + telemetry run, then attribution.
+
+    Runs the experiment once with spans and engine telemetry on,
+    walks the critical path, prints the per-layer table, and writes
+    ``<name>.critpath.jsonl`` + ``<name>.collapsed`` (simulated-time
+    flamegraph).  ``--sample`` additionally runs the host wall-clock
+    sampler and writes ``<name>.host.collapsed``.
+    """
+    from pathlib import Path
+
+    from repro import obs
+
+    fn = _EXPERIMENTS.get(args.name)
+    if fn is None:
+        print(f"unknown experiment {args.name!r}; try 'repro list'",
+              file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.procs:
+        kwargs["nprocs"] = args.procs[0]
+    if args.systems:
+        kwargs["systems"] = tuple(args.systems)
+
+    sampler = None
+    if args.sample:
+        from repro.obs.sampling import SamplingProfiler
+
+        sampler = SamplingProfiler(
+            interval_s=args.sample_interval_ms / 1e3).start()
+    started = time.time()  # wall-clock CLI reporting  # detlint: ignore[DET001]
+    with obs.capture(trace=True, telemetry=True) as cap:
+        table = fn(**kwargs)
+    if sampler is not None:
+        sampler.stop()
+    table.show()
+
+    spans = obs.spans_of(cap.contexts)
+    cp = obs.critical_path(spans)
+    obs.layer_table(
+        cp, title=f"Critical-path attribution: {args.name}").show()
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    jsonl = obs.write_critical_path_jsonl(
+        cp, str(out_dir / f"{args.name}.critpath.jsonl"))
+    print(f"wrote {jsonl}")
+    collapsed = obs.write_collapsed(
+        obs.collapsed_stacks(spans, by_track=args.by_track),
+        str(out_dir / f"{args.name}.collapsed"))
+    print(f"wrote {collapsed} (simulated time; feed to flamegraph.pl "
+          "or speedscope)")
+
+    # Engine self-telemetry, folded per context then printed merged.
+    engine_counters: dict = {}
+    for ctx in cap.contexts:
+        for key, value in ctx.flat_extra().items():
+            if key.startswith("engine."):
+                engine_counters[key] = engine_counters.get(key, 0) + value
+    if engine_counters:
+        print("engine telemetry (deterministic):")
+        for key in sorted(engine_counters):
+            print(f"  {key:<34} {engine_counters[key]:>14g}")
+
+    if sampler is not None:
+        host = sampler.write(str(out_dir / f"{args.name}.host.collapsed"))
+        print(f"wrote {host} ({sampler.samples} samples, HOST wall clock; "
+              "non-deterministic)")
+        for line in sampler.top(5):
+            print(f"  {line}")
+    print(f"[{args.name} profiled in "
+          f"{time.time() - started:.1f}s wall]")  # detlint: ignore[DET001]
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="NVMe-CR reproduction: regenerate paper artefacts"
@@ -165,12 +243,75 @@ def main(argv=None) -> int:
     tracep.add_argument("--systems", nargs="+", default=None, metavar="NAME")
     tracep.add_argument("--metrics", action="store_true",
                         help="print the metrics/span summary too")
+    profp = sub.add_parser(
+        "profile",
+        help="critical-path profile: run one experiment traced, attribute "
+             "the makespan per layer, write collapsed stacks",
+    )
+    profp.add_argument("name", help="experiment id")
+    profp.add_argument("--out-dir", metavar="DIR", default=".",
+                       help="artefact directory (default: .)")
+    profp.add_argument("--procs", type=int, nargs="+", default=None)
+    profp.add_argument("--systems", nargs="+", default=None, metavar="NAME")
+    profp.add_argument("--by-track", action="store_true",
+                       help="root the flamegraph at each span's track "
+                            "(one flame per rank/device)")
+    profp.add_argument("--sample", action="store_true",
+                       help="also sample the HOST process wall-clock stacks "
+                            "(writes <name>.host.collapsed)")
+    profp.add_argument("--sample-interval-ms", type=float, default=5.0,
+                       help="sampling period for --sample (default 5 ms)")
+    trendp = sub.add_parser(
+        "trend",
+        help="perf-regression observatory: record/check BENCH_*.json "
+             "against committed baselines",
+    )
+    trendp.add_argument("action", choices=("record", "check"),
+                        help="record = bless as new baseline; check = gate")
+    trendp.add_argument("bench", nargs="+", metavar="BENCH_FILE",
+                        help="BENCH_<name>.json payload(s)")
+    trendp.add_argument("--dir", dest="baseline_dir", metavar="DIR",
+                        default=None,
+                        help="baseline store (default: benchmarks/baselines)")
+    trendp.add_argument("--tolerance", type=float, default=None,
+                        metavar="FRAC",
+                        help="regression tolerance for every metric "
+                             "(default 0.10 = 10%%)")
+    trendp.add_argument("--require-baseline", action="store_true",
+                        help="fail a check when no comparable baseline "
+                             "exists (default: pass with a note)")
     args = parser.parse_args(argv)
 
     if args.command == "lint":
         from repro.analysis.detlint import main as lint_main
 
         return lint_main(args.paths or ["src"])
+
+    if args.command == "trend":
+        from repro.bench.trend import (DEFAULT_BASELINE_DIR, TrendStore,
+                                       check, load_bench)
+
+        store = TrendStore(args.baseline_dir or DEFAULT_BASELINE_DIR)
+        status = 0
+        for bench_path in args.bench:
+            bench = load_bench(bench_path)
+            if args.action == "record":
+                out = store.record(bench)
+                print(f"recorded {bench['name']} ({bench_path}) -> {out}")
+            else:
+                tolerances = (
+                    {"*": args.tolerance} if args.tolerance is not None
+                    else None
+                )
+                report = check(bench, store, tolerances=tolerances,
+                               require_baseline=args.require_baseline)
+                print(report.render())
+                if not report.ok:
+                    status = 1
+        return status
+
+    if args.command == "profile":
+        return _profile_command(args)
 
     if args.command == "trace":
         # Shorthand: `repro trace fig8a` == `repro run fig8a --trace ...`.
@@ -327,11 +468,12 @@ def main(argv=None) -> int:
                 print(f"  {key} = {value:.6g}")
     if _PERF_RELEVANT.get(args.name):
         from repro.bench.harness import write_bench_json
+        from repro.bench.trend import provenance
 
-        meta = {"experiment": args.name}
-        if execution is not None:
-            meta.update(backend=execution.backend, shards=execution.shards,
-                        fingerprint=execution.merged.fingerprint)
+        # Full provenance (seed, shard count, system list, config digest)
+        # so `repro trend check` can refuse to compare unlike runs.
+        meta = provenance(args.name, fn=fn, kwargs=kwargs,
+                          execution=execution, table=table)
         path = write_bench_json(
             _PERF_RELEVANT[args.name], table,
             wall_s=time.time() - started,  # detlint: ignore[DET001]

@@ -54,6 +54,10 @@ class ConsensusFabric:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        #: Name of the member that most recently won leadership; the
+        #: nodes use it to count actual leader *changes* (hand-offs to a
+        #: different member) apart from re-elections of the same one.
+        self.last_leader: Optional[str] = None
 
     # -- topology-derived latency ------------------------------------------
 

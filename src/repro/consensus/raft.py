@@ -131,6 +131,9 @@ class RaftNode:
         self.entries_applied = 0
         self.snapshots_taken = 0
         self.trace: List[Tuple[Any, ...]] = []
+        #: Campaign start (first prevote of the current bid), for the
+        #: election-latency histogram; None outside a campaign.
+        self._election_began: Optional[float] = None
 
     # -- log geometry --------------------------------------------------------
 
@@ -175,6 +178,7 @@ class RaftNode:
         self.role = Role.FOLLOWER
         self.leader_hint = None
         self._prevotes = None
+        self._election_began = None
         self._fail_waiters()
         self._trace("crash", self.term)
 
@@ -246,6 +250,8 @@ class RaftNode:
         and cannot disrupt the cluster when connectivity returns.
         """
         self._prevotes = {self.name: True}
+        if self._election_began is None:
+            self._election_began = self.env.now
         self._reset_deadline()
         self._trace("prevote", self.term + 1)
         probe = RequestVote(
@@ -304,6 +310,17 @@ class RaftNode:
         self._trace("leader", self.term)
         self._obs_instant("raft.leader", term=self.term)
         self._obs_count("consensus.leader_elections")
+        if self.fabric.last_leader not in (None, self.name):
+            self._obs_count("consensus.leader_changes")
+        self.fabric.last_leader = self.name
+        began = self._election_began
+        if began is not None:
+            self._election_began = None
+            ctx = self.env.obs
+            if ctx is not None:
+                ctx.metrics.histogram(
+                    "consensus.election_latency_s").observe(
+                        self.env.now - began)
         # Barrier entry: commits any still-uncommitted prior-term entries
         # as soon as this term replicates it (Raft §5.4.2).
         self._append_local(("noop",))
@@ -316,6 +333,7 @@ class RaftNode:
         self.role = Role.FOLLOWER
         self.voted_for = None
         self._prevotes = None
+        self._election_began = None  # someone else's term won the race
         if was_leader:
             self._fail_waiters()
         self._reset_deadline()
@@ -371,6 +389,7 @@ class RaftNode:
             )
         first = nxt - self.snap_last_index - 1
         batch = tuple(self._log[first:first + MAX_BATCH_ENTRIES])
+        self._obs_count("consensus.append_entries")
         self.fabric.send(self.name, peer, AppendEntries(
             term=self.term, leader=self.name,
             prev_log_index=prev, prev_log_term=prev_term,
@@ -457,6 +476,7 @@ class RaftNode:
             self.role = Role.FOLLOWER
         self.leader_hint = msg.leader
         self._prevotes = None  # a live leader cancels any probe in flight
+        self._election_began = None
         self._reset_deadline()
         prev = msg.prev_log_index
         prev_term = self._term_at(prev)

@@ -52,28 +52,47 @@ from repro.obs.metrics import (
     MetricsRegistry,
     TraceRecorder,
 )
+from repro.obs.profile import (
+    CriticalPath,
+    collapsed_stacks,
+    critical_path,
+    layer_table,
+    spans_of,
+    write_collapsed,
+    write_critical_path_jsonl,
+)
+from repro.obs.sampling import SamplingProfiler, sample
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Capture",
     "Counter",
+    "CriticalPath",
     "InstrumentMeta",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "ObsContext",
+    "SamplingProfiler",
     "Span",
     "TraceRecorder",
     "Tracer",
     "attach",
     "capture",
     "chrome_trace",
+    "collapsed_stacks",
+    "critical_path",
     "current_session",
+    "layer_table",
+    "sample",
     "span_count",
     "span_sequence",
+    "spans_of",
     "summary_text",
     "total_duration",
     "tracer_of",
     "write_chrome_trace",
+    "write_collapsed",
+    "write_critical_path_jsonl",
     "write_jsonl",
 ]

@@ -51,13 +51,15 @@ class ObsContext:
     """Tracer + metrics registry + self-profile for one environment."""
 
     def __init__(self, env, label: str = "run", tracing: bool = False,
-                 profile: bool = False):
+                 profile: bool = False, telemetry: bool = False):
         self.env = env
         self.label = label
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(env) if tracing else NULL_TRACER
         self.profile = profile
         self.selfprof = SelfProfile()
+        if telemetry:
+            self.enable_telemetry()
 
     @property
     def tracing(self) -> bool:
@@ -68,8 +70,24 @@ class ObsContext:
             self.tracer = Tracer(self.env)
         return self.tracer
 
+    def enable_telemetry(self):
+        """Attach deterministic engine self-telemetry (idempotent)."""
+        if self.env.telemetry is None:
+            from repro.sim.engine import EngineTelemetry
+
+            self.env.telemetry = EngineTelemetry()
+        return self.env.telemetry
+
+    def publish_telemetry(self) -> None:
+        """Fold engine counters into the registry (idempotent, no-op
+        when telemetry was never attached)."""
+        telemetry = getattr(self.env, "telemetry", None)
+        if telemetry is not None:
+            telemetry.publish(self.metrics, self.env)
+
     def flat_extra(self) -> Dict[str, float]:
         """Flat metric summaries for ``RunResult.extra``."""
+        self.publish_telemetry()
         return self.metrics.flat()
 
 
@@ -82,9 +100,11 @@ _SESSION: Optional["Capture"] = None
 class Capture:
     """Collects every ObsContext attached while the session is active."""
 
-    def __init__(self, trace: bool = False, profile: bool = False):
+    def __init__(self, trace: bool = False, profile: bool = False,
+                 telemetry: bool = False):
         self.trace = trace
         self.profile = profile
+        self.telemetry = telemetry
         self.contexts: List[ObsContext] = []
         self.started_wall = _time.perf_counter()
 
@@ -115,11 +135,12 @@ class Capture:
 
 
 @contextmanager
-def capture(trace: bool = False, profile: bool = False):
+def capture(trace: bool = False, profile: bool = False,
+            telemetry: bool = False):
     """Session scope: contexts attached inside inherit these switches."""
     global _SESSION
     prev = _SESSION
-    session = Capture(trace=trace, profile=profile)
+    session = Capture(trace=trace, profile=profile, telemetry=telemetry)
     _SESSION = session
     try:
         yield session
@@ -128,6 +149,7 @@ def capture(trace: bool = False, profile: bool = False):
         for ctx in session.contexts:
             if ctx.tracer.enabled:
                 ctx.tracer.close_open_spans()
+            ctx.publish_telemetry()
 
 
 def current_session() -> Optional["Capture"]:
@@ -142,7 +164,8 @@ def current_session() -> Optional["Capture"]:
 
 
 def attach(env, label: str = "run", tracing: Optional[bool] = None,
-           profile: Optional[bool] = None) -> ObsContext:
+           profile: Optional[bool] = None,
+           telemetry: Optional[bool] = None) -> ObsContext:
     """Get or create the ObsContext for ``env`` (idempotent).
 
     Inside a :func:`capture` session the session's switches apply and
@@ -156,8 +179,10 @@ def attach(env, label: str = "run", tracing: Optional[bool] = None,
             session.trace if session is not None else False)
         want_profile = profile if profile is not None else (
             session.profile if session is not None else False)
+        want_telemetry = telemetry if telemetry is not None else (
+            session.telemetry if session is not None else False)
         ctx = ObsContext(env, label=label, tracing=want_trace,
-                         profile=want_profile)
+                         profile=want_profile, telemetry=want_telemetry)
         env.obs = ctx
         if session is not None:
             session.register(ctx)
@@ -166,6 +191,8 @@ def attach(env, label: str = "run", tracing: Optional[bool] = None,
             ctx.enable_tracing()
         if profile:
             ctx.profile = True
+        if telemetry:
+            ctx.enable_telemetry()
     return ctx
 
 

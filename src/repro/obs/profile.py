@@ -1,0 +1,431 @@
+"""Span-graph critical-path analysis and collapsed-stack export.
+
+The profiler the ROADMAP's hot-path work needs: given a *completed*
+trace (the spans :mod:`repro.obs.tracer` recorded in simulated time),
+attribute the run's makespan to layers of the stack — which layer was
+actually executing on the longest dependency chain, and which layers
+were merely waiting on a deeper one.
+
+Everything here is a pure function of the span set: simulated
+timestamps and span ids only, no wall clock, no iteration over
+unordered containers — the same trace always produces byte-identical
+tables, JSONL, and collapsed stacks (the golden tests pin the fig7a
+reference trace).
+
+Three artefacts:
+
+* :func:`critical_path` — walks the span forest from the last finisher
+  backwards, always descending into the child whose *end* is latest
+  (the classic last-finisher rule).  Every instant of the trace extent
+  is attributed to exactly one span — the deepest span active on the
+  chain — and each attributed segment also charges every ancestor on
+  the chain with *blocked* time.  The per-layer rollup is the
+  "where did the makespan go" table.
+* :func:`collapsed_stacks` — whole-trace flamegraph lines
+  (``root;child;leaf <weight>``), weighted by each span's *self* time
+  (duration minus children, clipped to the parent) in integer
+  nanoseconds of simulated time.  The format is what ``flamegraph.pl``
+  and speedscope ingest.
+* :func:`layer_table` / :func:`write_critical_path_jsonl` — the
+  human-readable attribution table and its machine-readable twin.
+
+Layer taxonomy: span categories map onto the stack's layers —
+``app``/``mpi``/``runtime``/``fs``/``dataplane``/``nvmf`` (cat
+``fabric``)/``device``, plus ``sched``, ``consensus``, and ``fault``
+where those subsystems traced.  Unknown categories pass through
+verbatim, so new instrumentation shows up without edits here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "LAYER_OF_CAT",
+    "LAYER_ORDER",
+    "CriticalPath",
+    "LayerAttribution",
+    "Segment",
+    "collapsed_stacks",
+    "critical_path",
+    "layer_of",
+    "layer_table",
+    "load_spans_jsonl",
+    "spans_of",
+    "write_collapsed",
+    "write_critical_path_jsonl",
+]
+
+#: Span category -> layer name (the paper's stack, top to bottom).
+LAYER_OF_CAT: Dict[str, str] = {
+    "app": "app",
+    "mpi": "mpi",
+    "runtime": "runtime",
+    "fs": "fs",
+    "dataplane": "dataplane",
+    "fabric": "nvmf",
+    "device": "device",
+    "sched": "sched",
+    "consensus": "consensus",
+    "fault": "fault",
+}
+
+#: Display order for attribution tables (top of stack first; layers the
+#: taxonomy does not know sort after these, alphabetically).
+LAYER_ORDER: Tuple[str, ...] = (
+    "app", "mpi", "runtime", "fs", "dataplane", "nvmf", "device",
+    "sched", "consensus", "fault", "idle",
+)
+
+#: Attribution bucket for trace extent not covered by any span.
+IDLE_LAYER = "idle"
+
+_EPS = 1e-12
+
+
+def layer_of(cat: str) -> str:
+    """Layer name for a span category (unknown categories pass through)."""
+    return LAYER_OF_CAT.get(cat, cat)
+
+
+def _layer_sort_key(layer: str) -> Tuple[int, str]:
+    try:
+        return (LAYER_ORDER.index(layer), layer)
+    except ValueError:
+        return (len(LAYER_ORDER), layer)
+
+
+# ---------------------------------------------------------------------------
+# span intake
+
+
+def spans_of(contexts: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Plain span dicts from one or more ObsContexts (intervals only).
+
+    Open spans are clamped to the environment clock, mirroring
+    :func:`repro.obs.export.write_jsonl`.  Every tracer allocates span
+    ids from 1, so multi-context captures (one env per compared system,
+    or one per plan unit) re-issue ids with a per-context offset —
+    parent links stay internal to a context by construction.
+    """
+    out: List[Dict[str, Any]] = []
+    offset = 0
+    for ctx in contexts:
+        tr = ctx.tracer
+        now = ctx.env.now
+        top = offset
+        for s in tr.spans:
+            d = s.to_dict()
+            if d["end"] is None:
+                d["end"] = now
+            d["id"] = s.id + offset
+            if d["parent"] is not None:
+                d["parent"] = d["parent"] + offset
+            top = max(top, d["id"])
+            out.append(d)
+        offset = top
+    return out
+
+
+def load_spans_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read the flat JSONL span log back (skips instants)."""
+    spans: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("instant"):
+                continue
+            spans.append({
+                "id": rec["id"], "parent": rec.get("parent"),
+                "name": rec["name"], "cat": rec["cat"],
+                "track": rec["track"],
+                "begin": rec.get("t0", rec.get("begin")),
+                "end": rec.get("t1", rec.get("end")),
+                "attrs": rec.get("attrs"),
+            })
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# the critical-path walk
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One critical-path interval attributed to one span."""
+
+    t0: float
+    t1: float
+    span_id: Optional[int]  # None: no span covered this interval (idle)
+    name: str
+    layer: str
+    track: str
+    #: Layers of the ancestors on the chain during this segment (they
+    #: were *blocked* — on the path, but waiting on the deeper span).
+    blocked_layers: Tuple[str, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class LayerAttribution:
+    """Per-layer rollup over the critical path."""
+
+    layer: str
+    self_s: float = 0.0
+    blocked_s: float = 0.0
+    segments: int = 0
+    spans: int = 0  # distinct spans of this layer on the path
+
+
+@dataclass
+class CriticalPath:
+    """The walk's result: segments plus the per-layer rollup."""
+
+    t0: float
+    t1: float
+    segments: List[Segment] = field(default_factory=list)
+    layers: Dict[str, LayerAttribution] = field(default_factory=dict)
+    span_count: int = 0  # spans in the analysed trace
+
+    @property
+    def makespan(self) -> float:
+        return self.t1 - self.t0
+
+    def ordered_layers(self) -> List[LayerAttribution]:
+        return [self.layers[name]
+                for name in sorted(self.layers, key=_layer_sort_key)]
+
+
+class _Node:
+    """Analysis-side span record with resolved children."""
+
+    __slots__ = ("id", "name", "cat", "track", "parent", "begin", "end",
+                 "children")
+
+    def __init__(self, d: Dict[str, Any]):
+        self.id = int(d["id"])
+        self.name = str(d["name"])
+        self.cat = str(d["cat"])
+        self.track = str(d["track"])
+        self.parent = d.get("parent")
+        self.begin = float(d["begin"])
+        end = d.get("end")
+        self.end = self.begin if end is None else float(end)
+        if self.end < self.begin:
+            self.end = self.begin
+        self.children: List["_Node"] = []
+
+
+def _build_forest(spans: Iterable[Dict[str, Any]]) -> List[_Node]:
+    """Nodes with children resolved; roots sorted by (begin, id).
+
+    Merged multi-unit span lists carry a ``unit`` field and re-issued
+    ids; parents always resolve within the same list, so the forest is
+    well formed for both single-run and merged traces.
+    """
+    nodes = [_Node(d) for d in spans]
+    by_id = {n.id: n for n in nodes}
+    roots: List[_Node] = []
+    for n in sorted(nodes, key=lambda n: n.id):
+        parent = by_id.get(n.parent) if n.parent is not None else None
+        if parent is None or parent is n:
+            roots.append(n)
+        else:
+            parent.children.append(n)
+    roots.sort(key=lambda n: (n.begin, n.id))
+    return roots
+
+
+def critical_path(spans: Iterable[Dict[str, Any]]) -> CriticalPath:
+    """Longest-dependency-chain attribution over a completed trace.
+
+    The walk starts at the virtual root covering the whole trace extent
+    and repeatedly descends into the child whose end is latest within
+    the interval under attribution; intervals no child covers are the
+    current span's *self* time.  Intervals outside every root span land
+    in the ``idle`` pseudo-layer (ramp-up/drain between phases).
+    """
+    roots = _build_forest(spans)
+    if not roots:
+        return CriticalPath(0.0, 0.0)
+
+    def max_end(n: _Node) -> float:
+        # A parent whose children outlive it is stretched, matching the
+        # exporters' effective-interval rule.
+        return max([n.end] + [max_end(c) for c in n.children])
+
+    t0 = min(n.begin for n in roots)
+    t1 = max(max_end(n) for n in roots)
+    cp = CriticalPath(t0, t1)
+    span_total = 0
+
+    def bucket(layer: str) -> LayerAttribution:
+        attribution = cp.layers.get(layer)
+        if attribution is None:
+            attribution = cp.layers[layer] = LayerAttribution(layer)
+        return attribution
+
+    seen_on_path: set = set()
+
+    def emit(node: Optional[_Node], lo: float, hi: float,
+             stack: Tuple[str, ...]) -> None:
+        if hi - lo <= _EPS:
+            return
+        if node is None:
+            seg = Segment(lo, hi, None, "(idle)", IDLE_LAYER, "", stack)
+        else:
+            seg = Segment(lo, hi, node.id, node.name, layer_of(node.cat),
+                          node.track, stack)
+        cp.segments.append(seg)
+        attribution = bucket(seg.layer)
+        attribution.self_s += seg.duration
+        attribution.segments += 1
+        if node is not None and node.id not in seen_on_path:
+            seen_on_path.add(node.id)
+            attribution.spans += 1
+        for layer in stack:
+            bucket(layer).blocked_s += seg.duration
+
+    def walk(node: Optional[_Node], children: List[_Node],
+             lo: float, hi: float, stack: Tuple[str, ...]) -> None:
+        """Attribute [lo, hi]; ``children`` compete for sub-intervals."""
+        child_stack = stack if node is None else (
+            stack + (layer_of(node.cat),))
+        t = hi
+        # Last finisher first; id tiebreak keeps the walk deterministic.
+        for child in sorted(children, key=lambda c: (-max_end(c), -c.id)):
+            if t - lo <= _EPS:
+                break
+            c_end = max_end(child)
+            if c_end - lo <= _EPS or c_end > t + _EPS:
+                # Fully before the window, or overlapping a later child
+                # already on the chain — not on the critical path here.
+                continue
+            if c_end < t - _EPS:
+                emit(node, c_end, t, stack)
+            c_lo = max(child.begin, lo)
+            walk(child, child.children, c_lo, min(c_end, t), child_stack)
+            t = c_lo
+        if t - lo > _EPS:
+            emit(node, lo, t, stack)
+
+    def count(n: _Node) -> int:
+        return 1 + sum(count(c) for c in n.children)
+
+    span_total = sum(count(r) for r in roots)
+    walk(None, roots, t0, t1, ())
+    cp.segments.sort(key=lambda s: (s.t0, s.t1))
+    cp.span_count = span_total
+    return cp
+
+
+# ---------------------------------------------------------------------------
+# renderers
+
+
+def layer_table(cp: CriticalPath, title: str = "Critical-path attribution"):
+    """Per-layer attribution as a :class:`~repro.bench.harness.ResultTable`."""
+    from repro.bench.harness import ResultTable
+
+    table = ResultTable(
+        title,
+        ["layer", "self_ms", "self_pct", "blocked_ms", "segments", "spans"],
+    )
+    makespan = cp.makespan or 1.0
+    for attribution in cp.ordered_layers():
+        table.add(
+            attribution.layer,
+            attribution.self_s * 1e3,
+            100.0 * attribution.self_s / makespan,
+            attribution.blocked_s * 1e3,
+            attribution.segments,
+            attribution.spans,
+        )
+    table.note(
+        f"makespan {cp.makespan * 1e3:.3f} ms over {cp.span_count} spans; "
+        "self = deepest span on the longest dependency chain, blocked = "
+        "on the chain but waiting on a deeper layer"
+    )
+    return table
+
+
+def write_critical_path_jsonl(cp: CriticalPath, path: str) -> str:
+    """Machine-readable critical path: a header, layer rows, segments."""
+    with open(path, "w") as fh:
+        fh.write(json.dumps({
+            "record": "summary", "t0": cp.t0, "t1": cp.t1,
+            "makespan_s": cp.makespan, "spans": cp.span_count,
+            "segments": len(cp.segments),
+        }) + "\n")
+        for attribution in cp.ordered_layers():
+            fh.write(json.dumps({
+                "record": "layer", "layer": attribution.layer,
+                "self_s": attribution.self_s,
+                "blocked_s": attribution.blocked_s,
+                "segments": attribution.segments,
+                "spans": attribution.spans,
+            }) + "\n")
+        for seg in cp.segments:
+            fh.write(json.dumps({
+                "record": "segment", "t0": seg.t0, "t1": seg.t1,
+                "dur_s": seg.duration, "span": seg.span_id,
+                "name": seg.name, "layer": seg.layer, "track": seg.track,
+                "blocked": list(seg.blocked_layers),
+            }) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# collapsed stacks (simulated time)
+
+
+def collapsed_stacks(spans: Iterable[Dict[str, Any]],
+                     by_track: bool = False) -> List[str]:
+    """Whole-trace flamegraph lines weighted by span *self* time.
+
+    Each line is ``frame;frame;leaf <weight>`` with the weight in
+    integer nanoseconds of simulated time — ``flamegraph.pl`` and
+    speedscope both ingest the format directly.  A frame is
+    ``name(layer)``; with ``by_track`` the root frame is the span's
+    track (one flame per rank/device).  Lines are sorted, so output is
+    byte-stable for a given trace.
+    """
+    roots = _build_forest(spans)
+    weights: Dict[str, int] = {}
+
+    def frame(n: _Node) -> str:
+        return f"{n.name}({layer_of(n.cat)})"
+
+    def walk(n: _Node, prefix: str) -> None:
+        label = f"{prefix};{frame(n)}" if prefix else frame(n)
+        child_time = 0.0
+        lo, hi = n.begin, max(n.end, n.begin)
+        # Children sorted by begin; overlap within a parent is counted
+        # once per child (self time may go slightly negative on heavily
+        # overlapped explicit-begin/end spans — clamp).
+        for c in sorted(n.children, key=lambda c: (c.begin, c.id)):
+            child_time += max(0.0, min(c.end, hi) - max(c.begin, lo))
+            walk(c, label)
+        self_s = max(0.0, (hi - lo) - child_time)
+        ns = int(round(self_s * 1e9))
+        if ns > 0:
+            weights[label] = weights.get(label, 0) + ns
+
+    for root in roots:
+        walk(root, root.track if by_track else "")
+    return [f"{stack} {weight}" for stack, weight in sorted(weights.items())]
+
+
+def write_collapsed(lines: Iterable[str], path: str) -> str:
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return path

@@ -15,6 +15,7 @@ from repro.errors import SimulationError
 
 __all__ = [
     "Environment",
+    "EngineTelemetry",
     "Event",
     "Timeout",
     "Process",
@@ -22,6 +23,54 @@ __all__ = [
     "AnyOf",
     "AllOf",
 ]
+
+
+class EngineTelemetry:
+    """Deterministic hot-loop counters for the engine itself.
+
+    Counts *work*, never time: events dispatched per event class, heap
+    traffic, coroutine resumes, and fair-share re-rates.  Every value is
+    a pure function of the event stream, so the same seed produces the
+    same counters on any host and at any shard count — the merge layer
+    can sum them bit-identically.  Attached via ``repro.obs.attach(...,
+    telemetry=True)`` (the ``repro profile`` CLI path); when absent the
+    engine pays one attribute read per dispatch and nothing more.
+    """
+
+    __slots__ = ("dispatch", "heap_pops", "resumes", "fairshare_recomputes",
+                 "fairshare_flows", "_published")
+
+    def __init__(self) -> None:
+        self.dispatch: dict = {}  # event class name -> dispatch count
+        self.heap_pops = 0
+        self.resumes = 0
+        self.fairshare_recomputes = 0
+        self.fairshare_flows = 0
+        self._published = False
+
+    def note_dispatch(self, event: "Event") -> None:
+        name = type(event).__name__
+        self.dispatch[name] = self.dispatch.get(name, 0) + 1
+        self.heap_pops += 1
+
+    def publish(self, metrics: Any, env: "Environment") -> None:
+        """Fold the counters into a metrics registry (idempotent).
+
+        ``engine.heap.pushes`` is the environment's scheduled-event
+        total — every push goes through ``_schedule``/``_schedule_at``,
+        which already count via ``_seq``.
+        """
+        if self._published:
+            return
+        self._published = True
+        for name in sorted(self.dispatch):
+            metrics.counter(f"engine.dispatch.{name}").add(self.dispatch[name])
+        metrics.counter("engine.heap.pushes").add(env.events_scheduled)
+        metrics.counter("engine.heap.pops").add(self.heap_pops)
+        metrics.counter("engine.coroutine.resumes").add(self.resumes)
+        metrics.counter("engine.fairshare.recomputes").add(
+            self.fairshare_recomputes)
+        metrics.counter("engine.fairshare.flows").add(self.fairshare_flows)
 
 
 class Interrupt(Exception):
@@ -187,6 +236,9 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
+        telemetry = self.env.telemetry
+        if telemetry is not None:
+            telemetry.resumes += 1
         try:
             if event._exc is not None:
                 target = self._generator.throw(event._exc)
@@ -202,6 +254,9 @@ class Process(Event):
 
     def _step_throw(self, exc: BaseException) -> None:
         self._waiting_on = None
+        telemetry = self.env.telemetry
+        if telemetry is not None:
+            telemetry.resumes += 1
         try:
             target = self._generator.throw(exc)
         except StopIteration as stop:
@@ -301,7 +356,7 @@ class Environment:
     """The simulation clock and event queue."""
 
     __slots__ = ("_now", "_queue", "_seq", "_failures", "_active", "obs",
-                 "monitor")
+                 "monitor", "telemetry")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -311,6 +366,7 @@ class Environment:
         self._active = 0  # events scheduled but not yet processed
         self.obs = None  # ObsContext, attached by repro.obs.attach()
         self.monitor = None  # sanitizer Monitor (repro.analysis.sanitize)
+        self.telemetry: Optional[EngineTelemetry] = None  # repro.obs.attach(telemetry=True)
 
     @property
     def now(self) -> float:
@@ -384,6 +440,8 @@ class Environment:
         self._now = max(self._now, time)
         if self.monitor is not None:
             self.monitor.note_event(time, _seq, event)
+        if self.telemetry is not None:
+            self.telemetry.note_dispatch(event)
         obs = self.obs
         if obs is not None and obs.profile:
             import time as _time
@@ -409,6 +467,8 @@ class Environment:
             return self._run_profiled(until, obs)
         if self.monitor is not None:
             return self._run_monitored(until, self.monitor)
+        if self.telemetry is not None:
+            return self._run_telemetry(until, self.telemetry)
         # Hot loop: the pop/dispatch below is step() inlined (identical
         # ordering), with the orphan check guarded so the common case
         # costs one truth test instead of a call per event.
@@ -446,6 +506,7 @@ class Environment:
         """
         queue = self._queue
         pop = heapq.heappop
+        telemetry = self.telemetry
         while queue:
             time = queue[0][0]
             if time >= horizon:
@@ -455,6 +516,8 @@ class Environment:
             event = pop(queue)[2]
             if time > self._now:
                 self._now = time
+            if telemetry is not None:
+                telemetry.note_dispatch(event)
             event._run_callbacks()
             if self._failures:
                 self._raise_orphans()
@@ -484,6 +547,39 @@ class Environment:
             if time > self._now:
                 self._now = time
             note(time, seq, event)
+            event._run_callbacks()
+            if self._failures:
+                self._raise_orphans()
+        if self._failures:
+            self._raise_orphans()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def _run_telemetry(self, until: Optional[float],
+                       telemetry: EngineTelemetry) -> float:
+        """run() with the deterministic self-telemetry dispatch hook.
+
+        Taken when an :class:`EngineTelemetry` is attached (the
+        ``repro profile`` path).  Event ordering and the final clock are
+        *identical* to :meth:`run` — the hook is pure integer counting
+        (no wall clock, no allocation beyond the per-class dict) and
+        never creates events, so pinned baselines hold with it on.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        note = telemetry.note_dispatch
+        while queue:
+            time = queue[0][0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            if time < self._now - 1e-12:
+                raise SimulationError("time went backwards (scheduler bug)")
+            event = pop(queue)[2]
+            if time > self._now:
+                self._now = time
+            note(event)
             event._run_callbacks()
             if self._failures:
                 self._raise_orphans()

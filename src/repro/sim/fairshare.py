@@ -85,6 +85,9 @@ class FairShareServer:
         if nbytes == 0:
             event.succeed(0.0)
             return event
+        telemetry = self.env.telemetry
+        if telemetry is not None:
+            telemetry.fairshare_flows += 1
         self._advance()
         flow = Flow(next(self._ids), nbytes, cap, event, self.env.now)
         self._flows[flow.flow_id] = flow
@@ -118,6 +121,9 @@ class FairShareServer:
         flows = list(self._flows.values())
         if not flows:
             return
+        telemetry = self.env.telemetry
+        if telemetry is not None:
+            telemetry.fairshare_recomputes += 1
         # Progressive filling: capped flows that can't use a full fair
         # share free capacity for the rest.
         remaining_capacity = self.capacity

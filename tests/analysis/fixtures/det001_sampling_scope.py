@@ -1,0 +1,23 @@
+"""Corpus: a *copycat* sampling profiler outside repro/obs/sampling.py.
+
+The DET001 allowlist is scoped to the real profiler module by path
+suffix. This file has the same shape — a thread loop timestamping
+samples — but lives in the fixture tree, so every wall-clock read
+below must still fire. Guards against the allowlist quietly widening.
+"""
+
+import time
+
+
+class CopycatSampler:
+    def __init__(self):
+        self.samples = []
+
+    def start(self):
+        self.t0 = time.perf_counter()  # DET001
+
+    def tick(self):
+        self.samples.append(time.monotonic())  # DET001
+
+    def stop(self):
+        return time.perf_counter() - self.t0  # DET001

@@ -37,6 +37,24 @@ def test_det001_wall_clock_corpus():
     assert _codes("det001_wall_clock.py") == ["DET001", "DET001", "DET001"]
 
 
+def test_det001_sampling_allowlist_is_path_scoped():
+    """The sampling-profiler allowlist covers exactly its module path.
+
+    The same wall-clock-reading source is clean at
+    ``repro/obs/sampling.py`` but fires everywhere else — including a
+    copycat fixture shaped like the profiler.
+    """
+    assert _codes("det001_sampling_scope.py") == ["DET001"] * 3
+    source = (_FIXTURES / "det001_sampling_scope.py").read_text()
+    config = LintConfig()
+    allowed = lint_file(Path("src/repro/obs/sampling.py"), config,
+                        source=source)
+    assert allowed == []
+    elsewhere = lint_file(Path("src/repro/sim/sampling.py"), config,
+                          source=source)
+    assert [f.code for f in elsewhere] == ["DET001"] * 3
+
+
 def test_det002_rng_corpus():
     codes = _codes("det002_rng.py")
     assert codes == ["DET002", "DET002"]  # seeded default_rng not flagged

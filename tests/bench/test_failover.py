@@ -18,6 +18,10 @@ def test_failover_raft_survives_with_zero_loss():
     assert table.column("replicas_agree") == ["yes"]
     assert table.column("leader_changes")[0] >= 2  # real failovers happened
     assert table.column("ops_acked")[0] >= 60
+    # Consensus instrumentation: elections were timed, entries counted.
+    assert table.column("elect_p99_ms")[0] > 0.0
+    assert table.column("commit_p99_ms")[0] > 0.0
+    assert table.column("appends")[0] > 0
 
 
 @pytest.mark.slow

@@ -1,0 +1,252 @@
+"""Bench trend store: record/check round trips, direction taxonomy,
+provenance-gated comparability, and the regression gate itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.bench.trend import (
+    DEFAULT_TOLERANCE,
+    EXPERIMENT_DIRECTIONS,
+    TrendStore,
+    check,
+    classify_column,
+    config_digest,
+    load_bench,
+    provenance,
+)
+
+
+def _bench(name="fig7a", rows=None, meta=None):
+    return {
+        "name": name,
+        "columns": ["block", "time_s", "gibps"],
+        "rows": rows or [[32768, 1.0, 4.0], [65536, 0.5, 8.0]],
+        "meta": {"seed": 2, "shards": 1} if meta is None else meta,
+    }
+
+
+def _store(tmp_path):
+    return TrendStore(tmp_path / "baselines")
+
+
+# ---------------------------------------------------------------------------
+# column taxonomy
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("column,expected", [
+    ("time_s", "lower"),
+    ("p99_ms", "lower"),
+    ("avail_gap_ms", "lower"),      # a gap, not an availability
+    ("mean_rec_ms", "lower"),
+    ("lost_ops", "lower"),
+    ("gibps", "higher"),
+    ("ops_acked", "higher"),
+    ("eff_frac", "higher"),
+    ("seed", "identity"),
+    ("shards", "identity"),
+    ("block", "identity"),
+    ("system", "identity"),
+])
+def test_classify_column_defaults(column, expected):
+    assert classify_column(column) == expected
+
+
+def test_classify_column_overrides_win():
+    assert classify_column("time_s", {"time_*": "skip"}) == "skip"
+    assert classify_column("faults_per_s",
+                           EXPERIMENT_DIRECTIONS["failover"]) == "identity"
+    assert classify_column("crail_vs_nvmecr",
+                           EXPERIMENT_DIRECTIONS["fig8a"]) == "skip"
+
+
+def test_config_digest_is_stable_and_order_free():
+    a = config_digest({"seed": 2, "block": 32768})
+    b = config_digest({"block": 32768, "seed": 2})
+    assert a == b and len(a) == 16
+    assert config_digest({"seed": 3, "block": 32768}) != a
+
+
+# ---------------------------------------------------------------------------
+# store round trip
+# ---------------------------------------------------------------------------
+
+def test_record_and_baseline_round_trip(tmp_path):
+    store = _store(tmp_path)
+    path = store.record(_bench())
+    assert path.exists()
+    history = store.history("fig7a")
+    assert len(history) == 1
+    assert history[0]["sequence"] == 1
+    baseline, why = store.baseline_for(_bench())
+    assert why is None
+    assert baseline["rows"] == _bench()["rows"]
+
+
+def test_record_keeps_bounded_history(tmp_path):
+    store = TrendStore(tmp_path / "baselines", keep=3)
+    for i in range(6):
+        store.record(_bench(rows=[[32768, 1.0 + i, 4.0]]))
+    history = store.history("fig7a")
+    assert len(history) == 3
+    # Sequence numbers keep climbing across the trim.
+    assert [e["sequence"] for e in history] == [4, 5, 6]
+
+
+def test_provenance_mismatch_skips_back_through_history(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench(meta={"seed": 2, "shards": 1}))
+    store.record(_bench(meta={"seed": 3, "shards": 1},
+                        rows=[[32768, 9.0, 0.4]]))
+    # seed-2 run must match the older seed-2 entry, not the newest.
+    baseline, why = store.baseline_for(_bench(meta={"seed": 2, "shards": 1}))
+    assert why is None
+    assert baseline["rows"][0][1] == 1.0
+
+
+def test_provenance_missing_key_is_not_a_mismatch(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench(meta={}))  # old-style entry, no provenance
+    baseline, why = store.baseline_for(
+        _bench(meta={"seed": 2, "shards": 4, "config_digest": "abc"}))
+    assert why is None and baseline is not None
+
+
+# ---------------------------------------------------------------------------
+# the gate
+# ---------------------------------------------------------------------------
+
+def test_unchanged_run_passes(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench())
+    report = check(_bench(), store=store)
+    assert report.ok
+    assert report.regressions == []
+    assert len(report.deltas) == 4  # 2 rows x (time_s, gibps)
+
+
+def test_regression_beyond_tolerance_fails(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench())
+    slower = _bench(rows=[[32768, 1.25, 4.0], [65536, 0.5, 8.0]])
+    report = check(slower, store=store)
+    assert not report.ok
+    [delta] = report.regressions
+    assert delta.column == "time_s"
+    assert delta.delta_frac == pytest.approx(0.25)
+    assert delta.tolerance == DEFAULT_TOLERANCE
+    assert "REGRESSION" in report.render()
+
+
+def test_throughput_drop_fails_makespan_drop_does_not(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench())
+    # Faster AND higher throughput: both are improvements.
+    better = _bench(rows=[[32768, 0.7, 6.0], [65536, 0.5, 8.0]])
+    report = check(better, store=store)
+    assert report.ok
+    assert len(report.improvements) == 2
+    # Throughput collapse alone trips the gate (higher-is-better).
+    worse = _bench(rows=[[32768, 1.0, 2.0], [65536, 0.5, 8.0]])
+    assert not check(worse, store=store).ok
+
+
+def test_within_tolerance_drift_passes(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench())
+    drift = _bench(rows=[[32768, 1.05, 3.9], [65536, 0.52, 7.8]])
+    report = check(drift, store=store)
+    assert report.ok and report.regressions == []
+
+
+def test_custom_tolerance_tightens_the_gate(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench())
+    drift = _bench(rows=[[32768, 1.05, 4.0], [65536, 0.5, 8.0]])
+    assert check(drift, store=store).ok
+    report = check(drift, store=store, tolerances={"*": 0.01})
+    assert not report.ok
+
+
+def test_no_baseline_passes_unless_required(tmp_path):
+    store = _store(tmp_path)
+    report = check(_bench(), store=store)
+    assert report.ok
+    assert any("no comparable baseline" in n for n in report.notes)
+    assert not check(_bench(), store=store, require_baseline=True).ok
+
+
+def test_provenance_mismatch_everywhere_means_no_comparison(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench(meta={"seed": 2, "shards": 1}))
+    run = _bench(meta={"seed": 7, "shards": 1},
+                 rows=[[32768, 99.0, 0.01], [65536, 0.5, 8.0]])
+    report = check(run, store=store)
+    assert report.ok  # wildly different numbers, but not comparable
+    assert not check(run, store=store, require_baseline=True).ok
+
+
+def test_new_and_missing_rows_are_noted_not_gated(tmp_path):
+    store = _store(tmp_path)
+    store.record(_bench())
+    run = _bench(rows=[[32768, 1.0, 4.0], [131072, 0.25, 16.0]])
+    report = check(run, store=store)
+    assert report.ok
+    assert any("new (no baseline)" in n for n in report.notes)
+    assert any("in baseline but not" in n for n in report.notes)
+
+
+def test_skip_columns_stay_out_of_row_key_and_gate(tmp_path):
+    # fig8a's derived ratio moves when crail regresses; it must neither
+    # split the row key (which would hide the regression as a "new row")
+    # nor be gated itself.
+    store = _store(tmp_path)
+    bench = {
+        "name": "fig8a",
+        "columns": ["dumps_gib", "crail", "local", "crail_vs_nvmecr"],
+        "rows": [[1.0, 2.0, 1.0, 2.0]],
+        "meta": {"seed": 2},
+    }
+    store.record(bench)
+    regressed = dict(bench, rows=[[1.0, 2.5, 1.0, 2.5]])
+    report = check(regressed, store=store)
+    assert not report.ok
+    assert [d.column for d in report.regressions] == ["crail"]
+
+
+# ---------------------------------------------------------------------------
+# provenance + load helpers
+# ---------------------------------------------------------------------------
+
+def test_provenance_reads_signature_and_kwargs():
+    def fake_experiment(blocks=(1, 2), nprocs=8, seed=2, executor=None):
+        raise AssertionError("never called")
+
+    table = ResultTable("t", ["system", "x"])
+    table.add("nvmecr", 1)
+    table.add("crail", 2)
+    meta = provenance("fig8a", fn=fake_experiment,
+                      kwargs={"nprocs": 4}, table=table)
+    assert meta["experiment"] == "fig8a"
+    assert meta["seed"] == 2
+    assert meta["systems"] == ["crail", "nvmecr"]
+    digest = meta["config_digest"]
+    assert len(digest) == 16
+    # The digest shifts when the effective parameters do.
+    meta2 = provenance("fig8a", fn=fake_experiment,
+                       kwargs={"nprocs": 2}, table=table)
+    assert meta2["config_digest"] != digest
+
+
+def test_load_bench_validates_shape(tmp_path):
+    good = tmp_path / "BENCH_x.json"
+    good.write_text(json.dumps(_bench()))
+    assert load_bench(good)["name"] == "fig7a"
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text(json.dumps({"name": "x"}))
+    with pytest.raises((KeyError, ValueError)):
+        load_bench(bad)

@@ -1,0 +1,254 @@
+"""Critical-path analyzer and collapsed-stack tests.
+
+Two families:
+
+* synthetic span graphs with hand-computable answers — exercise the
+  walk, layer attribution, and self-time accounting in isolation;
+* the fig7a golden — the 4-proc / seed-2 microfs fleet trace, whose
+  critical-path JSONL and collapsed-stack output are committed under
+  ``tests/obs/golden/`` and must stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.bench.harness import dump_files
+from repro.core.config import RuntimeConfig
+from repro.obs.profile import (
+    IDLE_LAYER,
+    collapsed_stacks,
+    critical_path,
+    layer_of,
+    layer_table,
+    load_spans_jsonl,
+    spans_of,
+    write_collapsed,
+    write_critical_path_jsonl,
+)
+from repro.systems import build
+from repro.units import KiB, MiB
+
+GOLDEN = Path(__file__).parent / "golden"
+
+_BASELINE_MAKESPAN = 0.06173009922862135
+
+
+def _span(id, name, cat, t0, t1, parent=None, track="t0"):
+    return {
+        "id": id, "name": name, "cat": cat, "track": track,
+        "parent": parent, "begin": t0, "end": t1,
+    }
+
+
+# ---------------------------------------------------------------------------
+# synthetic graphs
+# ---------------------------------------------------------------------------
+
+def test_layer_of_maps_cats():
+    assert layer_of("fabric") == "nvmf"
+    assert layer_of("device") == "device"
+    assert layer_of("mpi") == "mpi"
+    assert layer_of("unknown-cat") == "unknown-cat"
+
+
+def test_single_span_is_its_own_critical_path():
+    cp = critical_path([_span(1, "work", "app", 0.0, 2.0)])
+    assert cp.makespan == 2.0
+    assert len(cp.segments) == 1
+    assert cp.segments[0].layer == "app"
+    assert cp.layers["app"].self_s == 2.0
+
+
+def test_child_steals_self_time_from_parent():
+    spans = [
+        _span(1, "outer", "app", 0.0, 10.0),
+        _span(2, "inner", "device", 4.0, 10.0, parent=1),
+    ]
+    cp = critical_path(spans)
+    assert cp.makespan == 10.0
+    # Parent keeps [0,4), child owns [4,10): exact attribution.
+    assert cp.layers["app"].self_s == pytest.approx(4.0)
+    assert cp.layers["device"].self_s == pytest.approx(6.0)
+    # The parent is blocked for the child's span.
+    assert cp.layers["app"].blocked_s == pytest.approx(6.0)
+
+
+def test_gap_between_roots_is_idle():
+    spans = [
+        _span(1, "a", "app", 0.0, 1.0),
+        _span(2, "b", "app", 3.0, 4.0),
+    ]
+    cp = critical_path(spans)
+    assert cp.makespan == 4.0
+    assert cp.layers[IDLE_LAYER].self_s == pytest.approx(2.0)
+    assert cp.layers["app"].self_s == pytest.approx(2.0)
+
+
+def test_deepest_latest_child_wins_the_walk():
+    spans = [
+        _span(1, "root", "app", 0.0, 10.0),
+        _span(2, "early", "mpi", 0.0, 6.0, parent=1),
+        _span(3, "late", "device", 2.0, 10.0, parent=1),
+    ]
+    cp = critical_path(spans)
+    # The walk descends into the child covering the end of the window:
+    # 'late' owns [2,10).  The remainder [0,2) belongs to the parent —
+    # 'early' overlaps a child already on the chain, so it is not on
+    # the critical path at all.
+    assert cp.layers["device"].self_s == pytest.approx(8.0)
+    assert cp.layers["app"].self_s == pytest.approx(2.0)
+    assert "mpi" not in cp.layers
+    # 'app' sat blocked while 'late' ran.
+    assert cp.layers["app"].blocked_s == pytest.approx(8.0)
+
+
+def test_self_times_reconcile_to_extent():
+    spans = [
+        _span(1, "root", "app", 0.0, 8.0),
+        _span(2, "x", "fs", 1.0, 3.0, parent=1),
+        _span(3, "y", "device", 2.5, 7.0, parent=1),
+        _span(4, "z", "fabric", 9.0, 11.0),
+    ]
+    cp = critical_path(spans)
+    total = sum(a.self_s for a in cp.layers.values())
+    assert total == pytest.approx(cp.makespan, abs=1e-12)
+
+
+def test_layer_table_renders():
+    cp = critical_path([_span(1, "w", "app", 0.0, 1.0)])
+    table = layer_table(cp, title="t")
+    assert table.columns[0] == "layer"
+    assert any(row[0] == "app" for row in table.rows)
+
+
+def test_collapsed_stacks_weights_are_self_time_ns():
+    spans = [
+        _span(1, "outer", "app", 0.0, 2.0),
+        _span(2, "inner", "device", 1.0, 2.0, parent=1),
+    ]
+    lines = collapsed_stacks(spans)
+    assert lines == [
+        "outer(app) 1000000000",
+        "outer(app);inner(device) 1000000000",
+    ]
+
+
+def test_collapsed_stacks_drop_zero_self_frames():
+    spans = [
+        _span(1, "outer", "app", 0.0, 1.0),
+        _span(2, "inner", "device", 0.0, 1.0, parent=1),
+    ]
+    lines = collapsed_stacks(spans)
+    assert lines == ["outer(app);inner(device) 1000000000"]
+
+
+# ---------------------------------------------------------------------------
+# round trips
+# ---------------------------------------------------------------------------
+
+def test_jsonl_round_trip(tmp_path):
+    spans = [
+        _span(1, "root", "app", 0.0, 4.0),
+        _span(2, "io", "device", 1.0, 3.0, parent=1),
+    ]
+    cp = critical_path(spans)
+    out = tmp_path / "cp.jsonl"
+    write_critical_path_jsonl(cp, out)
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    kinds = [r["record"] for r in records]
+    assert kinds[0] == "summary"
+    assert "layer" in kinds and "segment" in kinds
+    summary = records[0]
+    assert summary["makespan_s"] == pytest.approx(cp.makespan)
+
+    spans_path = tmp_path / "spans.jsonl"
+    with spans_path.open("w") as fh:
+        for s in spans:
+            rec = dict(s)
+            rec["t0"], rec["t1"] = rec.pop("begin"), rec.pop("end")
+            fh.write(json.dumps(rec) + "\n")
+        fh.write(json.dumps({
+            "instant": True, "name": "marker", "cat": "!mark", "t": 1.0,
+        }) + "\n")
+    loaded = load_spans_jsonl(spans_path)
+    assert len(loaded) == 2  # the instant is skipped
+    assert critical_path(loaded).makespan == pytest.approx(4.0)
+
+
+def test_spans_of_reissues_ids_across_contexts():
+    from types import SimpleNamespace
+
+    from repro.obs.tracer import Span
+
+    def _ctx(spans, now):
+        return SimpleNamespace(
+            tracer=SimpleNamespace(spans=spans), env=SimpleNamespace(now=now)
+        )
+
+    def _raw(sid, name, cat, t0, t1, parent=None):
+        s = Span(sid, name, cat, "t0", parent, t0, None)
+        s.end = t1
+        return s
+
+    a = [_raw(1, "a", "app", 0.0, 1.0), _raw(2, "b", "device", 0.2, 0.8, parent=1)]
+    b = [_raw(1, "c", "app", 2.0, 3.0), _raw(2, "d", "device", 2.2, None, parent=1)]
+    merged = spans_of([_ctx(a, 1.0), _ctx(b, 2.9)])
+    ids = [s["id"] for s in merged]
+    assert len(set(ids)) == 4
+    # Open spans clamp to the context's clock.
+    assert merged[-1]["end"] == 2.9
+    # Parent links stay within each context after re-issue.
+    by_id = {s["id"]: s for s in merged}
+    for s in merged:
+        if s["parent"] is not None:
+            assert by_id[s["parent"]]["begin"] <= s["begin"]
+
+
+# ---------------------------------------------------------------------------
+# fig7a golden
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig7a_trace():
+    with obs.capture(trace=True, telemetry=True) as cap:
+        config = RuntimeConfig(
+            log_region_bytes=MiB(4), state_region_bytes=MiB(16),
+            hugeblock_bytes=KiB(32),
+        )
+        fleet = build(
+            "microfs", nprocs=4, config=config,
+            partition_bytes=2 * MiB(32) + MiB(64), seed=2,
+        )
+        makespan = fleet.makespan(dump_files(MiB(32)))
+    return makespan, spans_of(cap.contexts)
+
+
+def test_fig7a_critical_path_reconciles(fig7a_trace):
+    makespan, spans = fig7a_trace
+    assert makespan == _BASELINE_MAKESPAN
+    cp = critical_path(spans)
+    assert cp.makespan == _BASELINE_MAKESPAN
+    total = sum(a.self_s for a in cp.layers.values())
+    assert total == pytest.approx(cp.makespan, abs=1e-12)
+    # The device layer dominates a dump-heavy trace.
+    dominant = max(cp.layers.values(), key=lambda a: a.self_s)
+    assert dominant.layer == "device"
+
+
+def test_fig7a_critical_path_golden(fig7a_trace, tmp_path):
+    _, spans = fig7a_trace
+    out = tmp_path / "fig7a.critpath.jsonl"
+    write_critical_path_jsonl(critical_path(spans), out)
+    assert out.read_bytes() == (GOLDEN / "fig7a.critpath.jsonl").read_bytes()
+
+
+def test_fig7a_collapsed_golden(fig7a_trace, tmp_path):
+    _, spans = fig7a_trace
+    out = tmp_path / "fig7a.collapsed"
+    write_collapsed(collapsed_stacks(spans), out)
+    assert out.read_bytes() == (GOLDEN / "fig7a.collapsed").read_bytes()

@@ -1,0 +1,63 @@
+"""Wall-clock sampling profiler smoke tests.
+
+The sampler is the one deliberately non-deterministic observability
+component (see the DET001 allowlist note in the module docstring), so
+these tests assert structure, not exact counts: samples accumulate
+while work runs, collapsed output parses, and `top()` ranks leaves.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.sampling import SamplingProfiler, sample
+
+
+def _busy(deadline_samples, profiler):
+    # Spin until the profiler has seen us a few times (bounded).
+    total = 0.0
+    for _ in range(200_000):
+        total += sum(i * i for i in range(200))
+        if profiler.samples >= deadline_samples:
+            break
+    return total
+
+
+def test_sampler_collects_and_formats():
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler:
+        _busy(5, profiler)
+    assert profiler.samples > 0
+    lines = profiler.collapsed()
+    assert lines == sorted(lines)
+    for line in lines:
+        # "frame;frame;leaf <count>"
+        assert re.fullmatch(r"\S.*? \d+", line), line
+    total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+    assert total == profiler.samples
+
+
+def test_sampler_write_and_top(tmp_path):
+    profiler = sample(interval_s=0.001)
+    profiler.start()
+    _busy(5, profiler)
+    profiler.stop()
+    out = tmp_path / "host.collapsed"
+    profiler.write(out)
+    assert out.read_text().splitlines() == profiler.collapsed()
+    ranked = profiler.top(3)
+    assert 0 < len(ranked) <= 3
+    # "  42.1%  leaf" lines, share descending.
+    shares = [float(line.split("%", 1)[0]) for line in ranked]
+    assert shares == sorted(shares, reverse=True)
+    assert sum(shares) <= 100.0 + 1e-6
+
+
+def test_sampler_stop_is_idempotent_and_restartable():
+    profiler = SamplingProfiler(interval_s=0.001)
+    profiler.start()
+    profiler.stop()
+    profiler.stop()  # second stop is a no-op
+    profiler.start()  # and a stopped sampler can be restarted
+    profiler.stop()
+    assert profiler.wall_s > 0.0

@@ -1,0 +1,128 @@
+"""Engine self-telemetry: counter values, publish idempotence, and
+bit-identical merges across shard counts.
+
+The counters are *semantic* (events dispatched by class, heap traffic,
+coroutine resumes, fair-share recomputes) — they must not depend on how
+the work was partitioned across shards, which process executed it, or
+whether a profiler was watching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.bench.harness import dump_files
+from repro.core.config import RuntimeConfig
+from repro.exec import ExecutionPlan, ShardedExecutor, SimUnit
+from repro.systems import build
+from repro.units import KiB, MiB
+
+_BASELINE_EVENTS = 439
+_BASELINE_MAKESPAN = 0.06173009922862135
+
+
+def _fig7a_run():
+    config = RuntimeConfig(
+        log_region_bytes=MiB(4), state_region_bytes=MiB(16),
+        hugeblock_bytes=KiB(32),
+    )
+    fleet = build(
+        "microfs", nprocs=4, config=config,
+        partition_bytes=2 * MiB(32) + MiB(64), seed=2,
+    )
+    return fleet.makespan(dump_files(MiB(32)))
+
+
+def _engine_counters(ctx):
+    flat = ctx.flat_extra()
+    return {k: v for k, v in sorted(flat.items()) if k.startswith("engine.")}
+
+
+def test_telemetry_counters_match_engine_accounting():
+    with obs.capture(telemetry=True) as cap:
+        makespan = _fig7a_run()
+    assert makespan == _BASELINE_MAKESPAN
+    ctx = cap.contexts[0]
+    env = ctx.env
+    counters = _engine_counters(ctx)
+    # Heap traffic reconciles exactly with the engine's own counter.
+    assert counters["engine.heap.pushes"] == env.events_scheduled
+    assert counters["engine.heap.pops"] == counters["engine.heap.pushes"]
+    assert counters["engine.heap.pushes"] == _BASELINE_EVENTS
+    # Every pop dispatches exactly one event: class counts sum to pops.
+    dispatched = sum(
+        v for k, v in counters.items() if k.startswith("engine.dispatch.")
+    )
+    assert dispatched == counters["engine.heap.pops"]
+    assert counters["engine.coroutine.resumes"] > 0
+    assert counters["engine.fairshare.flows"] > 0
+    assert counters["engine.fairshare.recomputes"] > 0
+
+
+def test_telemetry_publish_is_idempotent():
+    with obs.capture(telemetry=True) as cap:
+        _fig7a_run()
+    ctx = cap.contexts[0]
+    once = _engine_counters(ctx)
+    # A second publish must not double-count.
+    ctx.publish_telemetry()
+    ctx.env.telemetry.publish(ctx.metrics, ctx.env)
+    assert _engine_counters(ctx) == once
+
+
+def test_telemetry_off_means_no_engine_counters():
+    with obs.capture(telemetry=False) as cap:
+        makespan = _fig7a_run()
+    assert makespan == _BASELINE_MAKESPAN
+    assert _engine_counters(cap.contexts[0]) == {}
+
+
+def test_telemetry_does_not_perturb_the_simulation():
+    with obs.capture(telemetry=True):
+        with_telemetry = _fig7a_run()
+    plain = _fig7a_run()
+    assert with_telemetry == plain == _BASELINE_MAKESPAN
+
+
+# ---------------------------------------------------------------------------
+# shard-merge identity
+# ---------------------------------------------------------------------------
+
+def _fig7a_plan(n_units=4):
+    units = [
+        SimUnit(
+            index=i, label=f"fig7a/{i}",
+            fn="repro.bench.experiments:_fig7a_unit",
+            params={
+                "block": KiB(32), "nprocs": 4,
+                "file_bytes": MiB(32), "seed": 2 + i,
+            },
+        )
+        for i in range(n_units)
+    ]
+    return ExecutionPlan(
+        title="fig7a-telemetry", units=units,
+        reduce=lambda results: [r.payload["time_s"] for r in results],
+    )
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_counters_merge_identically_across_shard_counts(shards):
+    plan = _fig7a_plan()
+    with obs.capture(telemetry=True) as cap_one:
+        one = ShardedExecutor(1, start_method="inline").execute(plan)
+    counters_one = [_engine_counters(c) for c in cap_one.contexts]
+
+    with obs.capture(telemetry=True) as cap_n:
+        many = ShardedExecutor(shards, start_method="inline").execute(plan)
+    counters_n = [_engine_counters(c) for c in cap_n.contexts]
+
+    assert one.merged.fingerprint == many.merged.fingerprint
+    assert one.merged.events_scheduled == many.merged.events_scheduled
+    assert one.value == many.value
+    # Per-unit engine counters are bit-identical regardless of sharding
+    # (context harvest order may differ, so compare as multisets).
+    key = lambda c: sorted(c.items())
+    assert sorted(counters_one, key=key) == sorted(counters_n, key=key)
+    assert all(c["engine.heap.pushes"] > 0 for c in counters_one)
