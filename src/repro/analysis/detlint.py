@@ -187,6 +187,10 @@ class LintConfig:
         "repro/sim/engine.py",
         "repro/nvme/queues.py",
         "repro/io/envelope.py",
+        "repro/tiers/base.py",
+        "repro/tiers/nvm.py",
+        "repro/tiers/cxl.py",
+        "repro/tiers/client.py",
     )
     #: Per-rule path allowlists (suffix match): rule does not fire there.
     allow: Dict[str, Tuple[str, ...]] = field(

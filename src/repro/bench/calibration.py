@@ -16,7 +16,7 @@ performance number. Constants fall into three classes:
 
 from __future__ import annotations
 
-from repro.units import GB_per_s, Gbit_per_s, KiB, MiB, us
+from repro.units import GB_per_s, Gbit_per_s, GiB, KiB, MiB, ns, us
 
 # ---------------------------------------------------------------------------
 # Userspace (SPDK / NVMe-CR) client-side path — §III-D
@@ -76,6 +76,110 @@ XFS_PER_EXTENT_ALLOC = us(12.0)
 
 #: Largest contiguous extent XFS carves per allocation call.
 XFS_EXTENT_BYTES = 8 * MiB(1)
+
+# ---------------------------------------------------------------------------
+# NVMe SSD device specs — §IV-A testbed hardware (moved here from
+# repro.nvme.device so the spec factories carry no literal numbers)
+# ---------------------------------------------------------------------------
+
+#: Intel Optane P4800X (the paper's device): 375 GB, ~2.2 GB/s
+#: sequential write, ~2.4 GB/s read (datasheet).
+P4800X_CAPACITY_BYTES = 375 * 10**9
+P4800X_WRITE_BANDWIDTH = GB_per_s(2.2)
+P4800X_READ_BANDWIDTH = GB_per_s(2.4)
+
+#: Controller serialisation per command: 2.0 us reproduces the ~500 K
+#: IOPS small-write ceiling (4 KiB / 2.0 us ~= 2.05 GB/s, ~7 % below
+#: the sequential ceiling — the device-side half of Figure 7(a)'s
+#: small-block penalty).
+P4800X_PER_COMMAND_COST = us(2.0)
+P4800X_FLUSH_COST = us(5.0)
+
+#: 3D-XPoint media access: ~10 us read/write latency (datasheet).
+P4800X_ACCESS_LATENCY = us(10.0)
+P4800X_MAX_HW_QUEUES = 32
+
+#: Generic NAND TLC datacenter SSD with a capacitor-backed DRAM write
+#: buffer (vendor-class numbers; exercises the burst/drain and
+#: power-loss capacitance paths the Optane spec never reaches).
+NAND_SSD_CAPACITY_BYTES = 2 * 10**12
+NAND_SSD_WRITE_BANDWIDTH = GB_per_s(1.4)
+NAND_SSD_READ_BANDWIDTH = GB_per_s(3.0)
+NAND_SSD_PER_COMMAND_COST = us(4.0)
+NAND_SSD_FLUSH_COST = us(10.0)
+
+#: NAND program into the DRAM buffer path.
+NAND_SSD_ACCESS_LATENCY = us(25.0)
+NAND_SSD_RAM_BUFFER_BYTES = GiB(1)
+NAND_SSD_RAM_WRITE_BANDWIDTH = GB_per_s(3.2)
+
+#: Spec-level defaults shared by every SSD model: media access latency
+#: when a spec does not override it, and the command-granular
+#: arbitration-jitter coefficient (§IV-B "a large block size will
+#: increase the waiting time for each hardware IO queue"; fitted to the
+#: mild large-block upturn of Figure 7(a)).
+SSD_DEFAULT_ACCESS_LATENCY = us(10.0)
+SSD_ARBITRATION_BETA = 0.25
+
+# ---------------------------------------------------------------------------
+# Byte-addressable NVM tier — JASS (arXiv:2301.11511) models checkpoint
+# placement against Optane DC PMM-class persistent memory
+# ---------------------------------------------------------------------------
+
+#: Random load latency of Optane DC PMM (~300 ns, the widely reproduced
+#: Izraelevitz et al. characterisation JASS builds on).
+NVM_READ_LATENCY = ns(300)
+
+#: Store latency to the ADR-protected write-pending queue (~100 ns);
+#: persistence is asynchronous behind it.
+NVM_WRITE_LATENCY = ns(100)
+
+#: CLWB + sfence persist barrier closing one checkpoint region
+#: (folklore: a few hundred ns once the stores are queued).
+NVM_PERSIST_BARRIER = ns(500)
+
+#: Per-DIMM sustained bandwidth: reads ~6.6 GB/s, writes ~2.3 GB/s —
+#: the asymmetry JASS's placement model keys on.
+NVM_READ_BANDWIDTH = GB_per_s(6.6)
+NVM_WRITE_BANDWIDTH = GB_per_s(2.3)
+
+#: One 128 GB module per node (the smallest DC PMM SKU).
+NVM_CAPACITY_BYTES = 128 * 10**9
+
+#: Internal access granularity (the 256 B "XPLine"): sub-line stores
+#: pay a device-side read-modify-write.
+NVM_LINE_BYTES = 256
+
+# ---------------------------------------------------------------------------
+# CXL-SSD tier — OpenCXD (arXiv:2508.11477) validates a load/store
+# window + device-side DRAM cache model against a real CXL-SSD device
+# ---------------------------------------------------------------------------
+
+#: CXL.mem round trip through the host bridge and device controller
+#: for one window access (~600 ns, the far-memory class OpenCXD cites).
+CXL_LINK_LATENCY = ns(600)
+
+#: Effective x8 CXL 2.0 link bandwidth into the device cache
+#: (32 GB/s raw, ~26 GB/s effective after protocol overhead).
+CXL_LINK_BANDWIDTH = GB_per_s(26.0)
+
+#: Device-side DRAM cache in front of the flash backend; misses fetch
+#: whole flash pages.
+CXL_CACHE_BYTES = MiB(512)
+CXL_CACHE_LINE_BYTES = KiB(4)
+
+#: First-access fill penalty when a load window misses the device
+#: cache: one flash page read (fast-NAND class, ~8 us).
+CXL_MISS_LATENCY = us(8.0)
+
+#: Flash backend behind the cache: sustained read/program bandwidth
+#: (dirty cache lines drain to flash at the program rate — the same
+#: token-bucket burst/drain shape as a capacitor-backed NVMe SSD).
+CXL_FLASH_READ_BANDWIDTH = GB_per_s(5.0)
+CXL_FLASH_WRITE_BANDWIDTH = GB_per_s(2.0)
+
+#: 2 TB usable flash capacity behind the window.
+CXL_CAPACITY_BYTES = 2 * 10**12
 
 # ---------------------------------------------------------------------------
 # Distributed baselines — §II-B / §IV

@@ -875,7 +875,7 @@ def sysmatrix(
 def _build_for_matrix(name: str, nprocs: int, nbytes: int, seed: int) -> SystemHandle:
     """Provision each backend generously enough for one N-N pass."""
     spare = 2 * nbytes + MiB(64)
-    if name in ("nvmecr", "nvmecr-raft"):
+    if name in ("nvmecr", "nvmecr-raft", "nvmecr-tiered"):
         per_device = max(GiB(1), -(-nprocs // 8) * spare)
         return build_system(
             name, nprocs=nprocs, seed=seed, devices=8,

@@ -89,6 +89,10 @@ EXPERIMENT_DIRECTIONS: Dict[str, Dict[str, str]] = {
     "failover": {"faults_per_s": "identity", "faults": "skip",
                  "leader_changes": "skip", "appends": "skip",
                  "elect_p99_ms": "lower", "commit_p99_ms": "lower"},
+    "tiers": {"mtbf_s": "identity", "faults": "skip",
+              "durable_frac": "skip", "ckpt_s": "lower",
+              "restore_s": "lower", "lost_work_s": "lower",
+              "score_s": "lower"},
 }
 
 #: meta keys that must agree for two runs to be comparable.

@@ -44,6 +44,12 @@ def _failover(**kwargs):
 
     return failover(**kwargs)
 
+
+def _tiers(**kwargs):
+    from repro.bench.tiers import tiers
+
+    return tiers(**kwargs)
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "fig1": E.fig1_motivation,
     "fig7a": E.fig7a_hugeblock_sweep,
@@ -60,6 +66,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "resilience": _resilience,
     "qos": _qos,
     "failover": _failover,
+    "tiers": _tiers,
     "ablation-coalescing": E.ablation_coalescing,
     "ablation-distributors": E.ablation_distributors,
     "ext-cache": X.ext_cache_layer,
@@ -80,6 +87,7 @@ _PERF_RELEVANT: Dict[str, str] = {
     "fig9strong": "fig9strong",
     "fig7a": "fig7a",
     "failover": "failover",
+    "tiers": "tiers",
 }
 
 _DESCRIPTIONS: Dict[str, str] = {
@@ -98,6 +106,8 @@ _DESCRIPTIONS: Dict[str, str] = {
     "resilience": "fault-injected campaigns: effective progress vs MTBF",
     "failover": "replicated control plane: availability under leader "
                 "kills and partitions",
+    "tiers": "checkpoint placement over NVM/CXL/NVMe/PFS tiers under "
+             "tier-loss strikes",
     "qos": "per-class latency under FCFS vs WRR arbitration (+ batching)",
     "ablation-coalescing": "log record coalescing on/off",
     "ablation-distributors": "round-robin vs jump hash vs vnode ring",
@@ -393,7 +403,8 @@ def main(argv=None) -> int:
         return 2
     kwargs = {}
     if args.procs:
-        if args.name in ("tab1", "tab2", "sysmatrix", "resilience", "qos"):
+        if args.name in ("tab1", "tab2", "sysmatrix", "resilience", "qos",
+                         "tiers"):
             kwargs["nprocs"] = args.procs[0]
         elif args.name in ("fig7a", "fig7c", "fig8a"):
             kwargs["nprocs"] = args.procs[0]
@@ -402,7 +413,7 @@ def main(argv=None) -> int:
     if args.systems:
         takes_systems = {"fig1", "fig7b", "fig8b", "fig9weak", "fig9strong",
                          "tab1", "tab2", "sysmatrix", "resilience", "qos",
-                         "failover"}
+                         "failover", "tiers"}
         if args.name not in takes_systems:
             print(f"{args.name} does not take --systems "
                   f"(supported: {', '.join(sorted(takes_systems))})",

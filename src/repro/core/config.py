@@ -51,8 +51,18 @@ class RuntimeConfig:
     # paper's baseline) or "raft" (replicated across zones; built by the
     # nvmecr-raft system variant).
     control_plane_mode: str = "local"
+    # Checkpoint placement over storage tiers: "fixed-interval" is the
+    # paper's every-k-th rule (§III-F, bit-identical baselines);
+    # "cost-model" scores each tier's write cost against its residual
+    # failure risk (built by the nvmecr-tiered system variant).
+    checkpoint_placement: str = "fixed-interval"
 
     def __post_init__(self) -> None:
+        if self.checkpoint_placement not in ("fixed-interval", "cost-model"):
+            raise InvalidArgument(
+                f"checkpoint_placement must be 'fixed-interval' or "
+                f"'cost-model', got {self.checkpoint_placement!r}"
+            )
         if self.control_plane_mode not in ("local", "raft"):
             raise InvalidArgument(
                 f"control_plane_mode must be 'local' or 'raft', got "

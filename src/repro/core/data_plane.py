@@ -70,6 +70,13 @@ class DataPlane:
         #: Completed-request latencies by QoS class (exact, not bucketed)
         #: — the qos experiment's percentile source.
         self.class_latencies: Dict[QoSClass, List[float]] = defaultdict(list)
+        #: This plane's default storage tier (the NVMe fleet unless the
+        #: owning system says otherwise); envelopes may override it.
+        self.tier = "nvme-ssd"
+        #: Per-tier accounting: completed-request latencies and bytes,
+        #: keyed by tier name. Pure bookkeeping — never adds events.
+        self.tier_latencies: Dict[str, List[float]] = defaultdict(list)
+        self.tier_bytes: Dict[str, int] = defaultdict(int)
         self._inflight_bytes = 0
         self._window_waiters: Deque[Event] = deque()
 
@@ -191,6 +198,9 @@ class DataPlane:
             tr.end(span)
         latency = self.env.now - started
         self.class_latencies[req.qos].append(latency)
+        tier = req.tier if req.tier is not None else self.tier
+        self.tier_latencies[tier].append(latency)
+        self.tier_bytes[tier] += req.total_bytes
         ctx = self.env.obs
         if ctx is not None:
             m = ctx.metrics
@@ -199,6 +209,12 @@ class DataPlane:
             m.histogram(f"io.{req.qos.value}.latency_s").observe(latency)
             if retries_used:
                 m.counter(f"io.{req.qos.value}.retries").add(retries_used)
+            if req.tier is not None:
+                # Explicitly tier-tagged envelopes get obs counters too;
+                # untagged traffic stays off the metrics registry so the
+                # pinned single-tier obs baselines are untouched.
+                m.counter(f"io.tier.{tier}.requests").add(1)
+                m.counter(f"io.tier.{tier}.bytes", unit="B").add(req.total_bytes)
         return IOCompletion(
             status="ok",
             qos=req.qos,

@@ -1,0 +1,242 @@
+"""Checkpoint placement policies over heterogeneous storage tiers.
+
+§III-F's rule — "every so often, one checkpoint is put on a slower but
+more reliable parallel filesystem" — is a *policy*, not a mechanism.
+This module makes it pluggable:
+
+* :class:`FixedIntervalPolicy` is the paper's every-k-th rule, kept
+  bit-identical to the historical ``MultiLevelCheckpointer.level_for``
+  (the pinned tab2 baselines run through it unchanged);
+* :class:`CostModelPolicy` picks, per checkpoint, the tier minimising
+  expected cost: the tier's write time plus the expected rework if a
+  tier-loss strike lands before the next durable checkpoint — a
+  function of each tier's write bandwidth, residual failure
+  probability, and restore cost (the placement question JASS poses for
+  byte-addressable NVM).
+
+A :class:`TierTarget` is one placement destination: a client exposing
+``write_file``/``read_file`` plus the stats the cost model needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import InvalidArgument
+
+__all__ = [
+    "CostModelPolicy",
+    "FixedIntervalPolicy",
+    "PlacementPolicy",
+    "TierTarget",
+]
+
+
+class TierTarget:
+    """One checkpoint destination in a tier hierarchy.
+
+    ``residual_failure_prob`` is the probability that a tier-loss
+    strike takes this tier's data with it (0.0 = durable: the PFS).
+    ``restore_cost_s`` is a fixed per-restore overhead on top of the
+    read-back transfer (remount, reconnect, namespace scan).
+    """
+
+    __slots__ = (
+        "name",
+        "client",
+        "level",
+        "write_bandwidth",
+        "read_bandwidth",
+        "write_latency",
+        "residual_failure_prob",
+        "restore_cost_s",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        client: Any,
+        write_bandwidth: float,
+        read_bandwidth: float,
+        write_latency: float = 0.0,
+        residual_failure_prob: float = 0.0,
+        restore_cost_s: float = 0.0,
+        level: int = 0,
+    ):
+        if write_bandwidth <= 0 or read_bandwidth <= 0:
+            raise InvalidArgument(f"tier {name}: bandwidths must be positive")
+        if not 0.0 <= residual_failure_prob <= 1.0:
+            raise InvalidArgument(
+                f"tier {name}: residual_failure_prob must be in [0, 1]"
+            )
+        self.name = name
+        self.client = client
+        self.level = level
+        self.write_bandwidth = write_bandwidth
+        self.read_bandwidth = read_bandwidth
+        self.write_latency = write_latency
+        self.residual_failure_prob = residual_failure_prob
+        self.restore_cost_s = restore_cost_s
+
+    @property
+    def durable(self) -> bool:
+        return self.residual_failure_prob == 0.0
+
+    def write_time(self, nbytes: int) -> float:
+        return self.write_latency + nbytes / self.write_bandwidth
+
+    def read_time(self, nbytes: int) -> float:
+        return self.restore_cost_s + nbytes / self.read_bandwidth
+
+    def __repr__(self) -> str:
+        return (
+            f"TierTarget({self.name!r}, level={self.level}, "
+            f"residual={self.residual_failure_prob:g})"
+        )
+
+
+class PlacementPolicy:
+    """Chooses the 1-based checkpoint level for each step.
+
+    ``place`` is the write-path hook (stateful policies update their
+    bookkeeping there, exactly once per checkpoint); ``preview`` must
+    be side-effect-free — it backs the public
+    ``MultiLevelCheckpointer.level_for``.
+    """
+
+    __slots__ = ()
+
+    def place(self, step: int, nbytes: int, now: float) -> int:
+        raise NotImplementedError
+
+    def preview(self, step: int) -> int:
+        raise NotImplementedError
+
+
+class FixedIntervalPolicy(PlacementPolicy):
+    """The paper's every-k-th rule (§III-F / Table II), bit-identical.
+
+    Steps count from 0; every ``interval``-th checkpoint goes to the
+    durable level, all others to the fast level.
+    """
+
+    __slots__ = ("interval", "fast_level", "durable_level")
+
+    def __init__(self, interval: int, fast_level: int = 1, durable_level: int = 2):
+        if interval < 1:
+            raise InvalidArgument(
+                f"pfs_interval must be >= 1, got {interval}"
+            )
+        self.interval = interval
+        self.fast_level = fast_level
+        self.durable_level = durable_level
+
+    def place(self, step: int, nbytes: int, now: float) -> int:
+        return self.preview(step)
+
+    def preview(self, step: int) -> int:
+        return (
+            self.durable_level
+            if (step + 1) % self.interval == 0
+            else self.fast_level
+        )
+
+
+class CostModelPolicy(PlacementPolicy):
+    """Expected-cost placement over a tier list (fastest first).
+
+    For each checkpoint, every tier ``t`` is scored as::
+
+        cost(t) = write_time(t)
+                + exposure / strike_mtbf
+                  * residual_failure_prob(t)
+                  * (work_at_risk + restore_time(t))
+
+    where ``work_at_risk`` is the wall time since the last checkpoint
+    that would survive a strike killing tier ``t``, and ``exposure`` is
+    that window extended by one more checkpoint interval (the soonest a
+    better checkpoint could exist). Durable tiers have zero risk term,
+    so as unprotected work accumulates the policy pushes checkpoints
+    down-hierarchy — reproducing an adaptive Young/Daly-style durable
+    interval without hard-coding k.
+    """
+
+    __slots__ = ("targets", "strike_mtbf", "_last_now", "_last_at")
+
+    def __init__(self, targets: Sequence[TierTarget], strike_mtbf: float):
+        if not targets:
+            raise InvalidArgument("CostModelPolicy needs at least one tier")
+        if strike_mtbf <= 0:
+            raise InvalidArgument(
+                f"strike_mtbf must be positive, got {strike_mtbf}"
+            )
+        if not any(t.durable for t in targets):
+            raise InvalidArgument(
+                "CostModelPolicy needs a durable tier (residual prob 0)"
+            )
+        self.targets = list(targets)
+        self.strike_mtbf = strike_mtbf
+        self._last_now: Optional[float] = None
+        #: Last checkpoint wall time per level (1-based index 0 unused).
+        self._last_at: List[Optional[float]] = [None] * (len(self.targets) + 1)
+
+    # -- scoring --------------------------------------------------------------
+
+    def _since_surviving(self, level: int, now: float) -> float:
+        """Wall time since the newest checkpoint that survives losing
+        ``level`` and every less-reliable tier above it."""
+        threshold = self.targets[level - 1].residual_failure_prob
+        newest: Optional[float] = None
+        for lv, at in enumerate(self._last_at[1:], start=1):
+            if at is None:
+                continue
+            if self.targets[lv - 1].residual_failure_prob < threshold:
+                if newest is None or at > newest:
+                    newest = at
+        if newest is None:
+            return now
+        return max(0.0, now - newest)
+
+    def _score(self, level: int, nbytes: int, now: float, interval: float) -> float:
+        target = self.targets[level - 1]
+        write = target.write_time(nbytes)
+        if target.durable:
+            return write
+        at_risk = self._since_surviving(level, now)
+        exposure = at_risk + interval + write
+        p_strike = min(1.0, exposure / self.strike_mtbf)
+        rework = at_risk + interval + target.read_time(nbytes)
+        return write + p_strike * target.residual_failure_prob * rework
+
+    def _choose(self, nbytes: int, now: float) -> int:
+        interval = (
+            now - self._last_now if self._last_now is not None else 0.0
+        )
+        best_level = 1
+        best_cost = float("inf")
+        for level in range(1, len(self.targets) + 1):
+            cost = self._score(level, nbytes, now, interval)
+            if cost < best_cost:
+                best_cost = cost
+                best_level = level
+        return best_level
+
+    # -- PlacementPolicy ------------------------------------------------------
+
+    def place(self, step: int, nbytes: int, now: float) -> int:
+        level = self._choose(nbytes, now)
+        self._last_at[level] = now
+        self._last_now = now
+        return level
+
+    def preview(self, step: int) -> int:
+        # Side-effect-free estimate with the current bookkeeping; uses
+        # a nominal checkpoint size of the last interval's exposure.
+        now = self._last_now if self._last_now is not None else 0.0
+        return self._choose(0, now)
+
+    def note_loss(self, levels: Sequence[int]) -> None:
+        """Fault hook: checkpoints on ``levels`` were wiped."""
+        for level in levels:
+            if 1 <= level < len(self._last_at):
+                self._last_at[level] = None

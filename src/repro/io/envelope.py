@@ -126,6 +126,7 @@ class IORequest:
         "retry_budget",
         "retry_backoff",
         "batchable",
+        "tier",
         "span_name",
         "span_attrs",
         "counters",
@@ -147,6 +148,7 @@ class IORequest:
         retry_budget: int = 0,
         retry_backoff: float = 50e-6,
         batchable: bool = False,
+        tier: Optional[str] = None,
         span_name: str = "dataplane.io",
         span_attrs: Optional[Dict[str, Any]] = None,
         counters: Optional[List[Tuple[str, float]]] = None,
@@ -179,6 +181,11 @@ class IORequest:
         self.retry_backoff = retry_backoff
         #: Eligible for doorbell batching when the config enables it.
         self.batchable = batchable
+        #: Target storage tier (a :class:`repro.tiers.base.TierKind`
+        #: value string); ``None`` means the submitting data plane's
+        #: default tier. Accounting identity only — routing stays with
+        #: the transport the plane was built over.
+        self.tier = tier
         self.span_name = span_name
         self.span_attrs: Dict[str, Any] = {} if span_attrs is None else span_attrs
         #: (name, delta) counter bumps applied on success.

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 import numpy as np
 
+from repro.bench import calibration as cal
 from repro.errors import DeviceError, DevicePoweredOff, InvalidCommand, OutOfSpace
 from repro.nvme.commands import Command, CommandResult, Opcode, Payload
 from repro.nvme.extents import Extent
@@ -46,7 +47,7 @@ from repro.obs.context import tracer_of
 from repro.obs.metrics import Counter
 from repro.sim.engine import Environment, Event
 from repro.sim.fairshare import FairShareServer
-from repro.units import GB_per_s, GiB, us
+from repro.tiers.base import DeviceModel, TierKind
 
 if TYPE_CHECKING:
     from repro.io.qos import QoSClass
@@ -69,13 +70,13 @@ class SSDSpec:
     #: instance's throughput is capped at command_size/access_latency —
     #: the mechanism that makes tiny hugeblocks slow at low concurrency
     #: (Figure 7(d)) and large hugeblocks necessary to saturate.
-    access_latency: float = 10e-6
+    access_latency: float = cal.SSD_DEFAULT_ACCESS_LATENCY
     lba_size: int = 4096
     max_hw_queues: int = 32
     max_namespaces: int = 128
     ram_buffer_bytes: int = 0
     ram_write_bandwidth: float = 0.0
-    arbitration_beta: float = 0.25
+    arbitration_beta: float = cal.SSD_ARBITRATION_BETA
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
@@ -89,22 +90,18 @@ class SSDSpec:
 def intel_p4800x() -> SSDSpec:
     """Intel Optane P4800X (the paper's device, §IV-A).
 
-    Datasheet: ~2.2 GB/s sequential write, ~2.4 GB/s read, 375 GB.
-    3D-XPoint writes in place — no DRAM write buffer. ``per_command_cost``
-    of 2.0 us reproduces the ~500 K IOPS small-write ceiling
-    (4 KiB / 2.0 us ~= 2.05 GB/s, i.e. 4 KiB commands run ~7 % below
-    the 2.2 GB/s sequential ceiling, the datasheet picture and the
-    device-side half of the Figure 7(a) small-block penalty).
+    Numbers (and their provenance) live in ``repro.bench.calibration``'s
+    ``P4800X_*`` block — this factory only carries them into a spec.
     """
     return SSDSpec(
         model="Intel Optane P4800X",
-        capacity_bytes=375 * 10**9,
-        write_bandwidth=GB_per_s(2.2),
-        read_bandwidth=GB_per_s(2.4),
-        per_command_cost=us(2.0),
-        flush_cost=us(5.0),
-        access_latency=us(10.0),  # 3D-XPoint: ~10 us read/write latency
-        max_hw_queues=32,
+        capacity_bytes=cal.P4800X_CAPACITY_BYTES,
+        write_bandwidth=cal.P4800X_WRITE_BANDWIDTH,
+        read_bandwidth=cal.P4800X_READ_BANDWIDTH,
+        per_command_cost=cal.P4800X_PER_COMMAND_COST,
+        flush_cost=cal.P4800X_FLUSH_COST,
+        access_latency=cal.P4800X_ACCESS_LATENCY,
+        max_hw_queues=cal.P4800X_MAX_HW_QUEUES,
     )
 
 
@@ -113,22 +110,31 @@ def generic_nand_ssd() -> SSDSpec:
 
     Used by tests exercising the RAM-buffer burst/drain and power-loss
     capacitance paths that the Optane spec (no RAM) never reaches.
+    Numbers live in ``repro.bench.calibration``'s ``NAND_SSD_*`` block.
     """
     return SSDSpec(
         model="Generic NAND DC SSD",
-        capacity_bytes=2 * 10**12,
-        write_bandwidth=GB_per_s(1.4),
-        read_bandwidth=GB_per_s(3.0),
-        per_command_cost=us(4.0),
-        flush_cost=us(10.0),
-        access_latency=us(25.0),  # NAND program into the DRAM buffer path
-        ram_buffer_bytes=GiB(1),
-        ram_write_bandwidth=GB_per_s(3.2),
+        capacity_bytes=cal.NAND_SSD_CAPACITY_BYTES,
+        write_bandwidth=cal.NAND_SSD_WRITE_BANDWIDTH,
+        read_bandwidth=cal.NAND_SSD_READ_BANDWIDTH,
+        per_command_cost=cal.NAND_SSD_PER_COMMAND_COST,
+        flush_cost=cal.NAND_SSD_FLUSH_COST,
+        access_latency=cal.NAND_SSD_ACCESS_LATENCY,
+        ram_buffer_bytes=cal.NAND_SSD_RAM_BUFFER_BYTES,
+        ram_write_bandwidth=cal.NAND_SSD_RAM_WRITE_BANDWIDTH,
     )
 
 
-class SSD:
-    """A live simulated SSD attached to a simulation environment."""
+class SSD(DeviceModel):
+    """A live simulated SSD attached to a simulation environment.
+
+    Implements the tier-neutral :class:`~repro.tiers.base.DeviceModel`
+    surface so the balancer and tier clients can treat the NVMe fleet
+    as one tier among several; the namespace/command paths below remain
+    the byte-accurate primary interface.
+    """
+
+    kind = TierKind.NVME_SSD
 
     def __init__(
         self,
@@ -322,29 +328,8 @@ class SSD:
         if self.arbiter is not None:
             yield from self.arbiter.admit(qos)
         try:
-            jitter = self._arbitration_jitter(command_size, self._write_server)
-            bucket_delay = self._take_tokens(payload.nbytes)
-            delay = jitter + bucket_delay
-            if delay > 0:
-                wait = None if tr is None else tr.begin(
-                    "nvme.wait", cat="device", track=self.name, parent=span,
-                    jitter_s=jitter, ram_bucket_s=bucket_delay)
-                yield self.env.timeout(delay)
-                if wait is not None:
-                    tr.end(wait)
-            self._check_power(epoch)
-            cap = self._qd1_cap(command_size, rate_cap)
-            media_ev = self._write_server.transfer(payload.nbytes, cap=cap)
-            cmd_ev = self._cmd_server.transfer(n_cmds)
-            if tr is not None:
-                media = tr.begin("nvme.media", cat="device", track=self.name,
-                                 parent=span, bytes=payload.nbytes)
-                cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
-                                   parent=span, cmds=n_cmds)
-                media_ev.callbacks.append(lambda _ev: tr.end(media))
-                cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
-            yield self.env.all_of([media_ev, cmd_ev])
-            self._check_power(epoch)
+            yield from self._service_write(
+                payload.nbytes, n_cmds, command_size, rate_cap, epoch, tr, span)
         finally:
             if self.arbiter is not None:
                 self.arbiter.release()
@@ -402,27 +387,8 @@ class SSD:
         if self.arbiter is not None:
             yield from self.arbiter.admit(qos)
         try:
-            jitter = self._arbitration_jitter(command_size, self._read_server)
-            if jitter > 0:
-                wait = None if tr is None else tr.begin(
-                    "nvme.wait", cat="device", track=self.name, parent=span,
-                    jitter_s=jitter)
-                yield self.env.timeout(jitter)
-                if wait is not None:
-                    tr.end(wait)
-            self._check_power(epoch)
-            cap = self._qd1_cap(command_size, rate_cap)
-            media_ev = self._read_server.transfer(nbytes, cap=cap)
-            cmd_ev = self._cmd_server.transfer(n_cmds)
-            if tr is not None:
-                media = tr.begin("nvme.media", cat="device", track=self.name,
-                                 parent=span, bytes=nbytes)
-                cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
-                                   parent=span, cmds=n_cmds)
-                media_ev.callbacks.append(lambda _ev: tr.end(media))
-                cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
-            yield self.env.all_of([media_ev, cmd_ev])
-            self._check_power(epoch)
+            yield from self._service_read(
+                nbytes, n_cmds, command_size, rate_cap, epoch, tr, span)
         finally:
             if self.arbiter is not None:
                 self.arbiter.release()
@@ -493,6 +459,108 @@ class SSD:
         raise InvalidCommand(f"unsupported opcode {command.opcode}")
 
     # -- service-model pieces ------------------------------------------------------
+
+    def _service_write(
+        self, nbytes: int, n_cmds: int, command_size: int,
+        rate_cap: Optional[float], epoch: int, tr=None, span=None,
+    ) -> Generator[Event, Any, None]:
+        """The write service-time core: arbitration jitter + RAM token
+        bucket, then the fair-share media and command-rate servers.
+
+        Extracted as the tier-neutral seam: the namespace write path and
+        the :class:`DeviceModel` tier path both run exactly this.
+        """
+        jitter = self._arbitration_jitter(command_size, self._write_server)
+        bucket_delay = self._take_tokens(nbytes)
+        delay = jitter + bucket_delay
+        if delay > 0:
+            wait = None if tr is None else tr.begin(
+                "nvme.wait", cat="device", track=self.name, parent=span,
+                jitter_s=jitter, ram_bucket_s=bucket_delay)
+            yield self.env.timeout(delay)
+            if wait is not None:
+                tr.end(wait)
+        self._check_power(epoch)
+        cap = self._qd1_cap(command_size, rate_cap)
+        media_ev = self._write_server.transfer(nbytes, cap=cap)
+        cmd_ev = self._cmd_server.transfer(n_cmds)
+        if tr is not None:
+            media = tr.begin("nvme.media", cat="device", track=self.name,
+                             parent=span, bytes=nbytes)
+            cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
+                               parent=span, cmds=n_cmds)
+            media_ev.callbacks.append(lambda _ev: tr.end(media))
+            cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
+        yield self.env.all_of([media_ev, cmd_ev])
+        self._check_power(epoch)
+
+    def _service_read(
+        self, nbytes: int, n_cmds: int, command_size: int,
+        rate_cap: Optional[float], epoch: int, tr=None, span=None,
+    ) -> Generator[Event, Any, None]:
+        """The read service-time core (no RAM bucket on the read path)."""
+        jitter = self._arbitration_jitter(command_size, self._read_server)
+        if jitter > 0:
+            wait = None if tr is None else tr.begin(
+                "nvme.wait", cat="device", track=self.name, parent=span,
+                jitter_s=jitter)
+            yield self.env.timeout(jitter)
+            if wait is not None:
+                tr.end(wait)
+        self._check_power(epoch)
+        cap = self._qd1_cap(command_size, rate_cap)
+        media_ev = self._read_server.transfer(nbytes, cap=cap)
+        cmd_ev = self._cmd_server.transfer(n_cmds)
+        if tr is not None:
+            media = tr.begin("nvme.media", cat="device", track=self.name,
+                             parent=span, bytes=nbytes)
+            cmdrate = tr.begin("nvme.cmdrate", cat="device", track=self.name,
+                               parent=span, cmds=n_cmds)
+            media_ev.callbacks.append(lambda _ev: tr.end(media))
+            cmd_ev.callbacks.append(lambda _ev: tr.end(cmdrate))
+        yield self.env.all_of([media_ev, cmd_ev])
+        self._check_power(epoch)
+
+    # -- DeviceModel tier surface --------------------------------------------------
+
+    def capacity_bytes(self) -> int:
+        return self.spec.capacity_bytes
+
+    def write_bandwidth(self) -> float:
+        return self.spec.write_bandwidth
+
+    def read_bandwidth(self) -> float:
+        return self.spec.read_bandwidth
+
+    def tier_write(self, offset: int, nbytes: int, qos: Optional[Any] = None) -> Event:
+        """Tier-seam bulk write: the full service-time core at the
+        default hugeblock command size, without extent bookkeeping."""
+        return self.env.process(self._tier_write(nbytes))
+
+    def _tier_write(self, nbytes: int) -> Generator[Event, Any, int]:
+        command_size = cal.DEFAULT_HUGEBLOCK
+        n_cmds = max(1, math.ceil(max(nbytes, 1) / command_size))
+        yield from self._service_write(
+            nbytes, n_cmds, command_size, None, self._power_epoch)
+        self.counters.add("tier_bytes_written", nbytes)
+        return nbytes
+
+    def tier_read(self, offset: int, nbytes: int, qos: Optional[Any] = None) -> Event:
+        return self.env.process(self._tier_read(nbytes))
+
+    def _tier_read(self, nbytes: int) -> Generator[Event, Any, int]:
+        command_size = cal.DEFAULT_HUGEBLOCK
+        n_cmds = max(1, math.ceil(max(nbytes, 1) / command_size))
+        yield from self._service_read(
+            nbytes, n_cmds, command_size, None, self._power_epoch)
+        self.counters.add("tier_bytes_read", nbytes)
+        return nbytes
+
+    def tier_sync(self) -> Event:
+        return self.env.process(self._tier_sync())
+
+    def _tier_sync(self) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.spec.flush_cost)
 
     def _arbitration_jitter(self, command_size: int, server: FairShareServer) -> float:
         """Admission wait behind whole commands from other active queues."""

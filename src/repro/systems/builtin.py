@@ -128,6 +128,70 @@ def _build_nvmecr_raft(
     )
 
 
+@register(
+    "nvmecr-tiered", title="NVMe-CR (tiered)", short="nvmecr-t", kind="runtime",
+    description="NVMe-CR plus calibrated NVM/CXL fast tiers and cost-model placement",
+)
+def _build_nvmecr_tiered(
+    *,
+    nprocs: int,
+    seed: int = 0,
+    devices: Optional[int] = None,
+    bytes_per_device: int = GiB(2),
+    config: Optional[RuntimeConfig] = None,
+    global_namespace: Any = None,
+    job_name: str = "job",
+    deployment: Any = None,
+    fast_tier: str = "nvm",
+) -> SystemHandle:
+    """The nvmecr runtime with extra byte-addressable fast tiers.
+
+    A calibrated NVM module (and a CXL-SSD when ``fast_tier="cxl"``)
+    joins the job's storage inventory through the balancer; the run
+    config requests cost-model checkpoint placement.  The NVMe data
+    plane is byte-for-byte the nvmecr builder's — the tier devices only
+    add capacity above it.  ``extras`` carries the devices and the
+    :class:`~repro.tiers.client.TierSet` inventory.
+    """
+    from repro.apps.deployment import Deployment
+    from repro.tiers import CXLSSDDevice, NVMDevice, TierSet
+
+    if fast_tier not in ("nvm", "cxl"):
+        raise ValueError(f"fast_tier must be 'nvm' or 'cxl', got {fast_tier!r}")
+
+    dep = deployment if deployment is not None else Deployment(seed=seed)
+    tiers = TierSet("job-tiers")
+    fast: Any
+    if fast_tier == "nvm":
+        fast = NVMDevice(dep.env, name="nvm0")
+    else:
+        fast = CXLSSDDevice(dep.env, name="cxl0")
+    tiers.add(fast)
+    dep.balancer.attach_tier_device(fast)
+    job, plan = dep.submit(
+        job_name, nprocs=nprocs, devices=devices or 8,
+        bytes_per_device=bytes_per_device,
+    )
+    run_config = (config or RuntimeConfig()).with_(
+        checkpoint_placement="cost-model"
+    )
+
+    def run_ranks(rank_main: Callable) -> List[Any]:
+        mpi_job = dep.run_job(
+            job, plan, rank_main, config=run_config,
+            global_namespace=global_namespace,
+        )
+        return mpi_job.results()
+
+    return SystemHandle(
+        env=dep.env, deployment=dep, _run_ranks=run_ranks,
+        extras={
+            "job": job, "plan": plan, "config": run_config,
+            "tiers": tiers, "fast_device": fast,
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Standalone MicroFS fleets (single node, figures 7(a)/7(c)/8(a))
 # ---------------------------------------------------------------------------

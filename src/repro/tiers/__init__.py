@@ -1,0 +1,25 @@
+"""Pluggable calibrated storage tiers behind one device-model seam.
+
+Every persistence target the runtime can place a checkpoint on — the
+NVMe SSD fleet, byte-addressable NVM, a CXL-SSD, the PFS — implements
+the :class:`~repro.tiers.base.DeviceModel` surface, so the balancer,
+the data plane, and the placement policies reason about heterogeneous
+tiers uniformly. Calibration constants live in
+:mod:`repro.bench.calibration`; nothing in this package hard-codes a
+performance number.
+"""
+
+from repro.tiers.base import DeviceModel, TierKind
+from repro.tiers.client import PosixTierAdapter, TierClient, TierSet
+from repro.tiers.cxl import CXLSSDDevice
+from repro.tiers.nvm import NVMDevice
+
+__all__ = [
+    "CXLSSDDevice",
+    "DeviceModel",
+    "NVMDevice",
+    "PosixTierAdapter",
+    "TierClient",
+    "TierKind",
+    "TierSet",
+]

@@ -1,0 +1,159 @@
+"""Tier clients: the ``write_file``/``read_file`` checkpoint surface.
+
+:class:`~repro.core.multilevel.MultiLevelCheckpointer` drives every
+tier beyond the intercepted-POSIX level through the same two-method
+surface :class:`repro.baselines.lustre.LustreCluster` established.
+This module provides that surface over any :class:`DeviceModel`
+(:class:`TierClient`), over an intercepted-POSIX shim
+(:class:`PosixTierAdapter`), and a :class:`TierSet` describing a whole
+tier hierarchy for the systems registry and the balancer inventory.
+
+This module is on DetLint's hot-module list: every class declares
+``__slots__``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import FileNotFound, OutOfSpace
+from repro.sim.engine import Event
+from repro.tiers.base import DeviceModel
+
+__all__ = ["PosixTierAdapter", "TierClient", "TierSet"]
+
+
+class TierClient:
+    """File-shaped checkpoint I/O over one tier device.
+
+    A bump allocator maps paths onto device regions (checkpoint files
+    are written whole and re-read whole; there is no partial rewrite),
+    so the device's cache/locality model sees stable addresses.
+    """
+
+    __slots__ = ("device", "name", "files", "_cursor")
+
+    def __init__(self, device: DeviceModel, name: str = "tier"):
+        self.device = device
+        self.name = name
+        self.files: Dict[str, Tuple[int, int]] = {}
+        self._cursor = 0
+
+    @property
+    def env(self):
+        return self.device.env
+
+    def _alloc(self, path: str, nbytes: int) -> int:
+        existing = self.files.get(path)
+        if existing is not None and existing[1] >= nbytes:
+            return existing[0]
+        if self._cursor + nbytes > self.device.capacity_bytes():
+            raise OutOfSpace(
+                f"{self.name}: {nbytes} bytes of checkpoint exceed tier capacity"
+            )
+        offset = self._cursor
+        self._cursor += nbytes
+        return offset
+
+    def write_file(self, path: str, nbytes: int) -> Generator[Event, Any, None]:
+        offset = self._alloc(path, nbytes)
+        yield self.device.tier_write(offset, nbytes)
+        self.files[path] = (offset, nbytes)
+
+    def read_file(self, path: str) -> Generator[Event, Any, int]:
+        entry = self.files.get(path)
+        if entry is None:
+            raise FileNotFound(path)
+        offset, nbytes = entry
+        yield self.device.tier_read(offset, nbytes)
+        return nbytes
+
+    def lose_data(self) -> None:
+        """Fault hook: the tier's contents are gone (node/domain loss)."""
+        self.files.clear()
+
+
+class PosixTierAdapter:
+    """``write_file``/``read_file`` over an intercepted-POSIX shim.
+
+    Lets the NVMe-CR runtime path (a :class:`PosixShim` over the NVMf
+    partner domain) sit in a tier list next to device-backed clients.
+    """
+
+    __slots__ = ("shim", "files", "_dir_made", "directory")
+
+    def __init__(self, shim: Any, directory: str = "/ckpt"):
+        self.shim = shim
+        self.directory = directory
+        self.files: Dict[str, int] = {}
+        self._dir_made = False
+
+    @property
+    def env(self):
+        runtime = getattr(self.shim, "runtime", None)
+        if runtime is not None:
+            return runtime.env
+        return self.shim.env
+
+    def write_file(self, path: str, nbytes: int) -> Generator[Event, Any, None]:
+        if not self._dir_made:
+            from repro.errors import FileExists
+
+            try:
+                yield from self.shim.mkdir(self.directory)
+            except FileExists:
+                pass
+            self._dir_made = True
+        fd = yield from self.shim.open(path, "w")
+        yield from self.shim.write(fd, nbytes)
+        yield from self.shim.fsync(fd)
+        yield from self.shim.close(fd)
+        self.files[path] = nbytes
+
+    def read_file(self, path: str) -> Generator[Event, Any, int]:
+        nbytes = self.files.get(path)
+        if nbytes is None:
+            raise FileNotFound(path)
+        fd = yield from self.shim.open(path, "r")
+        yield from self.shim.read(fd, nbytes)
+        yield from self.shim.close(fd)
+        return nbytes
+
+    def lose_data(self) -> None:
+        self.files.clear()
+
+
+class TierSet:
+    """An ordered tier hierarchy (fastest first) for one system.
+
+    Carried in a system handle's ``extras["tiers"]`` — experiments
+    append per-rank tiers (the runtime shim, the PFS) and hand the
+    result to the checkpointer; the balancer sums :meth:`inventory`.
+    """
+
+    __slots__ = ("name", "devices")
+
+    def __init__(self, name: str, devices: Optional[List[DeviceModel]] = None):
+        self.name = name
+        self.devices: List[DeviceModel] = list(devices or [])
+
+    def add(self, device: DeviceModel) -> None:
+        self.devices.append(device)
+
+    def inventory(self) -> Dict[str, Dict[str, float]]:
+        """Per-tier capacity and bandwidth totals."""
+        out: Dict[str, Dict[str, float]] = {}
+        for dev in self.devices:
+            row = out.setdefault(dev.tier_name, {
+                "devices": 0,
+                "capacity_bytes": 0,
+                "free_bytes": 0,
+                "write_bandwidth": 0.0,
+                "read_bandwidth": 0.0,
+            })
+            row["devices"] += 1
+            row["capacity_bytes"] += dev.capacity_bytes()
+            row["free_bytes"] += dev.free_bytes()
+            row["write_bandwidth"] += dev.write_bandwidth()
+            row["read_bandwidth"] += dev.read_bandwidth()
+        return out

@@ -1,0 +1,207 @@
+"""CXL-SSD tier (OpenCXD-style, arXiv:2508.11477).
+
+A flash device exposed through a CXL.mem load/store window with a
+device-side DRAM cache in front of the NAND backend:
+
+* every window access pays one CXL link round trip and streams over
+  the link into (or out of) the device cache;
+* reads are split per 4 KiB cache line into **hits** (served from
+  device DRAM at link speed) and **misses** (a flash-page fill penalty
+  plus the flash read stream) by a deterministic LRU over the cache;
+* writes land in the cache at link speed and drain to flash through a
+  token bucket refilled at the flash program rate — the same
+  burst/drain shape as a capacitor-backed NVMe SSD's RAM buffer.
+
+All constants come from :mod:`repro.bench.calibration` (``CXL_*``).
+This module is on DetLint's hot-module list: every class declares
+``__slots__``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Generator, Optional
+
+from repro.bench import calibration as cal
+from repro.errors import OutOfSpace
+from repro.obs.metrics import Counter
+from repro.sim.engine import Environment, Event
+from repro.sim.fairshare import FairShareServer
+from repro.tiers.base import DeviceModel, TierKind
+
+__all__ = ["CXLSSDDevice"]
+
+
+class CXLSSDDevice(DeviceModel):
+    """One CXL-attached flash device behind the tier seam."""
+
+    __slots__ = (
+        "env",
+        "name",
+        "_capacity",
+        "_reserved",
+        "_link_server",
+        "_flash_read_server",
+        "_cache",
+        "_cache_lines",
+        "_tokens",
+        "_tokens_at",
+        "counters",
+    )
+
+    kind = TierKind.CXL_SSD
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "cxl0",
+        capacity_bytes: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+    ):
+        self.env = env
+        self.name = name
+        self._capacity = (
+            cal.CXL_CAPACITY_BYTES if capacity_bytes is None else capacity_bytes
+        )
+        self._reserved = 0
+        self._link_server = FairShareServer(
+            env, capacity=cal.CXL_LINK_BANDWIDTH, name=f"{name}.link"
+        )
+        self._flash_read_server = FairShareServer(
+            env, capacity=cal.CXL_FLASH_READ_BANDWIDTH, name=f"{name}.flash"
+        )
+        #: LRU of resident cache-line indices (insertion order = age).
+        self._cache: "OrderedDict[int, None]" = OrderedDict()
+        cache = cal.CXL_CACHE_BYTES if cache_bytes is None else cache_bytes
+        self._cache_lines = max(1, cache // cal.CXL_CACHE_LINE_BYTES)
+        # Write-back token bucket: burst at link speed until the cache's
+        # dirty budget is spent, then drain at flash program rate.
+        self._tokens = float(cache)
+        self._tokens_at = env.now
+        self.counters = Counter()
+
+    # -- inventory ------------------------------------------------------------
+
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def free_bytes(self) -> int:
+        return self._capacity - self._reserved
+
+    def write_bandwidth(self) -> float:
+        return cal.CXL_FLASH_WRITE_BANDWIDTH
+
+    def read_bandwidth(self) -> float:
+        return cal.CXL_FLASH_READ_BANDWIDTH
+
+    def reserve(self, nbytes: int) -> None:
+        if nbytes > self.free_bytes():
+            raise OutOfSpace(
+                f"{self.name}: need {nbytes} bytes, only {self.free_bytes()} free"
+            )
+        self._reserved += nbytes
+
+    def release(self, nbytes: int) -> None:
+        self._reserved = max(0, self._reserved - nbytes)
+
+    # -- device-side cache ----------------------------------------------------
+
+    def _lines_of(self, offset: int, nbytes: int) -> range:
+        line = cal.CXL_CACHE_LINE_BYTES
+        if nbytes <= 0:
+            return range(0)
+        return range(offset // line, (offset + nbytes - 1) // line + 1)
+
+    def _touch(self, offset: int, nbytes: int) -> int:
+        """Install the range's lines (LRU evict); returns miss count."""
+        misses = 0
+        for idx in self._lines_of(offset, nbytes):
+            if idx in self._cache:
+                self._cache.move_to_end(idx)
+            else:
+                misses += 1
+                self._cache[idx] = None
+                if len(self._cache) > self._cache_lines:
+                    self._cache.popitem(last=False)
+        return misses
+
+    def cache_residency(self, offset: int, nbytes: int) -> float:
+        """Fraction of the range's lines resident (observability)."""
+        lines = self._lines_of(offset, nbytes)
+        if not len(lines):
+            return 1.0
+        hits = sum(1 for idx in lines if idx in self._cache)
+        return hits / len(lines)
+
+    # -- write-back token bucket ----------------------------------------------
+
+    def _take_tokens(self, nbytes: float) -> float:
+        now = self.env.now
+        budget = self._cache_lines * cal.CXL_CACHE_LINE_BYTES
+        refill = (now - self._tokens_at) * cal.CXL_FLASH_WRITE_BANDWIDTH
+        self._tokens = min(float(budget), self._tokens + refill)
+        self._tokens_at = now
+        if self._tokens >= nbytes:
+            self._tokens -= nbytes
+            return 0.0
+        deficit = nbytes - self._tokens
+        self._tokens = 0.0
+        return deficit / cal.CXL_FLASH_WRITE_BANDWIDTH
+
+    # -- timed transfers ------------------------------------------------------
+
+    def tier_write(
+        self, offset: int, nbytes: int, qos: Optional[object] = None
+    ) -> Event:
+        return self.env.process(self._store(offset, nbytes))
+
+    def _store(self, offset: int, nbytes: int) -> Generator[Event, Any, int]:
+        yield self.env.timeout(cal.CXL_LINK_LATENCY)
+        if nbytes > 0:
+            yield self._link_server.transfer(nbytes)
+        drain = self._take_tokens(nbytes)
+        if drain > 0:
+            yield self.env.timeout(drain)
+        self._touch(offset, nbytes)
+        self.counters.add("bytes_written", nbytes)
+        return nbytes
+
+    def tier_read(
+        self, offset: int, nbytes: int, qos: Optional[object] = None
+    ) -> Event:
+        return self.env.process(self._load(offset, nbytes))
+
+    def _load(self, offset: int, nbytes: int) -> Generator[Event, Any, int]:
+        yield self.env.timeout(cal.CXL_LINK_LATENCY)
+        lines = self._lines_of(offset, nbytes)
+        hit_lines = sum(1 for idx in lines if idx in self._cache)
+        miss_lines = len(lines) - hit_lines
+        misses_installed = self._touch(offset, nbytes)
+        line = cal.CXL_CACHE_LINE_BYTES
+        miss_bytes = min(nbytes, miss_lines * line)
+        hit_bytes = nbytes - miss_bytes
+        if miss_bytes > 0:
+            # One fill penalty opens the flash stream; sequential pages
+            # behind it are prefetched at flash read bandwidth.
+            yield self.env.timeout(cal.CXL_MISS_LATENCY)
+            yield self._flash_read_server.transfer(miss_bytes)
+        if hit_bytes > 0:
+            yield self._link_server.transfer(hit_bytes)
+        self.counters.add("bytes_read", nbytes)
+        self.counters.add("cache_hits", hit_lines)
+        self.counters.add("cache_misses", misses_installed)
+        return nbytes
+
+    def tier_sync(self) -> Event:
+        return self.env.process(self._drain())
+
+    def _drain(self) -> Generator[Event, Any, None]:
+        # Refill the bucket to "now", then wait for the dirty backlog
+        # (the spent budget) to finish draining at flash program rate.
+        self._take_tokens(0.0)
+        budget = self._cache_lines * cal.CXL_CACHE_LINE_BYTES
+        backlog = budget - self._tokens
+        drain = backlog / cal.CXL_FLASH_WRITE_BANDWIDTH
+        yield self.env.timeout(max(drain, cal.CXL_LINK_LATENCY))
+        self._tokens = float(budget)
+        self._tokens_at = self.env.now

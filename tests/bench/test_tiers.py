@@ -1,0 +1,51 @@
+"""Tests for the tiers experiment (placement policies under strikes)."""
+
+import pytest
+
+from repro.bench.tiers import _dead_levels, tiers
+
+
+def _rows(table):
+    return [dict(zip(table.columns, row)) for row in table.rows]
+
+
+def test_dead_levels_by_severity():
+    residuals = (0.67, 0.67, 0.33, 0.0)
+    assert _dead_levels(residuals, 0) == [1, 2]   # domain
+    assert _dead_levels(residuals, 1) == []       # node restart
+    assert _dead_levels(residuals, 2) == [1, 2, 3]  # cascade
+
+
+@pytest.mark.slow
+def test_cost_model_beats_fixed_k_under_strikes():
+    """The acceptance gate: in at least one fault regime the cost model
+    wins the lost-work-vs-overhead trade (lower score_s) against the
+    fixed-k rule on the same hierarchy under the same strikes."""
+    table = tiers(steps=12, mtbfs=(8.0, 60.0))
+    rows = _rows(table)
+    by = {(r["system"], r["policy"], r["mtbf_s"]): r for r in rows}
+    assert len(rows) == 6  # 3 variants x 2 regimes
+
+    wins = [
+        mtbf for mtbf in (8.0, 60.0)
+        if by[("nvmecr-tiered", "cost-model", mtbf)]["score_s"]
+        < by[("nvmecr-tiered", "fixed-k", mtbf)]["score_s"]
+    ]
+    assert wins, "cost model should win at least one fault regime"
+
+    # The harsh regime must actually strike, and the cost model reacts
+    # by checkpointing durably more often than the calm regime.
+    harsh = by[("nvmecr-tiered", "cost-model", 8.0)]
+    calm = by[("nvmecr-tiered", "cost-model", 60.0)]
+    assert harsh["faults"] > 0
+    assert harsh["durable_frac"] >= calm["durable_frac"]
+
+
+@pytest.mark.slow
+def test_fixed_k_rows_match_across_hierarchies():
+    """Both fixed-k rows follow the same k: identical durable fraction,
+    and the classic two-level system keeps its Table II behavior."""
+    table = tiers(steps=10, mtbfs=(60.0,), pfs_interval=5)
+    rows = _rows(table)
+    fixed = [r for r in rows if r["policy"] == "fixed-k"]
+    assert {r["durable_frac"] for r in fixed} == {0.2}

@@ -1,0 +1,116 @@
+"""Tests for checkpoint placement policies (fixed-k and cost-model)."""
+
+import pytest
+
+from repro.core.placement import (
+    CostModelPolicy,
+    FixedIntervalPolicy,
+    TierTarget,
+)
+from repro.errors import InvalidArgument
+from repro.units import GB_per_s, MiB
+
+
+def _targets(strike_mtbf_irrelevant=None):
+    fast = TierTarget(
+        "nvm", object(), write_bandwidth=GB_per_s(2.3),
+        read_bandwidth=GB_per_s(6.6), residual_failure_prob=0.67,
+    )
+    durable = TierTarget(
+        "pfs", object(), write_bandwidth=GB_per_s(0.5),
+        read_bandwidth=GB_per_s(0.5), restore_cost_s=0.5,
+    )
+    return [fast, durable]
+
+
+# -- TierTarget -------------------------------------------------------------
+
+
+def test_tier_target_validation():
+    with pytest.raises(InvalidArgument):
+        TierTarget("bad", object(), write_bandwidth=0, read_bandwidth=1.0)
+    with pytest.raises(InvalidArgument):
+        TierTarget("bad", object(), write_bandwidth=1.0, read_bandwidth=1.0,
+                   residual_failure_prob=1.5)
+
+
+def test_tier_target_times():
+    t = TierTarget("t", object(), write_bandwidth=1e9, read_bandwidth=2e9,
+                   write_latency=0.001, restore_cost_s=0.5)
+    assert t.write_time(MiB(512)) == pytest.approx(0.001 + MiB(512) / 1e9)
+    assert t.read_time(MiB(512)) == pytest.approx(0.5 + MiB(512) / 2e9)
+    assert t.durable
+
+
+# -- FixedIntervalPolicy ----------------------------------------------------
+
+
+def test_fixed_interval_matches_paper_rule():
+    policy = FixedIntervalPolicy(10)
+    levels = [policy.place(s, MiB(1), float(s)) for s in range(20)]
+    assert levels == [1] * 9 + [2] + [1] * 9 + [2]
+    # preview is the same pure formula
+    assert [policy.preview(s) for s in range(20)] == levels
+
+
+def test_fixed_interval_custom_levels():
+    policy = FixedIntervalPolicy(4, fast_level=1, durable_level=4)
+    assert [policy.preview(s) for s in range(8)] == [1, 1, 1, 4, 1, 1, 1, 4]
+    with pytest.raises(InvalidArgument):
+        FixedIntervalPolicy(0)
+
+
+# -- CostModelPolicy --------------------------------------------------------
+
+
+def test_cost_model_validation():
+    fast, durable = _targets()
+    with pytest.raises(InvalidArgument):
+        CostModelPolicy([], strike_mtbf=60.0)
+    with pytest.raises(InvalidArgument):
+        CostModelPolicy([fast, durable], strike_mtbf=0.0)
+    with pytest.raises(InvalidArgument):
+        CostModelPolicy([fast], strike_mtbf=60.0)  # no durable tier
+
+
+def test_cost_model_goes_durable_as_risk_accumulates():
+    """With no durable checkpoint yet and real strike risk, the first
+    placement is durable; right after it, the fast tier wins again."""
+    targets = _targets()
+    policy = CostModelPolicy(targets, strike_mtbf=30.0)
+    first = policy.place(0, MiB(64), now=10.0)
+    assert first == 2  # everything so far is at risk
+    second = policy.place(1, MiB(64), now=11.0)
+    assert second == 1  # protected by the fresh durable checkpoint
+
+
+def test_cost_model_durable_cadence_scales_with_mtbf():
+    """A harsher strike regime produces a denser durable cadence."""
+
+    def durable_count(mtbf):
+        policy = CostModelPolicy(_targets(), strike_mtbf=mtbf)
+        return sum(
+            1 for s in range(30)
+            if policy.place(s, MiB(64), now=float(s)) == 2
+        )
+
+    assert durable_count(5.0) > durable_count(50.0) >= durable_count(5000.0)
+
+
+def test_cost_model_note_loss_resets_protection():
+    """After losing the fast tier, the policy must not keep crediting
+    the wiped checkpoints as protection."""
+    policy = CostModelPolicy(_targets(), strike_mtbf=30.0)
+    policy.place(0, MiB(64), now=1.0)   # durable
+    policy.place(1, MiB(64), now=2.0)   # fast
+    before = policy._since_surviving(1, 3.0)
+    policy.note_loss([2])               # durable tier bookkeeping wiped
+    after = policy._since_surviving(1, 3.0)
+    assert after > before
+
+
+def test_cost_model_preview_is_side_effect_free():
+    policy = CostModelPolicy(_targets(), strike_mtbf=30.0)
+    state = (list(policy._last_at), policy._last_now)
+    policy.preview(0)
+    assert (list(policy._last_at), policy._last_now) == state

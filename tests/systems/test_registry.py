@@ -13,6 +13,7 @@ NBYTES = MiB(8)
 BUILD_ARGS = {
     "nvmecr": dict(devices=2, bytes_per_device=4 * NBYTES + MiB(128)),
     "nvmecr-raft": dict(devices=2, bytes_per_device=4 * NBYTES + MiB(128)),
+    "nvmecr-tiered": dict(devices=2, bytes_per_device=4 * NBYTES + MiB(128)),
     "microfs": dict(partition_bytes=4 * NBYTES + MiB(64)),
     "microfs-remote": dict(partition_bytes=4 * NBYTES + MiB(64)),
     "orangefs": dict(namespace_bytes=8 * NBYTES + MiB(64)),
