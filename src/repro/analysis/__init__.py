@@ -1,20 +1,28 @@
-"""repro.analysis — determinism lint + simulation sanitizer suite.
+"""repro.analysis — determinism lint + flow analysis + sanitizer suite.
 
-Two halves enforce the repro's correctness contracts:
+Three layers enforce the repro's correctness contracts:
 
-* :mod:`repro.analysis.detlint` — an AST-based linter (``repro lint``,
-  ``python -m repro.analysis``) whose DET001–DET007 rules forbid the
-  nondeterminism classes that would break bit-identical pinned-seed
-  replays (wall clocks, unseeded RNG, float == on sim timestamps,
-  order-sensitive set/dict iteration, unregistered coroutines, missing
-  ``__slots__`` on hot-path classes, bare ``except:``).
+* :mod:`repro.analysis.detlint` — an AST-based per-file linter
+  (``repro lint``, ``python -m repro.analysis``) whose DET001–DET008
+  rules forbid the nondeterminism classes that would break bit-identical
+  pinned-seed replays (wall clocks, unseeded RNG, float == on sim
+  timestamps, order-sensitive set/dict iteration, unregistered
+  coroutines, missing ``__slots__`` on hot-path classes, bare
+  ``except:``, process-identity fingerprints).
+
+* :mod:`repro.analysis.flow` — a whole-program analyzer (``repro
+  flow``, ``python -m repro.analysis.flow``) that builds a project call
+  graph and runs fixed-point interprocedural rules: FLOW101 transitive
+  impurity taint, FLOW102 coroutine yield-discipline, FLOW103 static
+  race-candidate discovery (exported to the runtime sanitizer).
 
 * :mod:`repro.analysis.sanitize` — runtime sanitizers behind
   ``repro run <exp> --sanitize``: a determinism sanitizer (run twice,
   diff per-layer event-stream hashes), a sim-time race detector
   (same-timestamp multi-actor mutations on objects without a declared
-  ``_san_tiebreak``), and a leak sanitizer (unreleased resources, queue
-  pairs, namespaces, and in-flight envelopes at run end).
+  ``_san_tiebreak``, with FLOW103 candidates annotated as predicted),
+  and a leak sanitizer (unreleased resources, queue pairs, namespaces,
+  and in-flight envelopes at run end).
 """
 
 from repro.analysis.detlint import (
@@ -25,6 +33,14 @@ from repro.analysis.detlint import (
     lint_paths,
 )
 from repro.analysis.detlint import main as lint_main
+from repro.analysis.flow import (
+    FLOW_RULES,
+    FlowFinding,
+    RaceCandidate,
+    analyze as flow_analyze,
+    load_candidates,
+)
+from repro.analysis.flow import main as flow_main
 from repro.analysis.sanitize import (
     Finding as SanitizeFinding,
     Monitor,
@@ -44,6 +60,12 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_main",
+    "FLOW_RULES",
+    "FlowFinding",
+    "RaceCandidate",
+    "flow_analyze",
+    "flow_main",
+    "load_candidates",
     "SanitizeFinding",
     "Monitor",
     "SanitizeReport",

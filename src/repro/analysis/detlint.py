@@ -38,7 +38,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Finding", "LintConfig", "RULES", "lint_file", "lint_paths", "main"]
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "WALL_CLOCK_ORIGINS",
+    "PROCESS_IDENTITY_ORIGINS",
+    "SEEDED_NP_FACTORIES",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+    "parse_suppressions",
+    "main",
+]
 
 
 @dataclass(frozen=True)
@@ -156,6 +169,12 @@ _TIME_NAME_RE = re.compile(
 _SUPPRESS_RE = re.compile(r"#\s*detlint:\s*ignore\[([A-Z0-9,\s]+)\]")
 _SUPPRESS_FILE_RE = re.compile(r"#\s*detlint:\s*ignore-file\[([A-Z0-9,\s]+)\]")
 
+#: Public aliases of the sink tables so the whole-program flow analyzer
+#: (:mod:`repro.analysis.flow`) shares one source of truth with DetLint.
+WALL_CLOCK_ORIGINS = _WALL_CLOCK_ORIGINS
+PROCESS_IDENTITY_ORIGINS = _PROCESS_IDENTITY_ORIGINS
+SEEDED_NP_FACTORIES = _SEEDED_NP_FACTORIES
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -244,19 +263,36 @@ def load_config(root: Optional[Path] = None) -> LintConfig:
 # suppression comments
 
 
-def _suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """Per-line and file-level suppressed rule codes."""
+def parse_suppressions(
+    source: str, tool: str = "detlint"
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and file-level suppressed rule codes for ``tool``.
+
+    The grammar is shared between DetLint (``# detlint: ignore[DET001]``)
+    and the flow analyzer (``# reproflow: ignore[FLOW101]``): a line-exact
+    ``ignore[...]`` comment, or ``ignore-file[...]`` in the first ten
+    lines.  Codes are comma-separated.
+    """
+    line_re = re.compile(rf"#\s*{tool}:\s*ignore\[([A-Z0-9,\s]+)\]")
+    file_re = re.compile(rf"#\s*{tool}:\s*ignore-file\[([A-Z0-9,\s]+)\]")
     by_line: Dict[int, Set[str]] = {}
     whole_file: Set[str] = set()
     for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_FILE_RE.search(text)
+        match = file_re.search(text)
         if match and lineno <= 10:
             whole_file.update(c.strip() for c in match.group(1).split(","))
             continue
-        match = _SUPPRESS_RE.search(text)
+        match = line_re.search(text)
         if match:
-            by_line[lineno] = {c.strip() for c in match.group(1).split(",")}
+            by_line.setdefault(lineno, set()).update(
+                c.strip() for c in match.group(1).split(",")
+            )
     return by_line, whole_file
+
+
+def _suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and file-level suppressed DetLint rule codes."""
+    return parse_suppressions(source, tool="detlint")
 
 
 # ---------------------------------------------------------------------------
@@ -610,10 +646,41 @@ def lint_paths(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI: ``repro lint [paths...]`` / ``python -m repro.analysis``."""
-    args = list(sys.argv[1:] if argv is None else argv)
-    paths = args or ["src"]
+    """CLI: ``repro lint [paths...]`` / ``python -m repro.analysis``.
+
+    ``--format json|sarif`` renders machine-readable output through the
+    shared emitters in :mod:`repro.analysis.flow.report`, so DetLint and
+    ``repro flow`` annotate PRs uniformly in CI.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description="DetLint: determinism contract linter"
+    )
+    parser.add_argument("paths", nargs="*", default=None, metavar="PATH")
+    parser.add_argument("--format", dest="fmt", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="output format (default: text)")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the formatted report to FILE "
+                             "(default: stdout)")
+    args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    paths = args.paths or ["src"]
     findings = lint_paths(paths)
+
+    if args.fmt in ("json", "sarif"):
+        from repro.analysis.flow.report import emit, findings_payload, to_sarif
+
+        if args.fmt == "sarif":
+            payload = to_sarif(findings, tool_name="detlint", rules=RULES)
+        else:
+            payload = findings_payload(findings, tool_name="detlint")
+        emitted = emit(payload, args.output)
+        if args.output:
+            print(f"detlint: wrote {emitted} "
+                  f"({len(findings)} finding(s), {args.fmt})")
+        return 1 if findings else 0
+
     for finding in findings:
         print(finding.render())
     if findings:

@@ -1,0 +1,170 @@
+"""Whole-program flow analysis for the repro tree (``repro flow``).
+
+Where DetLint judges one file at a time, this package builds a project
+symbol table and call graph — generator delegation, ``env.process``
+registration, ``functools.partial`` targets, and ``SimUnit`` import-path
+entry points included — and runs fixed-point interprocedural rules:
+
+* **FLOW101** transitive-impurity taint: a call chain reaches a
+  wall-clock / unseeded-RNG / process-identity sink with no seeded
+  source or allowlisted boundary in between (interprocedural
+  DET001/DET002/DET008, including laundering shapes per-file analysis
+  provably cannot see);
+* **FLOW102** coroutine yield-discipline: sim coroutines created but
+  never driven, and yields the engine will reject (call-graph-aware
+  DET005, closing the one-hop indirection gap);
+* **FLOW103** static race-candidate discovery: attributes mutated from
+  two or more actor coroutines on classes with no ``_san_tiebreak``,
+  exported for the runtime race sanitizer to prioritize.
+
+Usage::
+
+    repro flow [paths ...] [--format text|json|sarif] [--baseline FILE]
+    python -m repro.analysis.flow src --candidates-out flow-candidates.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph, build_callgraph
+from repro.analysis.flow.config import FlowConfig, load_flow_config
+from repro.analysis.flow.races import (
+    RaceCandidate,
+    analyze_races,
+    load_candidates,
+    write_candidates,
+)
+from repro.analysis.flow.report import (
+    FLOW_RULES,
+    FlowFinding,
+    emit,
+    filter_baseline,
+    findings_payload,
+    load_baseline,
+    render_text,
+    to_sarif,
+    write_baseline,
+)
+from repro.analysis.flow.symbols import ProjectIndex
+from repro.analysis.flow.taint import analyze_taint
+from repro.analysis.flow.yieldcheck import analyze_yields, classify_sim_coroutines
+
+__all__ = [
+    "FLOW_RULES",
+    "FlowFinding",
+    "FlowConfig",
+    "ProjectIndex",
+    "CallGraph",
+    "RaceCandidate",
+    "analyze",
+    "load_candidates",
+    "load_flow_config",
+    "main",
+]
+
+
+def analyze(
+    paths: Sequence[str], config: Optional[FlowConfig] = None
+) -> Tuple[List[FlowFinding], List[RaceCandidate]]:
+    """Run all three passes; findings sorted, suppressions applied.
+
+    The candidate list is returned unfiltered — suppressed FLOW103
+    findings still ship to the runtime sanitizer.
+    """
+    config = config or load_flow_config()
+    index = ProjectIndex.build(list(paths))
+    graph = build_callgraph(index)
+    coroutines = classify_sim_coroutines(index, graph)
+    findings: List[FlowFinding] = []
+    findings.extend(analyze_taint(index, graph, config, coroutines))
+    findings.extend(analyze_yields(index, graph, coroutines))
+    race_findings, candidates = analyze_races(index, graph, config)
+    findings.extend(race_findings)
+    findings = [f for f in findings if not _suppressed(index, config, f)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, candidates
+
+
+def _suppressed(index: ProjectIndex, config: FlowConfig, f: FlowFinding) -> bool:
+    """Uniform line/file/path suppression at the *reported* location."""
+    if config.allows(f.code, f.path):
+        return True
+    mod = index.by_path.get(f.path)
+    if mod is None:
+        return False
+    if f.code in mod.flow_file:
+        return True
+    return f.code in mod.flow_line.get(f.line, set())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro flow",
+        description="whole-program determinism / coroutine / race analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the report here instead of stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="known-findings file: only new findings are reported/blocking",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--candidates-out",
+        default=None,
+        metavar="FILE",
+        help="export FLOW103 race candidates for the runtime sanitizer",
+    )
+    args = parser.parse_args(argv)
+
+    config = load_flow_config()
+    findings, candidates = analyze(args.paths, config)
+
+    if args.candidates_out:
+        write_candidates(args.candidates_out, candidates)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"repro.flow: baseline written to {args.write_baseline} "
+            f"({len(findings)} finding(s))"
+        )
+        return 0
+
+    if args.baseline and Path(args.baseline).is_file():
+        findings = filter_baseline(findings, load_baseline(args.baseline))
+
+    if args.fmt == "json":
+        emit(findings_payload(findings, tool_name="reproflow"), args.output)
+    elif args.fmt == "sarif":
+        emit(
+            to_sarif(findings, tool_name="reproflow", rules=FLOW_RULES),
+            args.output,
+        )
+    else:
+        text = render_text(findings)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+        else:
+            print(text)
+    return 1 if findings else 0

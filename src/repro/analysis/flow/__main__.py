@@ -1,0 +1,10 @@
+"""``python -m repro.analysis.flow`` — whole-program flow analyzer."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.flow import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

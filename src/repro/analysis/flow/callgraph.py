@@ -1,0 +1,534 @@
+"""Project-wide call graph with coroutine and executor edges.
+
+Edges are resolved statically from each function body:
+
+* plain calls — local names, ``from``-imports, module-attribute calls,
+  ``self.``/``cls.`` methods via the in-project MRO, annotated
+  parameters/locals (``def f(plane: DataPlane)``), constructor-inferred
+  locals (``x = DataPlane(...)``), and instance attributes typed from
+  ``__init__`` (``self.plane.submit(...)``);
+* ``functools.partial(fn, ...)`` — an edge to the partial's target;
+* ``yield from gen(...)`` — a *driving* edge (sub-coroutine delegation);
+* ``env.process(gen(...))`` — a driving edge that also marks ``gen`` as
+  a sim-coroutine root (any receiver whose method is named ``process``
+  with a single argument counts: the engine's registration surface);
+* ``SimUnit(..., fn="module:function")`` — an executor entry-point edge
+  through the import-path string (recognized by class name, so plans
+  are linked even when ``repro`` itself is outside the analyzed tree).
+
+Attribute calls that resolve no other way fall back to *duck* edges
+when exactly one project class defines the method name.  Duck edges are
+marked so precision-critical passes (FLOW101 taint) can ignore them
+while reachability passes (FLOW103 race candidates) use them.
+
+External calls (targets outside the analyzed tree) are kept per caller
+with their dotted origin — that is what the taint pass matches against
+the DetLint sink tables — and flagged ``laundered`` when the resolution
+went through a module-level binding or ``partial``, i.e. shapes that
+per-file DetLint provably cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow.symbols import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = ["Edge", "ExternalCall", "FunctionFacts", "CallGraph", "build_callgraph"]
+
+#: Attribute-call names that never get duck edges: too common to pin on
+#: a single class without type evidence.
+_DUCK_STOPLIST = frozenset({
+    "get", "set", "add", "put", "pop", "run", "read", "write", "open",
+    "close", "send", "recv", "items", "keys", "values", "append", "remove",
+    "update", "copy", "join", "split", "strip", "format", "show", "render",
+    "start", "stop", "next", "clear", "insert", "extend", "sort", "count",
+    "index", "encode", "decode", "submit", "flush",
+})
+
+#: Container-mutating method names the race pass treats as attribute writes.
+MUTATOR_METHODS = frozenset({
+    "append", "add", "remove", "pop", "popleft", "appendleft", "extend",
+    "update", "clear", "insert", "discard", "setdefault",
+})
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One call edge: caller qualname -> callee qualname."""
+
+    caller: str
+    callee: str
+    kind: str  # call | ctor | partial | yield_from | process | simunit | yield | duck
+    lineno: int
+
+
+@dataclass(frozen=True)
+class ExternalCall:
+    """A resolved call whose target lives outside the analyzed tree."""
+
+    caller: str
+    module: str
+    attr: str
+    lineno: int
+    col: int
+    #: True when resolution crossed a module-level binding or a partial —
+    #: the laundering shapes invisible to DetLint's per-file resolver.
+    laundered: bool
+
+
+@dataclass
+class FunctionFacts:
+    """Per-function observations the rule passes consume."""
+
+    qualname: str
+    #: expression-statement calls whose value is discarded
+    discards: List[Tuple[Optional[str], int]] = field(default_factory=list)
+    #: every ``yield <expr>`` in this function: (value node or None, line)
+    yields: List[Tuple[Optional[ast.expr], int]] = field(default_factory=list)
+    #: local var -> (generator qualname, line) for ``p = worker(env)``
+    coro_vars: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    #: local names read anywhere after being bound (usage analysis)
+    used_names: Set[str] = field(default_factory=set)
+    #: attribute writes: (class qualname, attr, line)
+    attr_writes: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: return statements returning a resolved project call: qualnames
+    returns_calls: List[str] = field(default_factory=list)
+
+
+class CallGraph:
+    """Edges, reverse edges, externals, and registration facts."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.edges: Dict[str, List[Edge]] = {}
+        self.reverse: Dict[str, List[Edge]] = {}
+        self.external: Dict[str, List[ExternalCall]] = {}
+        self.facts: Dict[str, FunctionFacts] = {}
+        #: generator qualnames registered through ``.process(...)``,
+        #: mapped to True when any registration site sits inside a loop
+        #: (multiple coroutine instances of the same function).
+        self.process_roots: Dict[str, bool] = {}
+        #: functions named as ``SimUnit(fn="module:function")`` entry points
+        self.entry_points: Set[str] = set()
+
+    def add_edge(self, edge: Edge) -> None:
+        self.edges.setdefault(edge.caller, []).append(edge)
+        self.reverse.setdefault(edge.callee, []).append(edge)
+
+    def callees(self, qualname: str) -> List[Edge]:
+        return self.edges.get(qualname, [])
+
+    def callers(self, qualname: str) -> List[Edge]:
+        return self.reverse.get(qualname, [])
+
+    def yield_call_target(self, caller: str, lineno: int) -> Optional[str]:
+        """Callee of a ``yield <call>`` edge at this line, if resolved."""
+        for edge in self.callees(caller):
+            if edge.kind == "yield" and edge.lineno == lineno:
+                return edge.callee
+        return None
+
+
+def build_callgraph(index: ProjectIndex) -> CallGraph:
+    graph = CallGraph(index)
+    for info in index.functions.values():
+        _FunctionWalker(index, graph, info).walk()
+    return graph
+
+
+class _FunctionWalker:
+    """Resolve every call inside one function body."""
+
+    def __init__(
+        self, index: ProjectIndex, graph: CallGraph, fn: FunctionInfo
+    ) -> None:
+        self.index = index
+        self.graph = graph
+        self.fn = fn
+        self.mod: ModuleInfo = index.modules[fn.module]
+        self.facts = FunctionFacts(qualname=fn.qualname)
+        graph.facts[fn.qualname] = self.facts
+        #: local name -> project class qualname (annotations + constructors)
+        self.var_types: Dict[str, str] = {}
+        #: local name -> nested function qualname
+        self.local_fns: Dict[str, str] = {}
+        self._collect_signature_types()
+
+    # -- setup --------------------------------------------------------------
+
+    def _collect_signature_types(self) -> None:
+        node = self.fn.node
+        args = getattr(node, "args", None)
+        if args is None:
+            return
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg:
+            all_args.append(args.vararg)
+        if args.kwarg:
+            all_args.append(args.kwarg)
+        for arg in all_args:
+            if arg.annotation is not None:
+                resolved = self.index.resolve_annotation(self.mod, arg.annotation)
+                if resolved is not None:
+                    self.var_types[arg.arg] = resolved
+        if self.fn.cls is not None and all_args:
+            self.var_types.setdefault(all_args[0].arg, self.fn.cls)
+
+    # -- traversal ----------------------------------------------------------
+
+    def walk(self) -> None:
+        for stmt in getattr(self.fn.node, "body", []):
+            self._walk(stmt)
+
+    def _walk(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are separate graph nodes; remember the local name.
+            self.local_fns[node.name] = f"{self.fn.qualname}.{node.name}"
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            callee = self._resolve_call(node.value)
+            self.facts.discards.append((callee, node.lineno))
+            self._walk_children(node.value)
+            return
+        if isinstance(node, ast.Assign):
+            self._note_assign(node)
+        elif isinstance(node, ast.AnnAssign):
+            self._note_annassign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._note_attr_write(node.target, node.lineno)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Call):
+                callee = self._resolve_call(node.value)
+                if callee is not None:
+                    self.facts.returns_calls.append(callee)
+                self._walk_children(node.value)
+                return
+        elif isinstance(node, ast.YieldFrom):
+            if isinstance(node.value, ast.Call):
+                self._resolve_call(node.value, kind="yield_from")
+                self._walk_children(node.value)
+                return
+        elif isinstance(node, ast.Yield):
+            self.facts.yields.append((node.value, node.lineno))
+            if isinstance(node.value, ast.Call):
+                self._resolve_call(node.value, kind="yield")
+                self._walk_children(node.value)
+                return
+        elif isinstance(node, ast.Call):
+            self._resolve_call(node)
+            self._walk_children(node)
+            return
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            self.facts.used_names.add(node.id)
+        self._walk_children(node)
+
+    def _walk_children(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._walk(child)
+
+    # -- assignments --------------------------------------------------------
+
+    def _note_assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_attr_write(target, node.lineno)
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        value = node.value
+        if isinstance(value, ast.Call):
+            ctor = self.index.resolve_class_of_call(self.mod, value.func)
+            if ctor is not None:
+                self.var_types[name] = ctor
+                return
+            callee = self._peek_callee(value)
+            if callee is not None:
+                info = self.index.functions.get(callee)
+                if info is not None and info.is_generator:
+                    self.facts.coro_vars[name] = (callee, node.lineno)
+
+    def _note_annassign(self, node: ast.AnnAssign) -> None:
+        self._note_attr_write(node.target, node.lineno)
+        if isinstance(node.target, ast.Name):
+            resolved = self.index.resolve_annotation(self.mod, node.annotation)
+            if resolved is not None:
+                self.var_types[node.target.id] = resolved
+
+    def _note_attr_write(self, target: ast.expr, lineno: int) -> None:
+        """Record ``<recv>.attr = ...`` when the receiver class is known."""
+        if not isinstance(target, ast.Attribute):
+            return
+        cls = self._receiver_class(target.value)
+        if cls is not None:
+            self.facts.attr_writes.append((cls, target.attr, lineno))
+
+    def _receiver_class(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.var_types.get(node.id)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.var_types
+        ):
+            owner = self.index.classes.get(self.var_types[node.value.id])
+            if owner is not None:
+                return owner.attr_types.get(node.attr)
+        return None
+
+    # -- call resolution ----------------------------------------------------
+
+    def _peek_callee(self, call: ast.Call) -> Optional[str]:
+        """Resolve a call target without recording an edge (lookahead)."""
+        return self._resolve_target(call.func)
+
+    def _resolve_call(self, call: ast.Call, kind: str = "call") -> Optional[str]:
+        """Resolve, record the edge/external, and return the callee qualname."""
+        func = call.func
+        lineno = call.lineno
+        # ``self.items.append(x)`` — a container mutation of attribute
+        # ``items`` on the receiver's class (consumed by the race pass).
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            inner = func.value
+            if isinstance(inner, ast.Attribute):
+                cls = self._receiver_class(inner.value)
+                if cls is not None:
+                    self.facts.attr_writes.append((cls, inner.attr, lineno))
+        # functools.partial(fn, ...): edge to the partial's target.
+        if self._is_partial(func) and call.args:
+            target = self._resolve_reference(call.args[0])
+            if target is not None:
+                project, origin = target
+                if project is not None:
+                    self.graph.add_edge(
+                        Edge(self.fn.qualname, project, "partial", lineno))
+                elif origin is not None:
+                    self._note_external(origin, lineno, call, laundered=True)
+            return None
+        # SimUnit(..., fn="module:function"): executor entry-point edge.
+        if self._is_simunit(func):
+            self._note_simunit(call)
+        # env.process(gen(...)): registration surface — driving edge + root.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "process"
+            and len(call.args) == 1
+        ):
+            self._note_process(call.args[0], lineno)
+        callee = self._resolve_target(func)
+        if callee is not None:
+            self.graph.add_edge(Edge(self.fn.qualname, callee, kind, lineno))
+            return callee
+        external = self._resolve_external(func)
+        if external is not None:
+            origin, laundered = external
+            self._note_external(origin, lineno, call, laundered=laundered)
+            return None
+        # Duck fallback: unique project method name (reachability only).
+        if isinstance(func, ast.Attribute) and func.attr not in _DUCK_STOPLIST:
+            owners = self.index.method_index.get(func.attr, [])
+            if len(owners) == 1:
+                method = self.index.classes[owners[0]].methods[func.attr]
+                self.graph.add_edge(
+                    Edge(self.fn.qualname, method, "duck", lineno))
+                return method
+        return None
+
+    def _note_external(
+        self,
+        origin: Tuple[str, str],
+        lineno: int,
+        call: ast.Call,
+        laundered: bool,
+    ) -> None:
+        self.graph.external.setdefault(self.fn.qualname, []).append(
+            ExternalCall(
+                caller=self.fn.qualname,
+                module=origin[0],
+                attr=origin[1],
+                lineno=lineno,
+                col=call.col_offset + 1,
+                laundered=laundered,
+            )
+        )
+
+    def _note_process(self, arg: ast.expr, lineno: int) -> None:
+        target: Optional[str] = None
+        if isinstance(arg, ast.Call):
+            target = self._peek_callee(arg)
+        elif isinstance(arg, ast.Name) and arg.id in self.facts.coro_vars:
+            target = self.facts.coro_vars[arg.id][0]
+            # Registered: the variable counts as used/driven.
+            self.facts.used_names.add(arg.id)
+        if target is None:
+            return
+        info = self.index.functions.get(target)
+        if info is None or not info.is_generator:
+            return
+        self.graph.add_edge(Edge(self.fn.qualname, target, "process", lineno))
+        in_loop = self._inside_loop(lineno)
+        prior = self.graph.process_roots.get(target, False)
+        seen_before = target in self.graph.process_roots
+        self.graph.process_roots[target] = prior or in_loop or seen_before
+
+    def _inside_loop(self, lineno: int) -> bool:
+        """True when ``lineno`` falls inside a for/while of this function."""
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, (ast.For, ast.While, ast.AsyncFor)):
+                end = getattr(node, "end_lineno", node.lineno)
+                if node.lineno < lineno <= (end or node.lineno):
+                    return True
+        return False
+
+    def _note_simunit(self, call: ast.Call) -> None:
+        spec: Optional[str] = None
+        for kw in call.keywords:
+            if kw.arg == "fn" and isinstance(kw.value, ast.Constant):
+                if isinstance(kw.value.value, str):
+                    spec = kw.value.value
+        if spec is None and len(call.args) >= 3:
+            third = call.args[2]
+            if isinstance(third, ast.Constant) and isinstance(third.value, str):
+                spec = third.value
+        if spec is None or ":" not in spec:
+            return
+        module, _, attr = spec.partition(":")
+        target_mod = self.index.modules.get(module)
+        if target_mod is None:
+            return
+        qualname = target_mod.functions.get(attr)
+        if qualname is None:
+            return
+        self.graph.entry_points.add(qualname)
+        self.graph.add_edge(
+            Edge(self.fn.qualname, qualname, "simunit", call.lineno))
+
+    def _is_partial(self, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            origin = self.mod.from_imports.get(func.id)
+            return origin == ("functools", "partial")
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module = self.mod.import_aliases.get(func.value.id)
+            return module == "functools" and func.attr == "partial"
+        return False
+
+    def _is_simunit(self, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            if func.id == "SimUnit":
+                return True
+            origin = self.mod.from_imports.get(func.id)
+            return origin is not None and origin[1] == "SimUnit"
+        return isinstance(func, ast.Attribute) and func.attr == "SimUnit"
+
+    def _resolve_reference(
+        self, node: ast.expr
+    ) -> Optional[Tuple[Optional[str], Optional[Tuple[str, str]]]]:
+        """Resolve a *reference* (not a call): project fn or external origin."""
+        project = self._resolve_target(node)
+        if project is not None:
+            return project, None
+        external = self._resolve_external(node)
+        if external is not None:
+            return None, external[0]
+        return None
+
+    def _resolve_target(self, func: ast.expr) -> Optional[str]:
+        """Project function/method qualname for a call target, if any."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.local_fns:
+                return self.local_fns[name]
+            if name in self.mod.functions:
+                return self.mod.functions[name]
+            if name in self.mod.local_bindings:
+                return self.mod.local_bindings[name]
+            if name in self.mod.classes:
+                return self._ctor(self.mod.classes[name])
+            origin = self.mod.from_imports.get(name)
+            if origin is not None:
+                return self._resolve_in_module(origin[0], origin[1])
+            return None
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            attr = func.attr
+            # module.attr / package.module.attr
+            module = self._module_path(value)
+            if module is not None and module in self.index.modules:
+                return self._resolve_in_module(module, attr)
+            # receiver with a known class: self, cls, annotated/ctor locals
+            cls = self._receiver_class(value)
+            if cls is not None:
+                return self.index.resolve_method(cls, attr)
+            # ClassName.method (static/unbound)
+            as_class = self.index.resolve_class_of_call(self.mod, value)
+            if as_class is not None:
+                return self.index.resolve_method(as_class, attr)
+        return None
+
+    def _ctor(self, class_qualname: str) -> Optional[str]:
+        return self.index.resolve_method(class_qualname, "__init__")
+
+    def _resolve_in_module(self, module: str, attr: str) -> Optional[str]:
+        target = self.index.modules.get(module)
+        if target is None:
+            return None
+        if attr in target.functions:
+            return target.functions[attr]
+        if attr in target.local_bindings:
+            return target.local_bindings[attr]
+        if attr in target.classes:
+            return self._ctor(target.classes[attr])
+        return None
+
+    def _module_path(self, node: ast.expr) -> Optional[str]:
+        """Dotted module named by an expression (``np.random`` etc.)."""
+        if isinstance(node, ast.Name):
+            module = self.mod.import_aliases.get(node.id)
+            if module is not None:
+                return module
+            origin = self.mod.from_imports.get(node.id)
+            if origin is not None:
+                candidate = f"{origin[0]}.{origin[1]}"
+                if candidate in self.index.modules:
+                    return candidate
+                # ``from datetime import datetime`` — dotted external path.
+                if origin[0] not in self.index.modules:
+                    return candidate
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self._module_path(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+    def _resolve_external(
+        self, func: ast.expr
+    ) -> Optional[Tuple[Tuple[str, str], bool]]:
+        """(module, attr) origin of an out-of-tree call target.
+
+        The second element is True when resolution crossed a
+        module-level binding — the laundered shape DetLint misses.
+        """
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.mod.bindings:
+                return self.mod.bindings[name], True
+            origin = self.mod.from_imports.get(name)
+            if origin is not None and origin[0] not in self.index.modules:
+                return origin, False
+            if origin is not None:
+                # from a project module: maybe a re-exported binding
+                target = self.index.modules.get(origin[0])
+                if target is not None and origin[1] in target.bindings:
+                    return target.bindings[origin[1]], True
+            return None
+        if isinstance(func, ast.Attribute):
+            module = self._module_path(func.value)
+            if module is not None and module not in self.index.modules:
+                head = module.split(".", 1)[0]
+                if head not in self.index.modules:
+                    return (module, func.attr), False
+        return None

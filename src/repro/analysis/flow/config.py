@@ -1,0 +1,66 @@
+"""Flow-analyzer configuration: ``[tool.reproflow]`` overlay.
+
+The flow analyzer shares DetLint's vocabulary end to end: the same sink
+tables, the same per-rule path allowlists (a file allowlisted for
+DET001/DET002/DET008 *sanctions* its sinks, so no taint originates
+there), and the same suppression grammar with the ``reproflow:`` tag.
+``[tool.reproflow]`` adds flow-specific path allowlists per FLOW rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.detlint import LintConfig
+from repro.analysis.detlint import load_config as load_lint_config
+
+__all__ = ["FlowConfig", "load_flow_config"]
+
+
+#: Built-in per-FLOW-rule path allowlists, mirrored in ``[tool.reproflow]``
+#: (the pyproject overlay needs tomllib, so defaults must stand alone on
+#: older interpreters).  The engine's Event/Environment mutation *is* the
+#: global ordering mechanism, and the sanitizer's Monitor is observer
+#: bookkeeping — FLOW103 contention reports there are self-referential.
+_DEFAULT_ALLOW: Dict[str, Tuple[str, ...]] = {
+    "FLOW103": ("repro/sim/engine.py", "repro/analysis/sanitize.py"),
+}
+
+
+@dataclass
+class FlowConfig:
+    """Knobs for the whole-program analyzer (``[tool.reproflow]``)."""
+
+    #: Per-FLOW-rule path allowlists (suffix match): rule silent there.
+    allow: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(_DEFAULT_ALLOW)
+    )
+    #: DetLint config supplying sink sanctioning (per-DET allowlists).
+    lint: LintConfig = field(default_factory=LintConfig)
+
+    def allows(self, code: str, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        return any(norm.endswith(suffix) for suffix in self.allow.get(code, ()))
+
+
+def load_flow_config(root: Optional[Path] = None) -> FlowConfig:
+    """Defaults overlaid with ``[tool.reproflow]`` (and ``[tool.detlint]``)."""
+    root = root or Path.cwd()
+    config = FlowConfig(lint=load_lint_config(root))
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return config
+    try:
+        import tomllib  # py3.11+; older interpreters keep the defaults
+    except ImportError:  # pragma: no cover - version dependent
+        return config
+    try:
+        table = tomllib.loads(pyproject.read_text()).get("tool", {}).get(
+            "reproflow", {})
+    except (OSError, ValueError):  # pragma: no cover - malformed pyproject
+        return config
+    for code, paths in table.get("allow", {}).items():
+        config.allow[code] = tuple(paths)
+    return config

@@ -1,0 +1,196 @@
+"""FLOW103: static race-candidate discovery.
+
+The runtime race sanitizer (``repro.analysis.sanitize``) observes
+same-timestamp mutations of shared objects and reports classes that
+mutate without a declared ``_san_tiebreak`` ordering contract.  That
+only covers workloads you actually run.  This pass finds the same shape
+statically: an attribute mutated by code reachable from **two or more
+distinct actor coroutines** (process-registered generators), or from a
+single actor registered inside a loop (many instances of one function),
+on a class whose in-project MRO declares no ``_san_tiebreak``.
+
+Reachability here deliberately uses *every* edge kind, duck-typed
+fallbacks included — a candidate list wants recall, and the runtime
+sanitizer is the precision filter: candidates are exported as JSON
+(``--candidates-out``) and matched against observed mutation labels so
+statically predicted races are flagged as such when they fire.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.config import FlowConfig
+from repro.analysis.flow.report import FlowFinding
+from repro.analysis.flow.symbols import ProjectIndex
+
+__all__ = ["RaceCandidate", "analyze_races", "write_candidates", "load_candidates"]
+
+#: Constructor-phase methods whose writes are setup, not contention.
+_CTOR_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__set_name__"})
+
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """One statically discovered shared-mutation site set."""
+
+    class_qualname: str
+    attr: str
+    actors: Tuple[str, ...]  # actor-root qualnames reaching a write
+    sites: Tuple[Tuple[str, int], ...]  # (path, line) of each write
+    multi_instance: bool  # single root registered in a loop
+
+
+def _reachable(graph: CallGraph, root: str) -> Set[str]:
+    seen = {root}
+    stack = [root]
+    while stack:
+        current = stack.pop()
+        for edge in graph.callees(current):
+            if edge.callee not in seen:
+                seen.add(edge.callee)
+                stack.append(edge.callee)
+    return seen
+
+
+def discover_candidates(
+    index: ProjectIndex, graph: CallGraph
+) -> List[RaceCandidate]:
+    """All (class, attr) pairs contended by distinct actors, sorted."""
+    reach: Dict[str, Set[str]] = {
+        root: _reachable(graph, root) for root in graph.process_roots
+    }
+    # (class, attr) -> {actor roots}, write sites
+    actors: Dict[Tuple[str, str], Set[str]] = {}
+    sites: Dict[Tuple[str, str], Set[Tuple[str, int]]] = {}
+    for qualname, facts in graph.facts.items():
+        if not facts.attr_writes:
+            continue
+        info = index.functions[qualname]
+        if info.name in _CTOR_METHODS:
+            continue
+        writers = [root for root, cone in reach.items() if qualname in cone]
+        if not writers:
+            continue
+        for cls, attr, line in facts.attr_writes:
+            if cls not in index.classes or index.has_tiebreak(cls):
+                continue
+            key = (cls, attr)
+            actors.setdefault(key, set()).update(writers)
+            sites.setdefault(key, set()).add((info.path, line))
+    candidates: List[RaceCandidate] = []
+    for (cls, attr), roots in sorted(actors.items()):
+        multi = any(graph.process_roots.get(root, False) for root in roots)
+        if len(roots) < 2 and not multi:
+            continue
+        candidates.append(
+            RaceCandidate(
+                class_qualname=cls,
+                attr=attr,
+                actors=tuple(sorted(roots)),
+                sites=tuple(sorted(sites[(cls, attr)])),
+                multi_instance=multi and len(roots) == 1,
+            )
+        )
+    return candidates
+
+
+def analyze_races(
+    index: ProjectIndex, graph: CallGraph, config: FlowConfig
+) -> Tuple[List[FlowFinding], List[RaceCandidate]]:
+    """Findings (suppressions applied) plus the *full* candidate list.
+
+    Suppressing a FLOW103 finding silences the blocking report but the
+    candidate still ships to the runtime sanitizer — a suppression says
+    "reviewed, not blocking", not "stop watching".
+    """
+    candidates = discover_candidates(index, graph)
+    findings: List[FlowFinding] = []
+    for cand in candidates:
+        cls = index.classes[cand.class_qualname]
+        mod = index.modules[cls.module]
+        if config.allows("FLOW103", cls.path):
+            continue
+        if "FLOW103" in mod.flow_file:
+            continue
+        if "FLOW103" in mod.flow_line.get(cls.lineno, set()):
+            continue
+        if _site_suppressed(index, cand):
+            continue
+        if cand.multi_instance:
+            detail = (
+                f"mutated by `{cand.actors[0].rsplit('.', 1)[-1]}` "
+                "registered multiple times (loop registration)"
+            )
+        else:
+            names = ", ".join(a.rsplit(".", 1)[-1] for a in cand.actors)
+            detail = f"mutated from {len(cand.actors)} actor coroutines ({names})"
+        findings.append(
+            FlowFinding(
+                path=cls.path,
+                line=cls.lineno,
+                col=1,
+                code="FLOW103",
+                symbol=cand.class_qualname,
+                message=(
+                    f"`{cls.qualname.rsplit('.', 1)[-1]}.{cand.attr}` "
+                    f"{detail} but the class declares no `_san_tiebreak`"
+                ),
+                chain=cand.actors,
+            )
+        )
+    return findings, candidates
+
+
+def _site_suppressed(index: ProjectIndex, cand: RaceCandidate) -> bool:
+    """True when *every* write site carries a FLOW103 line suppression."""
+    for path, line in cand.sites:
+        mod = index.by_path.get(path)
+        if mod is None or "FLOW103" not in mod.flow_line.get(line, set()):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# candidate handoff to the runtime sanitizer
+
+
+def write_candidates(path: str, candidates: List[RaceCandidate]) -> str:
+    payload = {
+        "version": 1,
+        "tool": "reproflow",
+        "candidates": [
+            {
+                "class": cand.class_qualname,
+                "attr": cand.attr,
+                "actors": list(cand.actors),
+                "sites": [{"path": p, "line": ln} for p, ln in cand.sites],
+                "multi_instance": cand.multi_instance,
+            }
+            for cand in candidates
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_candidates(path: str) -> Dict[str, Set[str]]:
+    """class qualname -> contended attrs; empty dict when absent/invalid."""
+    file = Path(path)
+    if not file.is_file():
+        return {}
+    try:
+        data = json.loads(file.read_text())
+    except (OSError, ValueError):
+        return {}
+    out: Dict[str, Set[str]] = {}
+    for item in data.get("candidates", []):
+        cls = item.get("class")
+        attr = item.get("attr")
+        if isinstance(cls, str) and isinstance(attr, str):
+            out.setdefault(cls, set()).add(attr)
+    return out

@@ -1,0 +1,264 @@
+"""Flow findings, output formats, and the diff-aware baseline.
+
+The JSON and SARIF emitters here are shared with DetLint (``repro lint
+--format json|sarif``): both tools' findings carry ``path``/``line``/
+``col``/``code``/``message``, and both rule catalogs use the same
+:class:`~repro.analysis.detlint.Rule` shape, so CI annotates PRs
+uniformly whichever analyzer produced the report.
+
+Baselines make the analyzer adoptable on a tree with known findings:
+``--write-baseline`` records a fingerprint multiset (rule, file, symbol
+— deliberately *not* line numbers, so unrelated edits don't churn it),
+and ``--baseline`` filters those out so only **new** violations block.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.detlint import Rule
+
+__all__ = [
+    "FLOW_RULES",
+    "FlowFinding",
+    "render_text",
+    "findings_payload",
+    "to_sarif",
+    "emit",
+    "fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "filter_baseline",
+]
+
+
+FLOW_RULES: Dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule(
+            "FLOW101",
+            "transitive-impurity",
+            "call chain reaches a wall-clock/RNG/process-identity sink",
+            "thread a seeded stream (repro.sim.rng.RngHub) through the "
+            "chain, or absorb the impurity at an allowlisted boundary — "
+            "sim results must be a pure function of the seed",
+        ),
+        Rule(
+            "FLOW102",
+            "yield-discipline",
+            "sim coroutine created but never driven, or yields a non-event",
+            "drive sub-coroutines with `yield from`, register roots with "
+            "env.process(...), and yield only Events — the engine fails "
+            "non-event yields at runtime, after the schedule already "
+            "diverged",
+        ),
+        Rule(
+            "FLOW103",
+            "race-candidate",
+            "attribute mutated from multiple sim coroutines with no "
+            "declared tie-break",
+            "declare `_san_tiebreak` on the class if same-timestamp "
+            "ordering is disciplined (e.g. FIFO), or serialize the "
+            "writers; the runtime race sanitizer prioritizes these "
+            "candidates",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One interprocedural finding at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    symbol: str  # function/class qualname the finding is about
+    message: str
+    chain: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def hint(self) -> str:
+        return FLOW_RULES[self.code].hint
+
+    def render(self) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"[{self.symbol}] {self.message}"
+        )
+        if self.chain:
+            text += f"\n    chain: {' -> '.join(self.chain)}"
+        return text + f"\n    hint: {self.hint}"
+
+
+def render_text(findings: Sequence[FlowFinding]) -> str:
+    lines = [f.render() for f in findings]
+    if findings:
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        summary = ", ".join(f"{c}×{code}" for code, c in sorted(counts.items()))
+        lines.append(f"repro.flow: {len(findings)} finding(s) [{summary}]")
+    else:
+        lines.append("repro.flow: clean")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# machine-readable formats (shared with DetLint)
+
+
+def findings_payload(findings: Sequence[Any], tool_name: str) -> Dict[str, Any]:
+    """Plain-JSON report: one object per finding, stable field names."""
+    items: List[Dict[str, Any]] = []
+    for f in findings:
+        item: Dict[str, Any] = {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "code": f.code,
+            "message": f.message,
+        }
+        symbol = getattr(f, "symbol", None)
+        if symbol:
+            item["symbol"] = symbol
+        chain = getattr(f, "chain", None)
+        if chain:
+            item["chain"] = list(chain)
+        items.append(item)
+    return {"tool": tool_name, "findings": items, "count": len(items)}
+
+
+def to_sarif(
+    findings: Sequence[Any],
+    tool_name: str,
+    rules: Mapping[str, Rule],
+    version: str = "1.0.0",
+) -> Dict[str, Any]:
+    """SARIF 2.1.0 document for GitHub code-scanning upload."""
+    used = sorted({f.code for f in findings} | set(rules))
+    rule_objs = [
+        {
+            "id": code,
+            "name": rules[code].name if code in rules else code,
+            "shortDescription": {
+                "text": rules[code].summary if code in rules else code
+            },
+            "help": {"text": rules[code].hint if code in rules else ""},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in used
+    ]
+    results = []
+    for f in findings:
+        message = f.message
+        chain = getattr(f, "chain", None)
+        if chain:
+            message += f" (chain: {' -> '.join(chain)})"
+        results.append(
+            {
+                "ruleId": f.code,
+                "level": "error",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": str(f.path).replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": max(1, int(f.line)),
+                                "startColumn": max(1, int(f.col)),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": version,
+                        "informationUri": "https://github.com/",
+                        "rules": rule_objs,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def emit(payload: Dict[str, Any], output: Optional[str] = None) -> str:
+    """Serialize ``payload``; write to ``output`` or stdout. Returns path/text."""
+    text = json.dumps(payload, indent=2, sort_keys=False)
+    if output:
+        Path(output).write_text(text + "\n")
+        return output
+    print(text)
+    return text
+
+
+# ---------------------------------------------------------------------------
+# baseline (diff-aware adoption)
+
+
+def fingerprint(finding: FlowFinding) -> str:
+    """Stable identity of a finding across unrelated edits.
+
+    Line numbers are excluded on purpose: moving code above a known
+    violation must not make it look new.  Two identical violations in
+    the same symbol share a fingerprint — the baseline stores counts, so
+    *adding* a second one still blocks.
+    """
+    norm = finding.path.replace("\\", "/")
+    body = f"{finding.code}|{norm}|{finding.symbol}"
+    return hashlib.sha256(body.encode()).hexdigest()[:20]
+
+
+def write_baseline(path: str, findings: Sequence[FlowFinding]) -> str:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": 1,
+        "tool": "reproflow",
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    data = json.loads(Path(path).read_text())
+    findings = data.get("findings", {})
+    return {str(k): int(v) for k, v in findings.items()}
+
+
+def filter_baseline(
+    findings: Iterable[FlowFinding], baseline: Mapping[str, int]
+) -> List[FlowFinding]:
+    """Only findings *beyond* the baselined count for their fingerprint."""
+    budget = dict(baseline)
+    fresh: List[FlowFinding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            continue
+        fresh.append(finding)
+    return fresh

@@ -1,0 +1,419 @@
+"""Project-wide symbol table for the whole-program flow analyzer.
+
+One :class:`ProjectIndex` holds every module in the analyzed tree,
+parsed once: functions and methods under stable dotted qualnames
+(``repro.sim.engine.Environment.process``), classes with their
+in-project base resolution and instance-attribute types, per-module
+import maps, and — the piece per-file DetLint structurally lacks —
+*module-level bindings* (``_draw = random.random``) that launder an
+impure callable behind a plain name.
+
+Module names are derived from the filesystem: a file's dotted name is
+built by walking parent directories while they contain ``__init__.py``
+(so ``src/repro/sim/engine.py`` becomes ``repro.sim.engine`` without
+importing anything).  Loose files (the violation corpus) get their stem
+as module name, which lets fixture modules import each other by stem.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.detlint import iter_python_files, parse_suppressions
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "module_name_for",
+]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the package structure on disk."""
+    parts: List[str] = []
+    stem = path.stem
+    if stem != "__init__":
+        parts.append(stem)
+    directory = path.resolve().parent
+    while (directory / "__init__.py").is_file():
+        parts.insert(0, directory.name)
+        directory = directory.parent
+    return ".".join(parts) if parts else stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, keyed by its project-wide qualname."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    lineno: int
+    cls: Optional[str] = None  # enclosing class qualname, if a method
+    is_generator: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, resolved project bases, and attribute types."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    lineno: int
+    bases: List[str] = field(default_factory=list)  # project qualnames or raw
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qualname
+    has_tiebreak_local: bool = False
+    #: ``self.<attr>`` -> project class qualname, inferred from ``__init__``
+    #: assignments (``self.plane = DataPlane(...)``) and annotations.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its name-resolution environment."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: local alias -> imported module ("import numpy as np" -> np: numpy)
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, attr) ("from time import perf_counter")
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: module-level ``name = mod.attr`` bindings to *external* callables —
+    #: the laundering shape DetLint's call-site resolver cannot see.
+    bindings: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: module-level ``alias = local_function`` re-bindings (project symbols)
+    local_bindings: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)  # top-level name -> qualname
+    classes: Dict[str, str] = field(default_factory=dict)  # local name -> qualname
+    #: detlint + reproflow suppressions: {line: codes}, file-wide codes
+    det_line: Dict[int, Set[str]] = field(default_factory=dict)
+    det_file: Set[str] = field(default_factory=set)
+    flow_line: Dict[int, Set[str]] = field(default_factory=dict)
+    flow_file: Set[str] = field(default_factory=set)
+
+    def resolve_relative(self, level: int, module: Optional[str]) -> Optional[str]:
+        """Absolute module name for a ``from ...x import y`` statement."""
+        if level == 0:
+            return module
+        parts = self.name.split(".")
+        # level 1 = current package (drop the module's own leaf name).
+        if len(parts) < level:
+            return module
+        base = parts[:-level]
+        if module:
+            base.append(module)
+        return ".".join(base) if base else None
+
+
+class ProjectIndex:
+    """Every module, function, and class in the analyzed tree."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: method name -> class qualnames that *define* it (duck resolution)
+        self.method_index: Dict[str, List[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, paths: Sequence[str]) -> "ProjectIndex":
+        index = cls()
+        for path in iter_python_files(paths):
+            index._add_file(path)
+        for info in list(index.classes.values()):
+            index._infer_attr_types(info)
+        return index
+
+    def _add_file(self, path: Path) -> None:
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            return  # unparsable files are DetLint's problem, not ours
+        name = module_name_for(path)
+        mod = ModuleInfo(name=name, path=str(path), tree=tree, source=source)
+        mod.det_line, mod.det_file = parse_suppressions(source, tool="detlint")
+        mod.flow_line, mod.flow_file = parse_suppressions(source, tool="reproflow")
+        self.modules[name] = mod
+        self.by_path[str(path)] = mod
+        self._collect_imports(mod)
+        self._collect_symbols(mod)
+
+    def _collect_imports(self, mod: ModuleInfo) -> None:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mod.import_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                module = mod.resolve_relative(node.level, node.module)
+                if module is None:
+                    continue
+                for alias in node.names:
+                    mod.from_imports[alias.asname or alias.name] = (module, alias.name)
+
+    def _collect_symbols(self, mod: ModuleInfo) -> None:
+        stack: List[str] = []
+
+        def qual(name: str) -> str:
+            return ".".join([mod.name, *stack, name])
+
+        def visit(node: ast.AST, in_class: Optional[ClassInfo]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = qual(child.name)
+                    info = FunctionInfo(
+                        qualname=qualname,
+                        module=mod.name,
+                        path=mod.path,
+                        node=child,
+                        lineno=child.lineno,
+                        cls=in_class.qualname if in_class is not None else None,
+                        is_generator=_is_generator(child),
+                    )
+                    self.functions[qualname] = info
+                    if in_class is not None:
+                        in_class.methods[child.name] = qualname
+                        self.method_index.setdefault(child.name, []).append(
+                            in_class.qualname
+                        )
+                    elif not stack:
+                        mod.functions[child.name] = qualname
+                    stack.append(child.name)
+                    visit(child, None)
+                    stack.pop()
+                elif isinstance(child, ast.ClassDef):
+                    qualname = qual(child.name)
+                    cinfo = ClassInfo(
+                        qualname=qualname,
+                        module=mod.name,
+                        path=mod.path,
+                        node=child,
+                        lineno=child.lineno,
+                        bases=[b for b in map(self._base_name, child.bases) if b],
+                    )
+                    self.classes[qualname] = cinfo
+                    if not stack:
+                        mod.classes[child.name] = qualname
+                    stack.append(child.name)
+                    visit(child, cinfo)
+                    stack.pop()
+                elif isinstance(child, ast.Assign) and not stack and in_class is None:
+                    self._module_binding(mod, child)
+                elif isinstance(child, ast.Assign) and in_class is not None:
+                    for target in child.targets:
+                        if isinstance(target, ast.Name) and target.id == "_san_tiebreak":
+                            in_class.has_tiebreak_local = True
+                else:
+                    visit(child, in_class)
+
+        visit(mod.tree, None)
+        # Resolve textual base names to project class qualnames where possible.
+        for cinfo in self.classes.values():
+            if cinfo.module != mod.name:
+                continue
+            cinfo.bases = [
+                self.resolve_class_name(mod, base) or base for base in cinfo.bases
+            ]
+
+    @staticmethod
+    def _base_name(node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            parts: List[str] = []
+            cur: ast.expr = node
+            while isinstance(cur, ast.Attribute):
+                parts.insert(0, cur.attr)
+                cur = cur.value
+            if isinstance(cur, ast.Name):
+                parts.insert(0, cur.id)
+            return ".".join(parts)
+        return ""
+
+    def _module_binding(self, mod: ModuleInfo, node: ast.Assign) -> None:
+        """Record ``name = <callable reference>`` at module scope."""
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        target = node.targets[0].id
+        value = node.value
+        if isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+            base = value.value.id
+            module = mod.import_aliases.get(base)
+            if module is not None:
+                # ``_draw = random.random`` — an external callable binding.
+                mod.bindings[target] = (module, value.attr)
+        elif isinstance(value, ast.Name):
+            origin = mod.from_imports.get(value.id)
+            if origin is not None:
+                mod.bindings[target] = origin
+            elif value.id in mod.functions:
+                mod.local_bindings[target] = mod.functions[value.id]
+
+    # -- class model --------------------------------------------------------
+
+    def _infer_attr_types(self, cinfo: ClassInfo) -> None:
+        mod = self.modules.get(cinfo.module)
+        if mod is None:
+            return
+        for stmt in cinfo.node.body:  # class-body annotations: ``x: DataPlane``
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                resolved = self.resolve_annotation(mod, stmt.annotation)
+                if resolved is not None:
+                    cinfo.attr_types[stmt.target.id] = resolved
+        init = cinfo.methods.get("__init__")
+        if init is None:
+            return
+        node = self.functions[init].node
+        for stmt in ast.walk(node):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+                resolved = self.resolve_annotation(mod, stmt.annotation)
+                if (
+                    resolved is not None
+                    and isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cinfo.attr_types.setdefault(target.attr, resolved)
+                continue
+            if (
+                target is not None
+                and value is not None
+                and isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and isinstance(value, ast.Call)
+            ):
+                ctor = self.resolve_class_of_call(mod, value.func)
+                if ctor is not None:
+                    cinfo.attr_types.setdefault(target.attr, ctor)
+
+    def mro(self, class_qualname: str) -> List[str]:
+        """In-project linearization: the class then its bases, depth-first."""
+        seen: List[str] = []
+
+        def walk(qualname: str) -> None:
+            if qualname in seen:
+                return
+            seen.append(qualname)
+            info = self.classes.get(qualname)
+            if info is None:
+                return
+            for base in info.bases:
+                walk(base)
+
+        walk(class_qualname)
+        return seen
+
+    def resolve_method(self, class_qualname: str, name: str) -> Optional[str]:
+        for qualname in self.mro(class_qualname):
+            info = self.classes.get(qualname)
+            if info is not None and name in info.methods:
+                return info.methods[name]
+        return None
+
+    def has_tiebreak(self, class_qualname: str) -> bool:
+        return any(
+            self.classes[q].has_tiebreak_local
+            for q in self.mro(class_qualname)
+            if q in self.classes
+        )
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve_class_name(self, mod: ModuleInfo, name: str) -> Optional[str]:
+        """Resolve a (possibly dotted) textual name to a project class."""
+        if name in mod.classes:
+            return mod.classes[name]
+        if name in mod.from_imports:
+            module, attr = mod.from_imports[name]
+            target = self.modules.get(module)
+            if target is not None and attr in target.classes:
+                return target.classes[attr]
+            qualname = f"{module}.{attr}"
+            if qualname in self.classes:
+                return qualname
+        if "." in name:
+            head, _, rest = name.partition(".")
+            module = mod.import_aliases.get(head)
+            candidate = f"{module}.{rest}" if module else name
+            if candidate in self.classes:
+                return candidate
+        return None
+
+    def resolve_annotation(self, mod: ModuleInfo, node: ast.expr) -> Optional[str]:
+        """Project class named by an annotation (unwraps Optional/quotes)."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return self.resolve_class_name(mod, node.value.strip())
+        if isinstance(node, ast.Name):
+            return self.resolve_class_name(mod, node.id)
+        if isinstance(node, ast.Attribute):
+            return self.resolve_class_name(mod, self._base_name(node))
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "Optional":
+                inner = node.slice
+                return self.resolve_annotation(mod, inner)
+        return None
+
+    def resolve_class_of_call(
+        self, mod: ModuleInfo, func: ast.expr
+    ) -> Optional[str]:
+        """If ``func`` names a project class, its qualname (constructor)."""
+        if isinstance(func, ast.Name):
+            return self.resolve_class_name(mod, func.id)
+        if isinstance(func, ast.Attribute):
+            return self.resolve_class_name(mod, self._base_name(func))
+        return None
+
+
+def _is_generator(node: ast.AST) -> bool:
+    """True when the def itself contains a yield (not a nested def's)."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            if _owner(node, child) is node:
+                return True
+    return False
+
+
+def _owner(root: ast.AST, target: ast.AST) -> Optional[ast.AST]:
+    owner: Optional[ast.AST] = None
+    stack: List[ast.AST] = []
+
+    def walk(node: ast.AST) -> None:
+        nonlocal owner
+        is_fn = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        if is_fn:
+            stack.append(node)
+        if node is target:
+            owner = stack[-1] if stack else None
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+        if is_fn:
+            stack.pop()
+
+    walk(root)
+    return owner

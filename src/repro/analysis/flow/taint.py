@@ -1,0 +1,191 @@
+"""FLOW101: interprocedural determinism taint.
+
+The fixed point computes, for every function, whether some call chain
+reaches a wall-clock, unseeded-RNG, or process-identity *sink* (the
+DetLint DET001/DET002/DET008 origin tables) without passing through a
+sanctioned boundary.  A sink is **sanctioned** — contributes no taint —
+when its call site is line-suppressed (``detlint: ignore[...]`` or
+``reproflow: ignore[FLOW101]``), or its file is allowlisted for the
+corresponding DET rule (the profiler, the RNG hub, the worker-process
+entry points).  Seeded constructions (``np.random.default_rng(seed)``)
+are never sinks, so impurity absorbed into a named seeded stream stops
+propagating exactly as the contract intends.
+
+Two finding shapes keep the output small and actionable:
+
+* the **laundered sink site** itself — a call that reaches a sink
+  through a module-level binding (``_draw = random.random``) or a
+  ``functools.partial``, the shapes intra-file DetLint provably cannot
+  resolve; and
+* every tainted **root**: a sim coroutine or ``SimUnit`` entry point
+  whose transitive call chain reaches a sink, reported once with the
+  chain spelled out.  Pure helpers in the middle of a chain are not
+  re-reported — the chain already names them.
+
+Taint never propagates across duck edges (method-name fallback): those
+exist for reachability questions, not for accusations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.detlint import (
+    PROCESS_IDENTITY_ORIGINS,
+    SEEDED_NP_FACTORIES,
+    WALL_CLOCK_ORIGINS,
+)
+from repro.analysis.flow.callgraph import CallGraph, ExternalCall
+from repro.analysis.flow.config import FlowConfig
+from repro.analysis.flow.report import FlowFinding
+from repro.analysis.flow.symbols import ProjectIndex
+
+__all__ = ["sink_family", "analyze_taint"]
+
+
+def sink_family(module: str, attr: str) -> Optional[Tuple[str, str]]:
+    """(family, DET code) when (module, attr) is an impurity sink."""
+    if (module, attr) in WALL_CLOCK_ORIGINS or (
+        module == "datetime" and attr in ("now", "utcnow")
+    ):
+        return "wall-clock", "DET001"
+    if module == "random":
+        return "unseeded-rng", "DET002"
+    if module == "numpy.random" and attr not in SEEDED_NP_FACTORIES:
+        return "unseeded-rng", "DET002"
+    if (module, attr) in PROCESS_IDENTITY_ORIGINS:
+        return "process-identity", "DET008"
+    return None
+
+
+@dataclass
+class _Taint:
+    """Why a function is impure: the sink and the path towards it."""
+
+    origin: str  # "time.time" etc.
+    family: str
+    chain: Tuple[str, ...]  # call chain from this function to the sink
+
+
+def _sanctioned(
+    index: ProjectIndex, config: FlowConfig, call: ExternalCall, det_code: str
+) -> bool:
+    mod = index.modules.get(index.functions[call.caller].module)
+    if mod is None:  # pragma: no cover - caller always indexed
+        return False
+    if config.lint.allows(det_code, mod.path):
+        return True
+    if det_code in mod.det_file or "FLOW101" in mod.flow_file:
+        return True
+    line_det = mod.det_line.get(call.lineno, set())
+    line_flow = mod.flow_line.get(call.lineno, set())
+    return det_code in line_det or "FLOW101" in line_flow
+
+
+def analyze_taint(
+    index: ProjectIndex,
+    graph: CallGraph,
+    config: FlowConfig,
+    coroutines: Set[str],
+) -> List[FlowFinding]:
+    """Fixed-point impurity propagation + the two reporting shapes."""
+    taints: Dict[str, _Taint] = {}
+    findings: List[FlowFinding] = []
+
+    # Seed: direct sink calls that are not sanctioned.
+    for caller, calls in graph.external.items():
+        for call in calls:
+            family = sink_family(call.module, call.attr)
+            if family is None:
+                continue
+            name, det_code = family
+            if _sanctioned(index, config, call, det_code):
+                continue
+            origin = f"{call.module}.{call.attr}"
+            taints.setdefault(
+                caller, _Taint(origin=origin, family=name, chain=(origin,))
+            )
+            if call.laundered:
+                info = index.functions[caller]
+                findings.append(
+                    FlowFinding(
+                        path=info.path,
+                        line=call.lineno,
+                        col=call.col,
+                        code="FLOW101",
+                        symbol=caller,
+                        message=(
+                            f"{name} sink `{origin}` reached through a "
+                            "module-level binding or partial — invisible "
+                            "to per-file DetLint"
+                        ),
+                    )
+                )
+
+    # Fixed point over reverse call edges (duck edges excluded).
+    boundary = _boundaries(index, config)
+    worklist = list(taints)
+    while worklist:
+        callee = worklist.pop()
+        taint = taints[callee]
+        for edge in graph.callers(callee):
+            if edge.kind == "duck":
+                continue
+            caller = edge.caller
+            if caller in taints or caller in boundary:
+                continue
+            taints[caller] = _Taint(
+                origin=taint.origin,
+                family=taint.family,
+                chain=(callee, *taint.chain),
+            )
+            worklist.append(caller)
+
+    # Report tainted roots: sim coroutines and executor entry points.
+    roots = coroutines | graph.entry_points
+    for qualname in sorted(roots):
+        taint = taints.get(qualname)
+        if taint is None:
+            continue
+        info = index.functions[qualname]
+        kind = "sim coroutine" if qualname in coroutines else "SimUnit entry point"
+        findings.append(
+            FlowFinding(
+                path=info.path,
+                line=info.lineno,
+                col=info.node.col_offset + 1,
+                code="FLOW101",
+                symbol=qualname,
+                message=(
+                    f"{kind} `{info.name}` transitively reaches "
+                    f"{taint.family} sink `{taint.origin}` without a "
+                    "seeded source or allowlisted boundary"
+                ),
+                chain=(qualname, *taint.chain)
+                if taint.chain[0] != qualname
+                else taint.chain,
+            )
+        )
+    return findings
+
+
+def _boundaries(index: ProjectIndex, config: FlowConfig) -> Set[str]:
+    """Functions taint never propagates *through*.
+
+    A function absorbs taint when its whole file is allowlisted for any
+    sink family (the sanctioned impurity boundaries), or when its `def`
+    line carries ``# reproflow: ignore[FLOW101]``.
+    """
+    absorbed: Set[str] = set()
+    for qualname, info in index.functions.items():
+        mod = index.modules[info.module]
+        if any(
+            config.lint.allows(code, mod.path)
+            for code in ("DET001", "DET002", "DET008")
+        ):
+            absorbed.add(qualname)
+            continue
+        if "FLOW101" in mod.flow_line.get(info.lineno, set()):
+            absorbed.add(qualname)
+    return absorbed

@@ -1,0 +1,210 @@
+"""FLOW102: call-graph-aware coroutine yield discipline.
+
+The engine's contract is narrow: a sim coroutine reaches the scheduler
+through exactly one of two doors — ``env.process(gen)`` registers a
+root, ``yield from sub(...)`` drives a child inline.  Anything else is
+a coroutine that silently never runs (a discarded or parked generator
+object) or a yield the engine will reject at runtime, *after* the event
+schedule has already diverged from the pinned baselines.
+
+DetLint's DET005 sees the single-file shapes.  This pass closes the
+one-hop gaps: a helper in another module that *returns* a coroutine
+("returns-coroutine" is itself a fixed point, so factories of factories
+resolve too), a generator imported from elsewhere and called as a
+statement, a coroutine object yielded instead of delegated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.report import FlowFinding
+from repro.analysis.flow.symbols import ProjectIndex
+
+__all__ = ["classify_sim_coroutines", "returns_coroutine_helpers", "analyze_yields"]
+
+
+def classify_sim_coroutines(index: ProjectIndex, graph: CallGraph) -> Set[str]:
+    """Generators in the engine's orbit: process roots + yield-from closure."""
+    coroutines: Set[str] = set(graph.process_roots)
+    worklist = list(coroutines)
+    while worklist:
+        current = worklist.pop()
+        for edge in graph.callees(current):
+            if edge.kind != "yield_from":
+                continue
+            callee = edge.callee
+            info = index.functions.get(callee)
+            if info is None or not info.is_generator:
+                continue
+            if callee not in coroutines:
+                coroutines.add(callee)
+                worklist.append(callee)
+    return coroutines
+
+
+def returns_coroutine_helpers(index: ProjectIndex, graph: CallGraph) -> Set[str]:
+    """Non-generator functions whose return value is a coroutine object.
+
+    Fixed point: ``make_worker`` returning ``worker(env)`` is one, and so
+    is a factory returning ``make_worker(env)``.  Calling such a helper
+    as a bare statement discards a coroutine just as surely as calling
+    the generator directly.
+    """
+    helpers: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for qualname, facts in graph.facts.items():
+            if qualname in helpers:
+                continue
+            info = index.functions.get(qualname)
+            if info is None or info.is_generator:
+                continue
+            for returned in facts.returns_calls:
+                target = index.functions.get(returned)
+                if (target is not None and target.is_generator) or (
+                    returned in helpers
+                ):
+                    helpers.add(qualname)
+                    changed = True
+                    break
+    return helpers
+
+
+def _is_event_yield(node: ast.expr) -> bool:
+    """Conservatively true unless the yielded value cannot be an Event."""
+    if isinstance(node, ast.Constant):
+        return node.value is None  # bare `yield` parks on the scheduler? no —
+        # the engine rejects None too, but DET005 owns that; constants
+        # other than None are unambiguous non-events either way.
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+        return False
+    if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare, ast.JoinedStr)):
+        return False
+    return True
+
+
+def analyze_yields(
+    index: ProjectIndex, graph: CallGraph, coroutines: Set[str]
+) -> List[FlowFinding]:
+    findings: List[FlowFinding] = []
+    helpers = returns_coroutine_helpers(index, graph)
+
+    for qualname, facts in sorted(graph.facts.items()):
+        info = index.functions[qualname]
+        mod = index.modules[info.module]
+
+        def suppressed(line: int) -> bool:
+            return "FLOW102" in mod.flow_line.get(line, set()) or (
+                "FLOW102" in mod.flow_file
+            )
+
+        # (a) statement-level discard of a coroutine or coroutine factory.
+        for callee, line in facts.discards:
+            if callee is None or suppressed(line):
+                continue
+            target = index.functions.get(callee)
+            if target is not None and target.is_generator:
+                findings.append(
+                    FlowFinding(
+                        path=info.path,
+                        line=line,
+                        col=1,
+                        code="FLOW102",
+                        symbol=qualname,
+                        message=(
+                            f"calling generator `{target.name}` as a "
+                            "statement creates a coroutine that never "
+                            "runs — drive it with `yield from` or "
+                            "register it with env.process(...)"
+                        ),
+                        chain=(qualname, callee),
+                    )
+                )
+            elif callee in helpers:
+                findings.append(
+                    FlowFinding(
+                        path=info.path,
+                        line=line,
+                        col=1,
+                        code="FLOW102",
+                        symbol=qualname,
+                        message=(
+                            f"`{callee.rsplit('.', 1)[-1]}` returns a "
+                            "coroutine that is discarded here — the "
+                            "process never starts"
+                        ),
+                        chain=(qualname, callee),
+                    )
+                )
+
+        # (b) coroutine object assigned to a local but never driven.
+        for var, (gen, line) in sorted(facts.coro_vars.items()):
+            if var in facts.used_names or suppressed(line):
+                continue
+            findings.append(
+                FlowFinding(
+                    path=info.path,
+                    line=line,
+                    col=1,
+                    code="FLOW102",
+                    symbol=qualname,
+                    message=(
+                        f"coroutine `{var}` (from "
+                        f"`{gen.rsplit('.', 1)[-1]}`) is created but "
+                        "never driven or registered"
+                    ),
+                    chain=(qualname, gen),
+                )
+            )
+
+        # (c) non-event yields — only inside classified sim coroutines,
+        # so plain iterator generators stay out of scope.
+        if qualname not in coroutines:
+            continue
+        for value, line in facts.yields:
+            if value is None or suppressed(line):
+                continue
+            if isinstance(value, ast.Call):
+                # `yield worker(env)` hands the scheduler a generator
+                # object; the engine wants `yield from worker(env)`.
+                callee = graph.yield_call_target(qualname, line)
+                if callee is not None:
+                    target = index.functions.get(callee)
+                    if target is not None and target.is_generator:
+                        findings.append(
+                            FlowFinding(
+                                path=info.path,
+                                line=line,
+                                col=value.col_offset + 1,
+                                code="FLOW102",
+                                symbol=qualname,
+                                message=(
+                                    f"yielding coroutine object "
+                                    f"`{target.name}(...)` — use "
+                                    "`yield from` to drive it"
+                                ),
+                                chain=(qualname, callee),
+                            )
+                        )
+                continue
+            if not _is_event_yield(value):
+                findings.append(
+                    FlowFinding(
+                        path=info.path,
+                        line=line,
+                        col=value.col_offset + 1,
+                        code="FLOW102",
+                        symbol=qualname,
+                        message=(
+                            "sim coroutine yields a non-event value — "
+                            "the engine only accepts Events "
+                            "(timeouts, resource acquisitions, "
+                            "composites)"
+                        ),
+                    )
+                )
+    return findings

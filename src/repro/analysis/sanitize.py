@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import hashlib
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 __all__ = [
     "Monitor",
@@ -148,10 +148,18 @@ class Monitor:
         "io_outstanding",
         "ns_created",
         "finished",
+        "candidates",
     )
 
-    def __init__(self, label: str = "run") -> None:
+    def __init__(
+        self,
+        label: str = "run",
+        candidates: Optional[Mapping[str, Set[str]]] = None,
+    ) -> None:
         self.label = label
+        #: class qualname -> attrs statically flagged by repro.flow FLOW103;
+        #: races on these classes are annotated as predicted.
+        self.candidates: Mapping[str, Set[str]] = candidates or {}
         self.events = 0
         self.layers: Dict[str, _LayerStream] = {}
         self._current_actor = -1  # heap seq of the event being processed
@@ -205,17 +213,20 @@ class Monitor:
 
     def _close_group(self, entry: _TrackedObject) -> None:
         if entry.tiebreak is None and len(set(entry.group_actors)) > 1:
-            self.races.append(
-                Finding(
-                    "race",
-                    entry.label,
-                    f"{len(entry.group_actors)} same-timestamp mutations "
-                    f"({', '.join(entry.ops)}) at t="
-                    f"{entry.group_time!r} from "
-                    f"{len(set(entry.group_actors))} actors with no "
-                    "declared tie-break (_san_tiebreak)",
-                )
+            message = (
+                f"{len(entry.group_actors)} same-timestamp mutations "
+                f"({', '.join(entry.ops)}) at t="
+                f"{entry.group_time!r} from "
+                f"{len(set(entry.group_actors))} actors with no "
+                "declared tie-break (_san_tiebreak)"
             )
+            predicted = self.candidates.get(entry.label.rsplit("#", 1)[0])
+            if predicted:
+                message += (
+                    " [predicted by repro.flow FLOW103: "
+                    f"{', '.join(sorted(predicted))}]"
+                )
+            self.races.append(Finding("race", entry.label, message))
         entry.group_time = None
         entry.group_actors = []
         entry.ops = []
@@ -368,12 +379,19 @@ _SESSION: Optional["SanitizeSession"] = None
 class SanitizeSession:
     """Collects one Monitor per Environment attached while active."""
 
-    def __init__(self, label: str = "sanitize") -> None:
+    def __init__(
+        self,
+        label: str = "sanitize",
+        candidates: Optional[Mapping[str, Set[str]]] = None,
+    ) -> None:
         self.label = label
         self.monitors: List[Monitor] = []
+        self.candidates = candidates
 
     def attach(self, env: Any, label: str = "run") -> Monitor:
-        monitor = Monitor(label=f"{label}#{len(self.monitors)}")
+        monitor = Monitor(
+            label=f"{label}#{len(self.monitors)}", candidates=self.candidates
+        )
         env.monitor = monitor
         self.monitors.append(monitor)
         return monitor
@@ -386,11 +404,14 @@ class SanitizeSession:
 
 
 @contextmanager
-def session(label: str = "sanitize") -> Iterator[SanitizeSession]:
+def session(
+    label: str = "sanitize",
+    candidates: Optional[Mapping[str, Set[str]]] = None,
+) -> Iterator[SanitizeSession]:
     """Scope inside which registry-built systems get monitors attached."""
     global _SESSION
     prev = _SESSION
-    current = SanitizeSession(label)
+    current = SanitizeSession(label, candidates=candidates)
     _SESSION = current
     try:
         yield current
@@ -486,18 +507,25 @@ class SanitizeReport:
         return "\n".join(lines)
 
 
-def sanitized_run(fn: Callable[[], Any]) -> Tuple[Any, SanitizeReport]:
+def sanitized_run(
+    fn: Callable[[], Any],
+    candidates: Optional[Mapping[str, Set[str]]] = None,
+) -> Tuple[Any, SanitizeReport]:
     """Run ``fn`` twice under monitors; return (first result, report).
 
     ``fn`` must be self-seeding (every experiment in ``repro.bench`` is):
     the determinism sanitizer asserts the two runs schedule identical
     event streams, so any wall-clock or global-RNG dependence shows up
     as a localized divergence.
+
+    ``candidates`` is the FLOW103 handoff from ``repro flow
+    --candidates-out``: races on statically flagged classes are annotated
+    as predicted, closing the static→runtime loop.
     """
-    with session("run1") as run1:
+    with session("run1", candidates=candidates) as run1:
         result = fn()
     findings1 = run1.finish()
-    with session("run2") as run2:
+    with session("run2", candidates=candidates) as run2:
         fn()
     run2.finish()
     leaks = [f for f in findings1 if f.sanitizer == "leak"]

@@ -94,7 +94,7 @@ class CampaignResult:
         return self.compute_done / self.wall_time if self.wall_time > 0 else 0.0
 
 
-class FailureCampaign:
+class FailureCampaign:  # reproflow: ignore[FLOW103] (single campaign coroutine owns state)
     """Drives one rank's compute/checkpoint/fail/restart loop.
 
     The storage system is any intercepted-POSIX ``shim``; failures are

@@ -30,7 +30,7 @@ from repro.obs.metrics import Counter
 __all__ = ["StorageServer", "BaselineFile", "BaselineClient"]
 
 
-class StorageServer:
+class StorageServer:  # reproflow: ignore[FLOW103] (one server coroutine per instance)
     """One storage node of a distributed baseline filesystem."""
 
     def __init__(

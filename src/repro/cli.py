@@ -243,6 +243,32 @@ def main(argv=None) -> int:
     )
     lintp.add_argument("paths", nargs="*", default=None, metavar="PATH",
                        help="files or directories to lint (default: src)")
+    lintp.add_argument("--format", dest="fmt", default="text",
+                       choices=("text", "json", "sarif"),
+                       help="report format (default: text)")
+    lintp.add_argument("--output", metavar="FILE", default=None,
+                       help="write the report to FILE (default: stdout)")
+    flowp = sub.add_parser(
+        "flow",
+        help="whole-program flow analysis: interprocedural determinism "
+             "taint, coroutine yield-discipline, race candidates "
+             "(FLOW101-FLOW103)",
+    )
+    flowp.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                       help="files or directories to analyze (default: src)")
+    flowp.add_argument("--format", dest="fmt", default="text",
+                       choices=("text", "json", "sarif"),
+                       help="report format (default: text)")
+    flowp.add_argument("--output", metavar="FILE", default=None,
+                       help="write the report to FILE (default: stdout)")
+    flowp.add_argument("--baseline", metavar="FILE", default=None,
+                       help="known-findings file: only new findings block")
+    flowp.add_argument("--write-baseline", dest="write_baseline",
+                       metavar="FILE", default=None,
+                       help="record current findings as the baseline")
+    flowp.add_argument("--candidates-out", dest="candidates_out",
+                       metavar="FILE", default=None,
+                       help="export FLOW103 race candidates for --sanitize")
     tracep = sub.add_parser(
         "trace", help="run one experiment with tracing on; write the trace"
     )
@@ -295,7 +321,24 @@ def main(argv=None) -> int:
     if args.command == "lint":
         from repro.analysis.detlint import main as lint_main
 
-        return lint_main(args.paths or ["src"])
+        argv2 = [*(args.paths or ["src"]), "--format", args.fmt]
+        if args.output:
+            argv2 += ["--output", args.output]
+        return lint_main(argv2)
+
+    if args.command == "flow":
+        from repro.analysis.flow import main as flow_main
+
+        argv2 = [*(args.paths or ["src"]), "--format", args.fmt]
+        if args.output:
+            argv2 += ["--output", args.output]
+        if args.baseline:
+            argv2 += ["--baseline", args.baseline]
+        if args.write_baseline:
+            argv2 += ["--write-baseline", args.write_baseline]
+        if args.candidates_out:
+            argv2 += ["--candidates-out", args.candidates_out]
+        return flow_main(argv2)
 
     if args.command == "trend":
         from repro.bench.trend import (DEFAULT_BASELINE_DIR, TrendStore,
@@ -445,9 +488,17 @@ def main(argv=None) -> int:
             args.shards or 1, start_method=args.start_method)
     started = time.time()  # wall-clock CLI reporting  # detlint: ignore[DET001]
     if args.sanitize:
+        from repro.analysis.flow.races import load_candidates
         from repro.analysis.sanitize import sanitized_run
 
-        table, report = sanitized_run(lambda: fn(**kwargs))
+        # Static FLOW103 handoff (written by `repro flow --candidates-out`):
+        # races on statically flagged classes are annotated as predicted.
+        candidates = load_candidates("flow-candidates.json")
+        if candidates:
+            total = sum(len(attrs) for attrs in candidates.values())
+            print(f"[sanitize: {total} static race candidate(s) loaded "
+                  f"from flow-candidates.json]")
+        table, report = sanitized_run(lambda: fn(**kwargs), candidates=candidates)
         table.show()
         print(report.render())
         if args.export:

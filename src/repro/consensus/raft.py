@@ -70,7 +70,7 @@ class Role(enum.Enum):
     LEADER = "leader"
 
 
-class RaftNode:
+class RaftNode:  # reproflow: ignore[FLOW103] (per-node state; only its own _run writes)
     """One consensus group member bound to a cluster node name."""
 
     def __init__(

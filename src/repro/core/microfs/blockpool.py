@@ -21,7 +21,7 @@ from repro.errors import InvalidArgument, NoSpace
 __all__ = ["BlockPool"]
 
 
-class BlockPool:
+class BlockPool:  # reproflow: ignore[FLOW103] (writes serialized by MicroFS op order)
     """Fixed-size block allocator over ``[0, capacity_blocks)``."""
 
     def __init__(self, region_bytes: int, block_bytes: int):

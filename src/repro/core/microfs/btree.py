@@ -18,7 +18,7 @@ from typing import Any, Iterator, List, Optional, Tuple
 __all__ = ["BPlusTree"]
 
 
-class _Node:
+class _Node:  # reproflow: ignore[FLOW103] (writes serialized by MicroFS op order)
     __slots__ = ("leaf", "keys", "children", "values", "next")
 
     def __init__(self, leaf: bool):
@@ -29,7 +29,7 @@ class _Node:
         self.next: Optional["_Node"] = None  # leaf sibling link
 
 
-class BPlusTree:
+class BPlusTree:  # reproflow: ignore[FLOW103] (writes serialized by MicroFS op order)
     """Map with ordered iteration, built for path -> ino lookups."""
 
     def __init__(self, order: int = 64):

@@ -92,7 +92,7 @@ class FileHandle:
     open_: bool = True
 
 
-class MicroFS:
+class MicroFS:  # reproflow: ignore[FLOW103] (ops apply atomically between yield points)
     """The per-process micro filesystem."""
 
     ROOT_INO = 1

@@ -37,7 +37,7 @@ class DirEntry:
 
 
 @dataclass
-class Inode:
+class Inode:  # reproflow: ignore[FLOW103] (writes serialized by MicroFS op order)
     """File or directory metadata. DRAM-resident; journaled via the oplog."""
 
     ino: int

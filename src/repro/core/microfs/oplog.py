@@ -124,7 +124,7 @@ class AppendResult:
     wire_bytes: int = field(default=_PAGE)  # bytes crossing the fabric
 
 
-class OperationLog:
+class OperationLog:  # reproflow: ignore[FLOW103] (LSN order is the tie-break)
     """Fixed-capacity in-order log with an in-memory mirror.
 
     The in-memory record list is the authoritative mirror; ``append``

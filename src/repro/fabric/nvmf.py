@@ -66,7 +66,7 @@ class NVMfTarget:
         self.alive = True
 
 
-class NVMfSession:
+class NVMfSession:  # reproflow: ignore[FLOW103] (counters owned by the session's client)
     """One initiator's connection (QP) to a target."""
 
     def __init__(

@@ -37,7 +37,7 @@ __all__ = ["FaultInjector"]
 FaultHandler = Callable[[FaultRecord, Fault, BlastRadius], None]
 
 
-class FaultInjector:
+class FaultInjector:  # reproflow: ignore[FLOW103] (_run/_repair alternate by protocol)
     """Schedules faults and applies their physical effects.
 
     Component inventories are attached explicitly (or wholesale via

@@ -22,7 +22,7 @@ __all__ = ["FaultRecord", "FaultTimeline"]
 
 
 @dataclass
-class FaultRecord:
+class FaultRecord:  # reproflow: ignore[FLOW103] (one fault lifecycle writes phases in order)
     """One fault's lifecycle, from injection to (maybe) recovery."""
 
     fault_id: int

@@ -177,6 +177,10 @@ class Histogram:
 
     __slots__ = ("meta", "edges", "counts", "count", "total", "min", "max")
 
+    #: Same-timestamp observations commute — the summary depends only on
+    #: the multiset of samples, so no ordering contract is needed.
+    _san_tiebreak = "commutative"
+
     def __init__(self, meta: InstrumentMeta, edges: Tuple[float, ...] = _DEFAULT_EDGES):
         self.meta = meta
         self.edges = edges

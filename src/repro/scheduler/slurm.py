@@ -38,7 +38,7 @@ class StorageGrant:
     namespace: Namespace
 
 
-class SlurmScheduler:
+class SlurmScheduler:  # reproflow: ignore[FLOW103] (node sets serialized by scheduler events)
     """Tracks node and namespace inventory; answers allocation requests."""
 
     def __init__(self, env: Environment, cluster: ClusterSpec, topo: Optional[NetworkTopology] = None):

@@ -51,6 +51,10 @@ class Flow:
 class FairShareServer:
     """A shared pipe serving concurrent flows at max-min fair rates."""
 
+    #: Accounting updates commute at equal timestamps — rates are
+    #: recomputed from the full flow set, never from arrival order.
+    _san_tiebreak = "commutative"
+
     def __init__(self, env: Environment, capacity: float, name: str = "pipe") -> None:
         if capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity}")

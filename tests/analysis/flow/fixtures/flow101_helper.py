@@ -1,0 +1,19 @@
+"""FLOW101 corpus: impurity laundered through a module-level binding.
+
+Per-file DetLint resolves call sites through its import maps only, so
+``_draw()`` never matches the ``random.*`` sink table — the binding is
+the laundering shape the whole-program analyzer exists to catch.
+"""
+
+import random
+
+_draw = random.random
+
+
+def jitter_ms():
+    # EXPECT FLOW101 (laundered unseeded-rng sink site)
+    return _draw() * 5.0
+
+
+def pure_delay_ms():
+    return 3.0

@@ -1,0 +1,17 @@
+"""FLOW101 corpus: sim coroutine transitively tainted across modules."""
+
+from flow101_helper import jitter_ms, pure_delay_ms
+
+
+def boot(env):
+    env.process(rank(env))
+    env.process(steady(env))
+
+
+def rank(env):
+    # EXPECT FLOW101 on this coroutine (chain: rank -> jitter_ms -> random.random)
+    yield env.timeout(jitter_ms())
+
+
+def steady(env):
+    yield env.timeout(pure_delay_ms())

@@ -1,0 +1,20 @@
+"""FLOW101 corpus: executor entry point tainted through its fn string."""
+
+from flow101_helper import jitter_ms
+
+
+class SimUnit:
+    def __init__(self, index, label, fn, params=None):
+        self.index = index
+        self.label = label
+        self.fn = fn
+        self.params = params or {}
+
+
+def run_cell(params):
+    # EXPECT FLOW101 on this entry point (reached via SimUnit fn string)
+    return jitter_ms() + params.get("base_ms", 0.0)
+
+
+def build_plan():
+    return [SimUnit(0, "cell", "flow101_unit:run_cell")]

@@ -1,0 +1,32 @@
+"""FLOW102 corpus (module 2): cross-module discards and undriven coroutines."""
+
+from flow102_tasks import chatty, make_worker, worker
+
+
+def boot(env):
+    env.process(worker(env))
+    env.process(chatty(env))
+    env.process(nested(env))
+
+
+def stranded(env):
+    # EXPECT FLOW102 (factory's coroutine discarded — one-hop indirection)
+    make_worker(env)
+    yield env.timeout(1.0)
+
+
+def lost(env):
+    # EXPECT FLOW102 (cross-module generator called as a statement)
+    worker(env)
+    yield env.timeout(1.0)
+
+
+def nested(env):
+    # EXPECT FLOW102 (yields the coroutine object instead of driving it)
+    yield worker(env)
+
+
+def idle(env):
+    # EXPECT FLOW102 (coroutine assigned but never driven or registered)
+    p = worker(env)
+    yield env.timeout(1.0)

@@ -1,0 +1,16 @@
+"""FLOW102 corpus (module 1): coroutine definitions and a factory."""
+
+
+def worker(env):
+    yield env.timeout(1.0)
+    yield env.timeout(2.0)
+
+
+def make_worker(env):
+    return worker(env)
+
+
+def chatty(env):
+    yield env.timeout(1.0)
+    # EXPECT FLOW102 (non-event yield in a sim coroutine)
+    yield 42.0

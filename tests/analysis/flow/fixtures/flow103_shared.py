@@ -1,0 +1,57 @@
+"""FLOW103 corpus: shared mutable state contended by two actor coroutines.
+
+``SharedTally`` declares no ``_san_tiebreak`` and is bumped from two
+distinct process-registered coroutines — a statically discoverable race
+candidate.  ``SafeQueue`` has the same shape but declares its ordering
+contract, so it must NOT be reported.
+"""
+
+
+class SharedTally:
+    def __init__(self, env=None):
+        self.env = env
+        self.total = 0
+
+    def bump(self, n):
+        monitor = getattr(self.env, "monitor", None) if self.env else None
+        if monitor is not None:
+            monitor.note_mutation(self, "bump")
+        self.total += n
+
+
+class SafeQueue:
+    _san_tiebreak = "fifo"
+
+    def __init__(self):
+        self.items = []
+
+    def push(self, item):
+        self.items.append(item)
+
+
+def writer_a(env, tally: SharedTally):
+    yield env.timeout(1.0)
+    tally.bump(1)
+
+
+def writer_b(env, tally: SharedTally):
+    yield env.timeout(1.0)
+    tally.bump(2)
+
+
+def safe_a(env, q: SafeQueue):
+    yield env.timeout(1.0)
+    q.push("a")
+
+
+def safe_b(env, q: SafeQueue):
+    yield env.timeout(1.0)
+    q.push("b")
+
+
+def boot(env, tally: SharedTally, q: SafeQueue):
+    # EXPECT FLOW103 on SharedTally.total (writer_a + writer_b), none on SafeQueue
+    env.process(writer_a(env, tally))
+    env.process(writer_b(env, tally))
+    env.process(safe_a(env, q))
+    env.process(safe_b(env, q))

@@ -1,0 +1,22 @@
+"""Flow corpus: every violation here carries a reproflow suppression."""
+
+import random
+
+_pick = random.choice
+
+
+def choose(options):
+    return _pick(options)  # reproflow: ignore[FLOW101] (test-only shuffle)
+
+
+def boot(env):
+    env.process(spin(env))
+
+
+def spin(env):
+    drop(env)  # reproflow: ignore[FLOW102] (intentional no-op coroutine)
+    yield env.timeout(1.0)
+
+
+def drop(env):
+    yield env.timeout(1.0)

@@ -1,0 +1,180 @@
+"""Call-graph builder: the shapes that defeat naive per-file resolution."""
+
+import textwrap
+
+from repro.analysis.flow.callgraph import build_callgraph
+from repro.analysis.flow.symbols import ProjectIndex, module_name_for
+from repro.analysis.flow.yieldcheck import classify_sim_coroutines
+
+
+def _graph(tmp_path, **modules):
+    for name, source in modules.items():
+        (tmp_path / f"{name}.py").write_text(textwrap.dedent(source))
+    index = ProjectIndex.build([str(tmp_path)])
+    return index, build_callgraph(index)
+
+
+def _edges(graph, caller):
+    return {(e.callee, e.kind) for e in graph.callees(caller)}
+
+
+def test_yield_from_chain_classified_transitively(tmp_path):
+    index, graph = _graph(
+        tmp_path,
+        chain="""
+        def boot(env):
+            env.process(top(env))
+
+        def top(env):
+            yield from middle(env)
+
+        def middle(env):
+            yield from bottom(env)
+
+        def bottom(env):
+            yield env.timeout(1.0)
+        """,
+    )
+    assert graph.process_roots == {"chain.top": False}
+    assert ("chain.middle", "yield_from") in _edges(graph, "chain.top")
+    assert ("chain.bottom", "yield_from") in _edges(graph, "chain.middle")
+    assert classify_sim_coroutines(index, graph) == {
+        "chain.top",
+        "chain.middle",
+        "chain.bottom",
+    }
+
+
+def test_process_registration_in_loop_marks_multi_instance(tmp_path):
+    _, graph = _graph(
+        tmp_path,
+        looped="""
+        def boot(env):
+            for _ in range(4):
+                env.process(cell(env))
+
+        def cell(env):
+            yield env.timeout(1.0)
+        """,
+    )
+    assert graph.process_roots == {"looped.cell": True}
+
+
+def test_partial_targets_resolve_to_edges(tmp_path):
+    _, graph = _graph(
+        tmp_path,
+        partials="""
+        import functools
+        from functools import partial
+        import random
+
+        def work(x):
+            return x + 1
+
+        def build():
+            a = partial(work, 1)
+            b = functools.partial(work, 2)
+            c = partial(random.random)
+            return a, b, c
+        """,
+    )
+    kinds = _edges(graph, "partials.build")
+    assert ("partials.work", "partial") in kinds
+    # The external partial target surfaces as a *laundered* sink call.
+    externals = graph.external.get("partials.build", [])
+    assert any(
+        (e.module, e.attr, e.laundered) == ("random", "random", True)
+        for e in externals
+    )
+
+
+def test_simunit_entry_points_by_import_path(tmp_path):
+    _, graph = _graph(
+        tmp_path,
+        plan="""
+        from units import SimUnit
+
+        def build():
+            return [
+                SimUnit(0, "a", "cells:run_a"),
+                SimUnit(1, "b", fn="cells:run_b"),
+                SimUnit(2, "missing", "cells:nope"),
+            ]
+        """,
+        units="""
+        class SimUnit:
+            def __init__(self, index, label, fn, params=None):
+                self.fn = fn
+        """,
+        cells="""
+        def run_a(params):
+            return 1
+
+        def run_b(params):
+            return 2
+        """,
+    )
+    assert graph.entry_points == {"cells.run_a", "cells.run_b"}
+    kinds = _edges(graph, "plan.build")
+    assert ("cells.run_a", "simunit") in kinds
+    assert ("cells.run_b", "simunit") in kinds
+
+
+def test_method_resolution_through_slots_class(tmp_path):
+    _, graph = _graph(
+        tmp_path,
+        slotted="""
+        class Plane:
+            __slots__ = ("n",)
+
+            def __init__(self):
+                self.n = 0
+
+            def advance(self):
+                self.n += 1
+
+        def drive(plane: Plane):
+            plane.advance()
+
+        def build():
+            p = Plane()
+            p.advance()
+        """,
+    )
+    # Annotated parameter and constructor-inferred local both resolve.
+    assert ("slotted.Plane.advance", "call") in _edges(graph, "slotted.drive")
+    assert ("slotted.Plane.advance", "call") in _edges(graph, "slotted.build")
+    # The self-mutation inside the slots class is recorded for FLOW103.
+    writes = graph.facts["slotted.Plane.advance"].attr_writes
+    assert [(cls, attr) for cls, attr, _ in writes] == [("slotted.Plane", "n")]
+
+
+def test_instance_attribute_types_from_init(tmp_path):
+    _, graph = _graph(
+        tmp_path,
+        nested="""
+        class Engine:
+            def step(self):
+                return 1
+
+        class Host:
+            def __init__(self):
+                self.engine = Engine()
+
+            def tick(self):
+                self.engine.step()
+        """,
+    )
+    assert ("nested.Engine.step", "call") in _edges(graph, "nested.Host.tick")
+
+
+def test_module_name_for_walks_packages(tmp_path):
+    pkg = tmp_path / "pkg" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("")
+    assert module_name_for(pkg / "mod.py") == "pkg.sub.mod"
+    loose = tmp_path / "loose.py"
+    loose.write_text("")
+    assert module_name_for(loose) == "loose"

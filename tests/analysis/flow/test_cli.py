@@ -1,0 +1,71 @@
+"""CLI surfaces: exit codes, formats, baseline workflow, candidates export."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.flow import main as flow_main
+from repro.cli import main as repro_main
+
+FIXTURES = str(Path(__file__).parent / "fixtures")
+CLEAN = str(Path(__file__).parent / "fixtures" / "flow_suppressed_ok.py")
+
+
+def test_flow_main_exit_codes(capsys):
+    assert flow_main([CLEAN]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert flow_main([FIXTURES]) == 1
+    out = capsys.readouterr().out
+    assert "FLOW101" in out and "FLOW102" in out and "FLOW103" in out
+
+
+def test_flow_json_and_sarif_outputs(tmp_path, capsys):
+    json_path = tmp_path / "flow.json"
+    sarif_path = tmp_path / "flow.sarif"
+    assert flow_main([FIXTURES, "--format", "json", "--output", str(json_path)]) == 1
+    assert flow_main([FIXTURES, "--format", "sarif", "--output", str(sarif_path)]) == 1
+    capsys.readouterr()
+    payload = json.loads(json_path.read_text())
+    assert payload["tool"] == "reproflow" and payload["count"] == 9
+    sarif = json.loads(sarif_path.read_text())
+    assert sarif["version"] == "2.1.0"
+    assert len(sarif["runs"][0]["results"]) == 9
+
+
+def test_baseline_workflow_blocks_only_new_findings(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    # Bless the current corpus findings, then re-run against the baseline:
+    # everything is known, so the run is clean and exits 0.
+    assert flow_main([FIXTURES, "--write-baseline", str(baseline)]) == 0
+    assert flow_main([FIXTURES, "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    # An empty baseline blocks everything again.
+    baseline.write_text('{"version": 1, "tool": "reproflow", "findings": {}}')
+    assert flow_main([FIXTURES, "--baseline", str(baseline)]) == 1
+    capsys.readouterr()
+
+
+def test_candidates_export(tmp_path, capsys):
+    out = tmp_path / "candidates.json"
+    flow_main([FIXTURES, "--candidates-out", str(out)])
+    capsys.readouterr()
+    data = json.loads(out.read_text())
+    classes = {c["class"]: c for c in data["candidates"]}
+    assert "flow103_shared.SharedTally" in classes
+    entry = classes["flow103_shared.SharedTally"]
+    assert entry["attr"] == "total"
+    assert len(entry["actors"]) == 2
+
+
+def test_repro_flow_subcommand(capsys):
+    assert repro_main(["flow", CLEAN]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_repro_lint_format_json(capsys):
+    # The laundered-RNG fixture is DetLint-clean by construction (that
+    # is the point of FLOW101), so it doubles as the lint-JSON fixture.
+    helper = str(Path(FIXTURES) / "flow101_helper.py")
+    assert repro_main(["lint", helper, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "detlint" and payload["count"] == 0

@@ -1,0 +1,128 @@
+"""The committed violation corpus yields exactly the expected findings.
+
+This is the analyzer's self-test: CI runs the same corpus and fails if
+any expected finding disappears (a regression in the analysis) or a new
+one appears (a precision regression).
+"""
+
+from pathlib import Path
+
+from repro.analysis.detlint import lint_file
+from repro.analysis.flow import analyze
+from repro.analysis.flow.config import FlowConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _findings():
+    # A fresh FlowConfig (no pyproject overlay) keeps the corpus
+    # self-contained: nothing in the repo's allowlists applies here.
+    findings, candidates = analyze([str(FIXTURES)], FlowConfig())
+    return findings, candidates
+
+
+def _by_file(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(Path(f.path).name, []).append(f)
+    return out
+
+
+def test_corpus_exact_finding_counts():
+    findings, _ = _findings()
+    codes = sorted(f.code for f in findings)
+    assert codes == ["FLOW101"] * 3 + ["FLOW102"] * 5 + ["FLOW103"]
+
+
+def test_flow101_laundered_sink_site_reported():
+    per_file = _by_file(_findings()[0])
+    helper = per_file["flow101_helper.py"]
+    assert [f.code for f in helper] == ["FLOW101"]
+    assert "module-level binding" in helper[0].message
+    assert helper[0].symbol == "flow101_helper.jitter_ms"
+
+
+def test_flow101_tainted_sim_coroutine_with_chain():
+    per_file = _by_file(_findings()[0])
+    (finding,) = per_file["flow101_sim.py"]
+    assert finding.symbol == "flow101_sim.rank"
+    assert finding.chain == (
+        "flow101_sim.rank",
+        "flow101_helper.jitter_ms",
+        "random.random",
+    )
+    # The clean coroutine in the same module is not flagged.
+    assert all(f.symbol != "flow101_sim.steady" for f in _findings()[0])
+
+
+def test_flow101_simunit_entry_point_tainted():
+    per_file = _by_file(_findings()[0])
+    (finding,) = per_file["flow101_unit.py"]
+    assert finding.symbol == "flow101_unit.run_cell"
+    assert "SimUnit entry point" in finding.message
+
+
+def test_flow101_catches_what_detlint_provably_misses():
+    """The acceptance fixture: one-hop laundered RNG, invisible per-file.
+
+    DetLint's DET002 matches call sites against its import-derived
+    origin map; a module-level binding (``_draw = random.random``)
+    resolves to nothing, so the file lints clean — while the
+    whole-program analyzer reports both the sink site and the tainted
+    coroutine that reaches it from another module.
+    """
+    helper = FIXTURES / "flow101_helper.py"
+    assert lint_file(helper) == []  # DetLint: provably blind here
+    findings, _ = _findings()
+    flow101 = [f for f in findings if f.code == "FLOW101"]
+    assert any(Path(f.path).name == "flow101_helper.py" for f in flow101)
+    assert any(f.symbol == "flow101_sim.rank" for f in flow101)
+
+
+def test_flow102_all_shapes():
+    findings = [f for f in _findings()[0] if f.code == "FLOW102"]
+    by_symbol = {f.symbol: f for f in findings}
+    assert set(by_symbol) == {
+        "flow102_driver.stranded",  # factory coroutine discarded (one hop)
+        "flow102_driver.lost",  # cross-module generator discarded
+        "flow102_driver.nested",  # yields the coroutine object
+        "flow102_driver.idle",  # assigned but never driven
+        "flow102_tasks.chatty",  # non-event yield
+    }
+    assert "returns a coroutine that is discarded" in (
+        by_symbol["flow102_driver.stranded"].message
+    )
+    assert "yield from" in by_symbol["flow102_driver.nested"].message
+    assert "never driven" in by_symbol["flow102_driver.idle"].message
+    assert "non-event" in by_symbol["flow102_tasks.chatty"].message
+
+
+def test_flow102_spares_plain_iterator_generators():
+    """Yield-value checks apply only to engine-registered coroutines."""
+    findings = [f for f in _findings()[0] if f.code == "FLOW102"]
+    # `worker` yields event-looking calls and is properly registered.
+    assert all(f.symbol != "flow102_tasks.worker" for f in findings)
+
+
+def test_flow103_candidate_and_tiebreak_exemption():
+    findings, candidates = _findings()
+    flow103 = [f for f in findings if f.code == "FLOW103"]
+    assert len(flow103) == 1
+    (finding,) = flow103
+    assert finding.symbol == "flow103_shared.SharedTally"
+    assert "SharedTally.total" in finding.message
+    # SafeQueue has the same two-writer shape but declares its contract.
+    assert all("SafeQueue" not in f.symbol for f in findings)
+    tally = [c for c in candidates if c.class_qualname.endswith("SharedTally")]
+    assert tally and tally[0].attr == "total"
+    assert set(a.rsplit(".", 1)[-1] for a in tally[0].actors) == {
+        "writer_a",
+        "writer_b",
+    }
+
+
+def test_suppressed_fixture_is_clean():
+    findings, _ = _findings()
+    assert all(
+        Path(f.path).name != "flow_suppressed_ok.py" for f in findings
+    ), [f.render() for f in findings]

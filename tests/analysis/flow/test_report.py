@@ -1,0 +1,103 @@
+"""Shared emitters (JSON/SARIF), baselines, and suppression grammar."""
+
+import json
+
+from repro.analysis.detlint import RULES, Finding as LintFinding, parse_suppressions
+from repro.analysis.flow.report import (
+    FLOW_RULES,
+    FlowFinding,
+    filter_baseline,
+    findings_payload,
+    fingerprint,
+    load_baseline,
+    to_sarif,
+    write_baseline,
+)
+
+
+def _finding(line=10, code="FLOW101", symbol="mod.fn"):
+    return FlowFinding(
+        path="src/mod.py",
+        line=line,
+        col=3,
+        code=code,
+        symbol=symbol,
+        message="boom",
+        chain=("mod.fn", "time.time"),
+    )
+
+
+def test_findings_payload_includes_symbol_and_chain():
+    payload = findings_payload([_finding()], tool_name="reproflow")
+    assert payload["tool"] == "reproflow"
+    assert payload["count"] == 1
+    item = payload["findings"][0]
+    assert item["symbol"] == "mod.fn"
+    assert item["chain"] == ["mod.fn", "time.time"]
+
+
+def test_findings_payload_works_for_detlint_findings():
+    lint = LintFinding(path="a.py", line=1, col=1, code="DET001", message="m")
+    payload = findings_payload([lint], tool_name="detlint")
+    assert payload["findings"][0]["code"] == "DET001"
+    assert "symbol" not in payload["findings"][0]
+
+
+def test_sarif_document_shape():
+    doc = to_sarif([_finding()], tool_name="reproflow", rules=FLOW_RULES)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reproflow"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"FLOW101", "FLOW102", "FLOW103"} <= rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "FLOW101"
+    assert "chain: mod.fn -> time.time" in result["message"]["text"]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 10, "startColumn": 3}
+
+
+def test_sarif_accepts_detlint_rules():
+    lint = LintFinding(path="a.py", line=1, col=1, code="DET001", message="m")
+    doc = to_sarif([lint], tool_name="detlint", rules=RULES)
+    assert doc["runs"][0]["results"][0]["ruleId"] == "DET001"
+    assert any(
+        r["id"] == "DET001" for r in doc["runs"][0]["tool"]["driver"]["rules"]
+    )
+
+
+def test_fingerprint_stable_across_line_moves():
+    assert fingerprint(_finding(line=10)) == fingerprint(_finding(line=99))
+    assert fingerprint(_finding()) != fingerprint(_finding(code="FLOW102"))
+
+
+def test_baseline_roundtrip_and_count_semantics(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    known = [_finding(), _finding(line=20)]  # same fingerprint, count 2
+    write_baseline(str(baseline_path), known)
+    data = json.loads(baseline_path.read_text())
+    assert data["tool"] == "reproflow"
+    assert list(data["findings"].values()) == [2]
+
+    baseline = load_baseline(str(baseline_path))
+    # Two occurrences are absorbed; a third identical one is fresh.
+    assert filter_baseline(known, baseline) == []
+    three = [*known, _finding(line=30)]
+    fresh = filter_baseline(three, baseline)
+    assert len(fresh) == 1
+    # A different rule is always fresh.
+    other = _finding(code="FLOW103")
+    assert filter_baseline([other], baseline) == [other]
+
+
+def test_parse_suppressions_is_tool_scoped():
+    source = (
+        "# reproflow: ignore-file[FLOW103]\n"
+        "x = 1  # detlint: ignore[DET001]\n"
+        "y = 2  # reproflow: ignore[FLOW101, FLOW102]\n"
+    )
+    det_line, det_file = parse_suppressions(source, tool="detlint")
+    flow_line, flow_file = parse_suppressions(source, tool="reproflow")
+    assert det_line == {2: {"DET001"}} and det_file == set()
+    assert flow_line == {3: {"FLOW101", "FLOW102"}}
+    assert flow_file == {"FLOW103"}

@@ -1,0 +1,79 @@
+"""The static→runtime loop: a FLOW103 candidate is caught live.
+
+The corpus class ``SharedTally`` is discovered statically (two actor
+coroutines mutate ``total``, no ``_san_tiebreak``), exported through the
+candidate file, loaded back, and then *actually raced* on the real
+engine — the runtime sanitizer must both catch the race and annotate it
+as statically predicted.
+"""
+
+import importlib.util
+from pathlib import Path
+
+from repro.analysis.flow import analyze
+from repro.analysis.flow.config import FlowConfig
+from repro.analysis.flow.races import load_candidates, write_candidates
+from repro.analysis.sanitize import attach_if_active, sanitized_run
+from repro.sim.engine import Environment
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _import_fixture(name):
+    spec = importlib.util.spec_from_file_location(name, FIXTURES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_static_candidate_is_caught_and_annotated_at_runtime(tmp_path):
+    # 1. Static discovery over the corpus.
+    _, candidates = analyze([str(FIXTURES)], FlowConfig())
+    path = tmp_path / "flow-candidates.json"
+    write_candidates(str(path), candidates)
+    loaded = load_candidates(str(path))
+    assert loaded["flow103_shared.SharedTally"] == {"total"}
+
+    # 2. Drive the *same* fixture code on the real engine, racing the
+    #    statically flagged attribute at one timestamp.
+    shared = _import_fixture("flow103_shared")
+
+    def run():
+        env = Environment()
+        attach_if_active(env, label="tally")
+        tally = shared.SharedTally(env)
+        env.process(shared.writer_a(env, tally))
+        env.process(shared.writer_b(env, tally))
+        env.run()
+        return tally.total
+
+    result, report = sanitized_run(run, candidates=loaded)
+    assert result == 3
+    assert not report.ok
+    assert len(report.races) == 1
+    message = report.races[0].message
+    assert report.races[0].subject.startswith("flow103_shared.SharedTally")
+    assert "[predicted by repro.flow FLOW103: total]" in message
+
+
+def test_unpredicted_race_is_not_annotated():
+    shared = _import_fixture("flow103_shared")
+
+    def run():
+        env = Environment()
+        attach_if_active(env, label="tally")
+        tally = shared.SharedTally(env)
+        env.process(shared.writer_a(env, tally))
+        env.process(shared.writer_b(env, tally))
+        env.run()
+
+    _, report = sanitized_run(run)  # no candidate handoff
+    assert len(report.races) == 1
+    assert "predicted" not in report.races[0].message
+
+
+def test_load_candidates_missing_or_malformed(tmp_path):
+    assert load_candidates(str(tmp_path / "absent.json")) == {}
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert load_candidates(str(bad)) == {}
